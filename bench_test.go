@@ -1,0 +1,185 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation (one benchmark per exhibit), plus ablation benchmarks for the
+// design choices DESIGN.md calls out. Each benchmark runs its experiment
+// at quick scale and reports the key headline number via b.ReportMetric,
+// so `go test -bench=. -benchmem` doubles as a miniature reproduction run.
+package wayfinder
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"wayfinder/internal/apps"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/core"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/experiments"
+	"wayfinder/internal/search"
+	"wayfinder/internal/simos"
+	"wayfinder/internal/vm"
+)
+
+// benchScale shrinks the experiments so a full -bench=. run stays in CPU
+// minutes.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.Seeds = 1
+	s.Iterations = 80
+	s.RandomConfigs = 150
+	s.PerAppConfigs = 250
+	s.TimeBudgetSec = 1800
+	s.SynthIters = 40
+	return s
+}
+
+// runExp executes an experiment b.N times, reporting the first numeric
+// cell of the named column as a custom metric.
+func runExp(b *testing.B, id string, metricTable int, metricCol, metricName string) {
+	b.Helper()
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metricCol != "" && len(res.Tables) > metricTable {
+			tab := res.Tables[metricTable]
+			for ci, col := range tab.Columns {
+				if col != metricCol || len(tab.Rows) == 0 {
+					continue
+				}
+				raw := strings.TrimRight(tab.Rows[0][ci], "x%s")
+				if v, err := strconv.ParseFloat(raw, 64); err == nil {
+					b.ReportMetric(v, metricName)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig1KconfigCensus(b *testing.B)   { runExp(b, "fig1", 0, "", "") }
+func BenchmarkTable1SpaceCensus(b *testing.B)   { runExp(b, "table1", 0, "runtime", "runtime-options") }
+func BenchmarkFig2RandomNginx(b *testing.B)     { runExp(b, "fig2", 0, "max/default", "best-vs-default") }
+func BenchmarkFig5CrossSimilarity(b *testing.B) { runExp(b, "fig5", 0, "", "") }
+func BenchmarkFig7Scalability(b *testing.B)     { runExp(b, "fig7", 0, "", "") }
+func BenchmarkFig8LoopBreakdown(b *testing.B)   { runExp(b, "fig8", 0, "seconds", "update-seconds") }
+func BenchmarkTable3PredictionAccuracy(b *testing.B) {
+	runExp(b, "table3", 0, "failure accuracy", "failure-accuracy")
+}
+func BenchmarkFig9Unikraft(b *testing.B)         { runExp(b, "fig9", 0, "", "") }
+func BenchmarkFig10MemoryFootprint(b *testing.B) { runExp(b, "fig10", 0, "best MB", "best-mb") }
+func BenchmarkFig11CozartSynergy(b *testing.B)   { runExp(b, "fig11", 0, "best score", "best-score") }
+func BenchmarkTable4TopScores(b *testing.B)      { runExp(b, "table4", 0, "", "") }
+
+// BenchmarkFig6SearchNginx runs the Fig 6a protocol (random vs DeepTune vs
+// DeepTune+TL) for Nginx only, reporting DeepTune's best-found throughput.
+func BenchmarkFig6SearchNginx(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		app := apps.Nginx()
+		m := simos.NewLinux(scale.Linux)
+		m.Space.Favor(configspace.CompileTime, 0)
+		cfg := deeptune.DefaultConfig()
+		s := search.NewDeepTune(m.Space, true, cfg)
+		var clock vm.Clock
+		eng := core.NewEngine(m, app, &core.PerfMetric{App: app}, s, &clock, 1)
+		rep, err := eng.Run(core.Options{Iterations: scale.Iterations, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Best != nil {
+			b.ReportMetric(rep.Best.Metric, "req/s")
+		}
+	}
+}
+
+// BenchmarkTable2BestConfigs runs the Table 2 pipeline at bench scale.
+func BenchmarkTable2BestConfigs(b *testing.B) {
+	scale := benchScale()
+	scale.Iterations = 60
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §Key design decisions) ---
+
+// ablationSession runs one DeepTune session with the given config tweak
+// and reports best throughput and crash count.
+func ablationSession(b *testing.B, mutate func(*deeptune.Config)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		app := apps.Nginx()
+		m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 20, Seed: 1})
+		m.Space.Favor(configspace.CompileTime, 0)
+		cfg := deeptune.DefaultConfig()
+		mutate(&cfg)
+		s := search.NewDeepTune(m.Space, true, cfg)
+		var clock vm.Clock
+		eng := core.NewEngine(m, app, &core.PerfMetric{App: app}, s, &clock, 1)
+		rep, err := eng.Run(core.Options{Iterations: 80, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Best != nil {
+			b.ReportMetric(rep.Best.Metric, "req/s")
+		}
+		b.ReportMetric(float64(rep.Crashes), "crashes")
+	}
+}
+
+// BenchmarkAblationBaseline is the reference DeepTune configuration.
+func BenchmarkAblationBaseline(b *testing.B) {
+	ablationSession(b, func(*deeptune.Config) {})
+}
+
+// BenchmarkAblationNoUncertainty removes the RBF uncertainty term from the
+// scoring function (α=1: pure dissimilarity).
+func BenchmarkAblationNoUncertainty(b *testing.B) {
+	ablationSession(b, func(c *deeptune.Config) { c.Alpha = 1 })
+}
+
+// BenchmarkAblationNoCrashHead disables crash gating (threshold 1 accepts
+// everything), isolating the value of failure prediction.
+func BenchmarkAblationNoCrashHead(b *testing.B) {
+	ablationSession(b, func(c *deeptune.Config) { c.CrashThreshold = 1.01 })
+}
+
+// BenchmarkAblationAlphaSweep reports best throughput across the Eq. 3
+// α grid, the paper's 0.5 recommendation among them.
+func BenchmarkAblationAlphaSweep(b *testing.B) {
+	for _, alpha := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		alpha := alpha
+		b.Run("alpha="+strconv.FormatFloat(alpha, 'f', 2, 64), func(b *testing.B) {
+			ablationSession(b, func(c *deeptune.Config) { c.Alpha = alpha })
+		})
+	}
+}
+
+// BenchmarkAblationBuildSkip measures the virtual-time saving of the §3.1
+// build-skip optimization by comparing runtime-only sessions with and
+// without compile-time variation.
+func BenchmarkAblationBuildSkip(b *testing.B) {
+	run := func(b *testing.B, favorCompile float64, name string) {
+		for i := 0; i < b.N; i++ {
+			app := apps.Nginx()
+			m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 40, FillerCompile: 20, Seed: 1})
+			m.Space.Favor(configspace.CompileTime, favorCompile)
+			s := search.NewRandom(m.Space, 1)
+			var clock vm.Clock
+			eng := core.NewEngine(m, app, &core.PerfMetric{App: app}, s, &clock, 1)
+			rep, err := eng.Run(core.Options{Iterations: 40, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.ElapsedSec/float64(len(rep.History)), "virtual-s/iter")
+			b.ReportMetric(float64(rep.Builds), "builds")
+		}
+		_ = name
+	}
+	b.Run("runtime-only", func(b *testing.B) { run(b, 0, "skip") })
+	b.Run("with-compile", func(b *testing.B) { run(b, 1, "rebuild") })
+}

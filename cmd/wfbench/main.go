@@ -1,0 +1,66 @@
+// Command wfbench reproduces the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	wfbench -exp fig6                 # one experiment at quick scale
+//	wfbench -exp all -scale paper     # the full reproduction
+//	wfbench -exp table2 -json         # machine-readable output
+//
+// Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
+// table3, fig9, fig10, fig11, table4.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wayfinder/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID or 'all'")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	asJSON := flag.Bool("json", false, "emit JSON instead of rendered tables")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "wfbench: unknown scale %q (quick|paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s completed in %s)\n%s\n", id, time.Since(start).Round(time.Millisecond),
+			strings.Repeat("=", 72))
+	}
+}

@@ -1,0 +1,204 @@
+// Command wfctl creates and runs Wayfinder specialization jobs from YAML
+// job files, mirroring the workflow of the paper's artifact
+// ("wfctl create ./job.yaml && wfctl start ... -s random $ID").
+//
+// Usage:
+//
+//	wfctl create job.yaml                # validate and summarize a job
+//	wfctl start -s deeptune job.yaml     # run the search session
+//	wfctl start -s random -json job.yaml
+//
+// The target OS named in the job file selects the simulated model
+// ("linux", "unikraft", "linux-riscv"); the app field selects the
+// workload; metric selects performance/memory/score.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wayfinder/internal/apps"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/core"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/search"
+	"wayfinder/internal/simos"
+	"wayfinder/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "create":
+		cmdCreate(os.Args[2:])
+	case "start":
+		cmdStart(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wfctl <create|start> [flags] job.yaml")
+	os.Exit(2)
+}
+
+func loadJob(path string) *configspace.Job {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	job, err := configspace.ParseJobYAML(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	return job
+}
+
+func cmdCreate(args []string) {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	job := loadJob(fs.Arg(0))
+	census := job.Space.Census()
+	fmt.Printf("job %q validated\n", job.Name)
+	fmt.Printf("  os=%s app=%s metric=%s maximize=%v\n", job.OS, job.App, job.Metric, job.Maximize)
+	fmt.Printf("  parameters: %d (compile=%d boot=%d runtime=%d)\n",
+		job.Space.Len(),
+		census.CompileBool+census.CompileTristate+census.CompileString+census.CompileHex+census.CompileInt,
+		census.Boot, census.Runtime)
+	fmt.Printf("  log10 search-space size: %.1f\n", job.Space.LogCardinality())
+}
+
+func cmdStart(args []string) {
+	fs := flag.NewFlagSet("start", flag.ExitOnError)
+	strategy := fs.String("s", "deeptune", "search strategy: random, grid, bayesian, deeptune, unicorn")
+	iters := fs.Int("l", 0, "iteration budget override")
+	seed := fs.Uint64("seed", 1, "session seed")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	job := loadJob(fs.Arg(0))
+
+	// Select the OS model. Jobs with their own parameter list search that
+	// space against the named profile's hidden behaviour where names
+	// overlap; jobs without parameters use the profile's full space.
+	var model *simos.Model
+	switch job.OS {
+	case "linux":
+		model = simos.NewLinux(simos.DefaultLinuxOptions())
+	case "unikraft":
+		model = simos.NewUnikraft(1)
+	case "linux-riscv", "riscv":
+		model = simos.NewRiscv(simos.DefaultRiscvOptions())
+	default:
+		fatal(fmt.Errorf("unknown os %q (linux|unikraft|linux-riscv)", job.OS))
+	}
+	for class, w := range job.Favor {
+		cl, err := configspace.ParseClass(class)
+		if err != nil {
+			fatal(err)
+		}
+		model.Space.Favor(cl, w)
+	}
+	for name, raw := range job.Fixed {
+		p, _ := model.Space.Lookup(name)
+		if p == nil {
+			fatal(fmt.Errorf("fixed parameter %q not in the %s space", name, job.OS))
+		}
+		v, err := p.ParseValue(raw)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.Space.Fix(name, v); err != nil {
+			fatal(err)
+		}
+	}
+
+	appName := job.App
+	if appName == "" {
+		appName = "nginx"
+	}
+	app, err := apps.ByName(appName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var metric core.Metric
+	switch job.Metric {
+	case "throughput", "latency", "performance", "":
+		metric = &core.PerfMetric{App: app}
+	case "memory":
+		metric = core.MemoryMetric{}
+	case "score":
+		metric = &core.ScoreMetric{}
+	default:
+		fatal(fmt.Errorf("unknown metric %q", job.Metric))
+	}
+
+	var s search.Searcher
+	switch *strategy {
+	case "random":
+		s = search.NewRandom(model.Space, *seed)
+	case "grid":
+		s = search.NewGrid(model.Space)
+	case "bayesian":
+		s = search.NewBayesian(model.Space, metric.Maximize(), *seed)
+	case "deeptune":
+		cfg := deeptune.DefaultConfig()
+		cfg.Seed = *seed
+		s = search.NewDeepTune(model.Space, metric.Maximize(), cfg)
+	case "unicorn":
+		s = search.NewUnicorn(model.Space, metric.Maximize(), *seed)
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	opts := core.Options{
+		Iterations:    job.Iterations,
+		TimeBudgetSec: job.TimeBudgetSec,
+		Seed:          *seed,
+	}
+	if *iters > 0 {
+		opts.Iterations = *iters
+	}
+	if opts.Iterations == 0 && opts.TimeBudgetSec == 0 {
+		opts.Iterations = 100
+	}
+	var clock vm.Clock
+	eng := core.NewEngine(model, app, metric, s, &clock, *seed)
+	report, err := eng.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Printf("session complete: %d iterations, %.1f virtual minutes, %d crashes (%.1f%%)\n",
+		len(report.History), report.ElapsedSec/60, report.Crashes, 100*report.CrashRate())
+	if report.Best != nil {
+		fmt.Printf("best %s: %.2f %s (found after %.0f virtual seconds)\n",
+			report.Metric, report.Best.Metric, report.Unit, report.BestTimeSec)
+		fmt.Printf("configuration: %s\n", report.Best.ConfigString)
+	} else {
+		fmt.Println("no viable configuration found")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfctl: %v\n", err)
+	os.Exit(1)
+}

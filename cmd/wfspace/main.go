@@ -1,0 +1,99 @@
+// Command wfspace derives and inspects OS configuration spaces.
+//
+// Usage:
+//
+//	wfspace -census                 # Table 1-style census of Linux 6.0
+//	wfspace -probe                  # run the §3.4 probing heuristic
+//	wfspace -probe -job out.yaml    # write the probed space as a job file
+//	wfspace -versions               # Figure 1 option counts per release
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/kconfig"
+	"wayfinder/internal/simos"
+	"wayfinder/internal/vm"
+)
+
+func main() {
+	census := flag.Bool("census", false, "print the Linux 6.0 option census (Table 1)")
+	probe := flag.Bool("probe", false, "boot the simulated kernel and probe its runtime space (§3.4)")
+	jobOut := flag.String("job", "", "write the probed space as a YAML job file")
+	versions := flag.Bool("versions", false, "print compile-time option counts per Linux release (Figure 1)")
+	flag.Parse()
+
+	switch {
+	case *versions:
+		fmt.Printf("%-10s %8s %8s %8s %6s %6s %8s\n",
+			"version", "bool", "tristate", "string", "hex", "int", "total")
+		for _, vc := range kconfig.LinuxVersions {
+			c := vc.Census
+			fmt.Printf("%-10s %8d %8d %8d %6d %6d %8d\n",
+				vc.Version, c.Bool, c.Tristate, c.String, c.Hex, c.Int, c.Total())
+		}
+	case *census:
+		src, err := kconfig.GenerateVersion("v6.0", 1)
+		if err != nil {
+			fatal(err)
+		}
+		tree, err := kconfig.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		c := tree.Census()
+		osCensus := simos.NewLinuxCensus(1).Space.Census()
+		fmt.Println("Configuration space for Linux 6.0:")
+		fmt.Printf("  compile-time: bool=%d tristate=%d string=%d hex=%d int=%d (total %d)\n",
+			c.Bool, c.Tristate, c.String, c.Hex, c.Int, c.Total())
+		fmt.Printf("  boot-time options: %d\n", osCensus.Boot)
+		fmt.Printf("  runtime options:   %d\n", osCensus.Runtime)
+	case *probe:
+		model := simos.NewLinux(simos.DefaultLinuxOptions())
+		machine := vm.New(model, model.Space.Default())
+		if err := machine.Boot(); err != nil {
+			fatal(err)
+		}
+		var clock vm.Clock
+		space, err := machine.ProbeSpace("linux-probed", vm.DefaultProbeOptions(), &clock)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("probed %d runtime parameters in %.1f virtual seconds\n",
+			space.Len(), clock.Now())
+		census := space.Census()
+		fmt.Printf("  inferred boolean: %d, integer: %d\n",
+			census.Runtime-intCount(space), intCount(space))
+		if *jobOut != "" {
+			job := &configspace.Job{
+				Name: "linux-probed", OS: "linux", Metric: "throughput",
+				Maximize: true, Space: space,
+			}
+			if err := os.WriteFile(*jobOut, []byte(configspace.WriteJobYAML(job)), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jobOut)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func intCount(space *configspace.Space) int {
+	n := 0
+	for _, p := range space.Params() {
+		if p.Type == configspace.Int {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfspace: %v\n", err)
+	os.Exit(1)
+}

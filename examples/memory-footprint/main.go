@@ -1,0 +1,48 @@
+// Memory-footprint minimization (the Fig 10 scenario): shrink the booted
+// RISC-V Linux image by exploring compile-time options under a virtual
+// time budget, while learning not to remove boot-essential subsystems.
+//
+// Run with: go run ./examples/memory-footprint
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wayfinder"
+)
+
+func main() {
+	model := wayfinder.NewRiscvModel()
+	// Compile-time options dominate this profile; keep the single runtime
+	// parameter mostly pinned.
+	model.Space.Favor(wayfinder.Runtime, 0.2)
+	app := wayfinder.AppNginx() // the workload only needs to boot
+
+	cfg := wayfinder.DefaultDeepTuneConfig()
+	cfg.Seed = 5
+	// Proposals mutate up to 30 options from the distro default — fully
+	// random compile-time configurations essentially never boot.
+	cfg.PoolMutateK = 30
+	searcher := wayfinder.NewDeepTuneSearcher(model.Space, false, cfg)
+
+	report, err := wayfinder.SpecializeMetric(model, app, wayfinder.MemoryMetric{}, searcher,
+		wayfinder.SessionOptions{
+			TimeBudgetSec: 2 * 3600, // two virtual hours
+			Seed:          5,
+			WarmStart:     true, // measure the default footprint first
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	defaultMB := report.History[0].Metric
+	fmt.Printf("evaluated %d images over %.1f virtual hours (%d builds)\n",
+		len(report.History), report.ElapsedSec/3600, report.Builds)
+	fmt.Printf("default image footprint: %6.1f MB\n", defaultMB)
+	fmt.Printf("best image footprint:    %6.1f MB (-%.1f%%)\n",
+		report.Best.Metric, 100*(defaultMB-report.Best.Metric)/defaultMB)
+	fmt.Printf("crashes along the way:   %d (%.0f%% — unbootable debloat attempts)\n",
+		report.Crashes, 100*report.CrashRate())
+	fmt.Printf("removed options: %s\n", report.Best.ConfigString)
+}

@@ -1,0 +1,70 @@
+// Nginx throughput study (the Fig 6a scenario): run random search and
+// DeepTune head-to-head on the simulated Linux kernel and print the
+// evolution of the smoothed throughput and crash rate.
+//
+// Run with: go run ./examples/nginx-throughput
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wayfinder"
+)
+
+func main() {
+	app := wayfinder.AppNginx()
+	const iterations = 200
+
+	type outcome struct {
+		name   string
+		report *wayfinder.Report
+	}
+	var outcomes []outcome
+
+	for _, kind := range []string{"random", "deeptune"} {
+		model := wayfinder.NewLinuxModel()
+		model.Space.Favor(wayfinder.CompileTime, 0)
+		var s wayfinder.Searcher
+		if kind == "random" {
+			s = wayfinder.NewRandomSearcher(model.Space, 1)
+		} else {
+			cfg := wayfinder.DefaultDeepTuneConfig()
+			cfg.Seed = 1
+			s = wayfinder.NewDeepTuneSearcher(model.Space, app.Maximize, cfg)
+		}
+		report, err := wayfinder.Specialize(model, app, s, wayfinder.SessionOptions{
+			Iterations: iterations, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{kind, report})
+	}
+
+	fmt.Printf("%-10s %12s %10s %12s %12s\n",
+		"searcher", "best req/s", "vs default", "crash rate", "late crash")
+	for _, o := range outcomes {
+		crash := o.report.CrashRateSeries(40)
+		fmt.Printf("%-10s %12.0f %9.2fx %11.2f%% %11.2f%%\n",
+			o.name, o.report.Best.Metric, o.report.Best.Metric/app.Base,
+			100*o.report.CrashRate(), 100*crash[len(crash)-1])
+	}
+
+	// A coarse terminal rendering of the Fig 6a curves: smoothed
+	// throughput every 25 iterations.
+	fmt.Println("\nsmoothed throughput by iteration:")
+	fmt.Printf("%-6s", "iter")
+	for _, o := range outcomes {
+		fmt.Printf(" %12s", o.name)
+	}
+	fmt.Println()
+	for i := 24; i < iterations; i += 25 {
+		fmt.Printf("%-6d", i+1)
+		for _, o := range outcomes {
+			sm := o.report.SmoothedMetricSeries(0.15)
+			fmt.Printf(" %12.0f", sm[i])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: specialize the simulated Linux kernel for Nginx throughput
+// with DeepTune, print the best configuration found and the parameters
+// the model learned to be high-impact.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wayfinder"
+)
+
+func main() {
+	// The simulated Linux kernel: ~300 runtime sysctls, boot parameters,
+	// and compile-time options, with a hidden performance/crash model.
+	model := wayfinder.NewLinuxModel()
+
+	// Follow the paper's §4.1 setup: favor runtime parameters (compile-time
+	// exploration off, so no rebuilds), optimize Nginx throughput.
+	model.Space.Favor(wayfinder.CompileTime, 0)
+	app := wayfinder.AppNginx()
+
+	searcher := wayfinder.NewDeepTuneSearcher(model.Space, app.Maximize,
+		wayfinder.DefaultDeepTuneConfig())
+	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{
+		Iterations: 120,
+		Seed:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("explored %d configurations in %.1f virtual minutes (%d crashes, %.0f%%)\n",
+		len(report.History), report.ElapsedSec/60, report.Crashes, 100*report.CrashRate())
+	fmt.Printf("default throughput:    %8.0f %s\n", app.Base, app.Unit)
+	fmt.Printf("best found:            %8.0f %s (%.2fx)\n",
+		report.Best.Metric, app.Unit, report.Best.Metric/app.Base)
+	fmt.Printf("best configuration:    %s\n\n", report.Best.ConfigString)
+
+	fmt.Println("top-5 high-impact parameters (learned by the DTM):")
+	impacts := wayfinder.HighImpactParams(searcher, model, report.Best.Config, true)
+	for i, pi := range impacts {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-40s impact %7.0f  best=%s\n", pi.Name, pi.Impact, pi.BestValue)
+	}
+}

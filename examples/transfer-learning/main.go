@@ -1,0 +1,73 @@
+// Transfer learning (the §4.2 scenario): pre-train a DeepTune model on
+// Redis, then reuse it to warm-start the specialization of Nginx, and
+// compare against a cold-started model. Both applications are
+// network-intensive, so the pre-trained model already knows which
+// parameters matter and which regions crash.
+//
+// Run with: go run ./examples/transfer-learning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wayfinder"
+)
+
+func main() {
+	const iterations = 150
+
+	// Phase 1: train on Redis.
+	fmt.Println("pre-training on redis...")
+	redis := wayfinder.AppRedis()
+	pretrainModel := wayfinder.NewLinuxModel()
+	pretrainModel.Space.Favor(wayfinder.CompileTime, 0)
+	cfg := wayfinder.DefaultDeepTuneConfig()
+	cfg.Seed = 11
+	source := wayfinder.NewDeepTuneSearcher(pretrainModel.Space, redis.Maximize, cfg)
+	if _, err := wayfinder.Specialize(pretrainModel, redis, source,
+		wayfinder.SessionOptions{Iterations: iterations, Seed: 11}); err != nil {
+		log.Fatal(err)
+	}
+	snapshot, err := source.Selector().Model().Snapshot(map[string]string{"app": "redis"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 2: specialize Nginx cold vs warm.
+	nginx := wayfinder.AppNginx()
+	run := func(warm bool) *wayfinder.Report {
+		model := wayfinder.NewLinuxModel()
+		model.Space.Favor(wayfinder.CompileTime, 0)
+		c := wayfinder.DefaultDeepTuneConfig()
+		c.Seed = 12
+		s := wayfinder.NewDeepTuneSearcher(model.Space, nginx.Maximize, c)
+		if warm {
+			if err := s.Selector().Model().Restore(snapshot); err != nil {
+				log.Fatal(err)
+			}
+		}
+		report, err := wayfinder.Specialize(model, nginx, s,
+			wayfinder.SessionOptions{Iterations: iterations, Seed: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report
+	}
+	cold := run(false)
+	warm := run(true)
+
+	fmt.Printf("\n%-22s %12s %12s %12s\n", "", "best req/s", "crash rate", "early crash")
+	for _, entry := range []struct {
+		name string
+		rep  *wayfinder.Report
+	}{{"cold start", cold}, {"transfer from redis", warm}} {
+		early := entry.rep.CrashRateSeries(25)
+		quarter := len(early) / 4
+		fmt.Printf("%-22s %12.0f %11.1f%% %11.1f%%\n",
+			entry.name, entry.rep.Best.Metric,
+			100*entry.rep.CrashRate(), 100*early[quarter])
+	}
+	fmt.Println("\nthe transferred model starts with Redis's crash-avoidance and")
+	fmt.Println("parameter knowledge, so early iterations crash less and exploit sooner.")
+}

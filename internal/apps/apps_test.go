@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"wayfinder/internal/simos"
+)
+
+func TestAllFourApps(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("expected 4 applications, got %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, a := range all {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"nginx", "redis", "sqlite", "npb"} {
+		if !names[want] {
+			t.Fatalf("missing application %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("redis")
+	if err != nil || a.Name != "redis" {
+		t.Fatalf("ByName(redis) = %v, %v", a, err)
+	}
+	if _, err := ByName("postgres"); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestTable2Baselines(t *testing.T) {
+	// Base metric values match the paper's Lupine-Linux column (Table 2).
+	cases := map[string]float64{"nginx": 15731, "redis": 58000, "sqlite": 284, "npb": 1497}
+	for name, want := range cases {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Base != want {
+			t.Errorf("%s base = %v, want %v", name, a.Base, want)
+		}
+	}
+}
+
+func TestMetricDirections(t *testing.T) {
+	for _, a := range All() {
+		wantMax := a.Name != "sqlite"
+		if a.Maximize != wantMax {
+			t.Errorf("%s maximize = %v", a.Name, a.Maximize)
+		}
+	}
+}
+
+func TestCoreCounts(t *testing.T) {
+	// "Redis and SQLite run on 1 core because of their single-threaded
+	// nature, while Nginx and NPB run on 16 cores" (§4).
+	for _, a := range All() {
+		want := 16
+		if a.Name == "redis" || a.Name == "sqlite" {
+			want = 1
+		}
+		if a.Cores != want {
+			t.Errorf("%s cores = %d, want %d", a.Name, a.Cores, want)
+		}
+	}
+}
+
+func TestSensitivityStructure(t *testing.T) {
+	nginx, redis, sqlite, npb := Nginx(), Redis(), SQLite(), NPB()
+	// System-intensive apps are debug-sensitive; NPB is not.
+	if npb.Sens(simos.ClassDebug) >= 0.5*sqlite.Sens(simos.ClassDebug) {
+		t.Fatal("NPB should be far less debug-sensitive than SQLite")
+	}
+	// Network ordering: nginx > redis > sqlite > npb.
+	if !(nginx.Sens(simos.ClassNet) > redis.Sens(simos.ClassNet) &&
+		redis.Sens(simos.ClassNet) > sqlite.Sens(simos.ClassNet) &&
+		sqlite.Sens(simos.ClassNet) > npb.Sens(simos.ClassNet)) {
+		t.Fatal("network sensitivity ordering wrong")
+	}
+	// Storage: sqlite dominates.
+	if sqlite.Sens(simos.ClassStorage) <= redis.Sens(simos.ClassStorage) {
+		t.Fatal("SQLite should be the most storage-sensitive")
+	}
+	// NPB leads on memory sensitivity.
+	if npb.Sens(simos.ClassMM) <= nginx.Sens(simos.ClassMM) {
+		t.Fatal("NPB should be more memory-sensitive than nginx")
+	}
+}
+
+func TestBenchTools(t *testing.T) {
+	// §4 names the benchmark drivers.
+	want := map[string]string{
+		"nginx": "wrk", "redis": "redis-benchmark",
+		"sqlite": "db_bench_sqlite3", "npb": "npb-suite",
+	}
+	for name, tool := range want {
+		a, _ := ByName(name)
+		if a.BenchTool != tool {
+			t.Errorf("%s bench tool = %q, want %q", name, a.BenchTool, tool)
+		}
+	}
+}
+
+func TestNPBProgramMix(t *testing.T) {
+	progs := NPBPrograms()
+	if len(progs) != 16 {
+		t.Fatalf("NPB mix has %d entries, want 4 programs x 4 classes", len(progs))
+	}
+	seen := map[string]bool{}
+	total := 0.0
+	for _, p := range progs {
+		seen[p.Name+p.Class] = true
+		if p.Mops <= 0 {
+			t.Fatalf("%s/%s has non-positive rate", p.Name, p.Class)
+		}
+		total += p.Mops
+	}
+	if len(seen) != 16 {
+		t.Fatal("duplicate program/class combinations")
+	}
+	if math.Abs(total-NPB().Base)/NPB().Base > 0.02 {
+		t.Fatalf("program mix sums to %v, want ≈%v", total, NPB().Base)
+	}
+}

@@ -1,0 +1,182 @@
+package causal
+
+import (
+	"testing"
+
+	"wayfinder/internal/rng"
+)
+
+// synthDataset: y = 5*x0 - 3*x1 + noise; x2.. are distractors. x3 is a
+// correlated shadow of x0 (mediator-style), which the order-1 PC step
+// should separate from y.
+func synthObserve(o *Optimizer, n int, seed uint64) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		x := make([]float64, o.dim)
+		for d := range x {
+			x[d] = r.Float64()
+		}
+		if o.dim > 3 {
+			x[3] = x[0] + r.Normal(0, 0.05)
+		}
+		y := 5*x[0] - 3*x[1] + r.Normal(0, 0.1)
+		o.Observe(x, y)
+	}
+}
+
+func TestFitFindsCausalParents(t *testing.T) {
+	o := New(6, true)
+	synthObserve(o, 200, 1)
+	g := o.Fit()
+	if !g.Adj[0][6] {
+		t.Fatal("x0 -> y edge missing")
+	}
+	if !g.Adj[1][6] {
+		t.Fatal("x1 -> y edge missing")
+	}
+	// Distractor features should have no outcome edge.
+	for _, d := range []int{2, 4, 5} {
+		if g.Adj[d][6] {
+			t.Fatalf("spurious edge x%d -> y", d)
+		}
+	}
+}
+
+func TestEffectSigns(t *testing.T) {
+	o := New(6, true)
+	synthObserve(o, 300, 2)
+	g := o.Fit()
+	if g.Effect[0] < 2 {
+		t.Fatalf("effect of x0 = %v, want strongly positive", g.Effect[0])
+	}
+	if g.Effect[1] > -1 {
+		t.Fatalf("effect of x1 = %v, want strongly negative", g.Effect[1])
+	}
+	for _, d := range []int{2, 4, 5} {
+		if g.Effect[d] != 0 {
+			t.Fatalf("distractor x%d has effect %v", d, g.Effect[d])
+		}
+	}
+}
+
+func TestSelectNextPushesEffects(t *testing.T) {
+	o := New(6, true)
+	synthObserve(o, 300, 3)
+	o.Fit()
+	// Candidate 1 maximizes x0 and minimizes x1 — it should win.
+	cands := [][]float64{
+		{0, 1, 0.5, 0, 0.5, 0.5},
+		{1, 0, 0.5, 1, 0.5, 0.5},
+		{0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+	}
+	if got := o.SelectNext(cands); got != 1 {
+		t.Fatalf("SelectNext = %d, want 1", got)
+	}
+	// Minimizing flips the preference.
+	o.Maximize = false
+	if got := o.SelectNext(cands); got != 0 {
+		t.Fatalf("minimize SelectNext = %d, want 0", got)
+	}
+}
+
+func TestSelectNextEdgeCases(t *testing.T) {
+	o := New(3, true)
+	if o.SelectNext(nil) != -1 {
+		t.Fatal("empty candidates should return -1")
+	}
+	if o.SelectNext([][]float64{{1, 2, 3}}) != 0 {
+		t.Fatal("no model yet should return 0")
+	}
+}
+
+func TestFitTooFewSamples(t *testing.T) {
+	o := New(4, true)
+	o.Observe([]float64{1, 0, 0, 0}, 1)
+	g := o.Fit()
+	for _, e := range g.Effect {
+		if e != 0 {
+			t.Fatal("underdetermined fit should have zero effects")
+		}
+	}
+}
+
+func TestIterationCostGrows(t *testing.T) {
+	// The defining property vs DeepTune: per-iteration fit cost grows with
+	// history length (Fig 7). Compare CI-test counts, which are
+	// deterministic unlike wall time.
+	o := New(20, true)
+	synthObserve(o, 30, 4)
+	o.Fit()
+	early := o.LastStats()
+	synthObserve(o, 270, 5)
+	o.Fit()
+	late := o.LastStats()
+	if o.Graphs() != 2 {
+		t.Fatalf("retained %d graphs, want 2", o.Graphs())
+	}
+	// Work (sample touches) must grow with the history even if edge pruning
+	// reduces the number of CI tests: each test costs Θ(t).
+	if late.Work <= early.Work {
+		t.Fatalf("fit work should grow with history: %d vs %d", late.Work, early.Work)
+	}
+}
+
+func TestOptimizationLoopImproves(t *testing.T) {
+	// End-to-end: causal optimizer should find better configs than the
+	// starting random batch on the synthetic objective.
+	r := rng.New(6)
+	dim := 8
+	obj := func(x []float64) float64 { return 5*x[0] - 3*x[1] }
+	o := New(dim, true)
+	startBest := -1e9
+	for i := 0; i < 30; i++ {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = r.Float64()
+		}
+		y := obj(x) + r.Normal(0, 0.1)
+		if y > startBest {
+			startBest = y
+		}
+		o.Observe(x, y)
+	}
+	best := startBest
+	for iter := 0; iter < 15; iter++ {
+		o.Fit()
+		cands := make([][]float64, 30)
+		for c := range cands {
+			x := make([]float64, dim)
+			for d := range x {
+				x[d] = r.Float64()
+			}
+			cands[c] = x
+		}
+		pick := cands[o.SelectNext(cands)]
+		y := obj(pick) + r.Normal(0, 0.1)
+		o.Observe(pick, y)
+		if y > best {
+			best = y
+		}
+	}
+	if best <= startBest {
+		t.Fatalf("causal optimization did not improve: %v vs start %v", best, startBest)
+	}
+	if best < 3.5 {
+		t.Fatalf("best found = %v, expected near-optimal (max 5)", best)
+	}
+}
+
+func BenchmarkFitScaling(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		name := map[int]string{50: "hist50", 100: "hist100", 200: "hist200"}[n]
+		b.Run(name, func(b *testing.B) {
+			o := New(20, true)
+			synthObserve(o, n, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.graphs = o.graphs[:0]
+				o.Fit()
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package configspace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Config is a concrete assignment of a value to every parameter in a Space.
+// The paper calls these "permutations".
+type Config struct {
+	space  *Space
+	values []Value
+}
+
+func newConfig(s *Space) *Config {
+	return &Config{space: s, values: make([]Value, s.Len())}
+}
+
+// Space returns the space the configuration belongs to.
+func (c *Config) Space() *Space { return c.space }
+
+// Clone returns a deep copy.
+func (c *Config) Clone() *Config {
+	out := newConfig(c.space)
+	copy(out.values, c.values)
+	return out
+}
+
+// Value returns the value of the i-th parameter.
+func (c *Config) Value(i int) Value { return c.values[i] }
+
+// Get returns the value of the named parameter. The boolean reports whether
+// the parameter exists.
+func (c *Config) Get(name string) (Value, bool) {
+	i := c.space.Index(name)
+	if i < 0 {
+		return Value{}, false
+	}
+	return c.values[i], true
+}
+
+// GetInt returns the integer value of a named Bool/Tristate/Int/Hex
+// parameter, or def when the parameter does not exist.
+func (c *Config) GetInt(name string, def int64) int64 {
+	if v, ok := c.Get(name); ok {
+		return v.I
+	}
+	return def
+}
+
+// GetString returns the string value of a named Enum parameter, or def.
+func (c *Config) GetString(name, def string) string {
+	if v, ok := c.Get(name); ok {
+		return v.S
+	}
+	return def
+}
+
+// Set assigns the named parameter. Out-of-domain values and unknown names
+// are errors.
+func (c *Config) Set(name string, v Value) error {
+	p, i := c.space.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("configspace: set of unknown parameter %q", name)
+	}
+	if !p.InDomain(v) {
+		return fmt.Errorf("configspace: %s: value %s out of domain", name, p.FormatValue(v))
+	}
+	c.values[i] = v
+	return nil
+}
+
+// MustSet is Set that panics on error.
+func (c *Config) MustSet(name string, v Value) {
+	if err := c.Set(name, v); err != nil {
+		panic(err)
+	}
+}
+
+// SetIndex assigns the i-th parameter without domain checking; the caller
+// must guarantee validity. Used on hot paths by the samplers.
+func (c *Config) SetIndex(i int, v Value) { c.values[i] = v }
+
+// Equal reports whether two configurations over the same space assign
+// identical values.
+func (c *Config) Equal(o *Config) bool {
+	if c.space != o.space || len(c.values) != len(o.values) {
+		return false
+	}
+	for i := range c.values {
+		if c.values[i] != o.values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the indices of parameters whose values differ between c and
+// o. Both configurations must belong to the same space.
+func (c *Config) Diff(o *Config) []int {
+	var out []int
+	for i := range c.values {
+		if c.values[i] != o.values[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OnlyRuntimeDiff reports whether every parameter that differs between c
+// and o is a Runtime parameter — the predicate behind the §3.1 build-skip
+// optimization (and, when boot-time params also match, the reboot skip).
+func (c *Config) OnlyRuntimeDiff(o *Config) bool {
+	for _, i := range c.Diff(o) {
+		if c.space.Param(i).Class != Runtime {
+			return false
+		}
+	}
+	return true
+}
+
+// OnlyBootOrRuntimeDiff reports whether every differing parameter is
+// boot-time or runtime, i.e. the previous build artifact can be reused.
+func (c *Config) OnlyBootOrRuntimeDiff(o *Config) bool {
+	for _, i := range c.Diff(o) {
+		if c.space.Param(i).Class == CompileTime {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a stable 64-bit fingerprint of the assignment, used for
+// deduplicating explored configurations.
+func (c *Config) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range c.values {
+		u := uint64(v.I)
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(u >> (8 * b))
+		}
+		h.Write(buf[:])
+		h.Write([]byte(v.S))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// String renders the non-default assignments compactly, sorted by name.
+func (c *Config) String() string {
+	var parts []string
+	for i, p := range c.space.Params() {
+		if c.values[i] == p.Default {
+			continue
+		}
+		parts = append(parts, p.Name+"="+p.FormatValue(c.values[i]))
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "<default>"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Encoder maps configurations to fixed-length feature vectors for the
+// learning algorithms: booleans to {0,1}, tristates to {0,½,1}, integers to
+// a log-scaled position within their range, and enums to one-hot blocks.
+// The paper splits a permutation x into categorical x_k and numerical x_n
+// (§3.2); the encoder realizes that split while keeping a single flat
+// vector, exposing which dimensions are categorical via CategoricalMask.
+type Encoder struct {
+	space   *Space
+	offsets []int // starting feature index per parameter
+	dim     int
+	catMask []bool
+}
+
+// NewEncoder builds an encoder for the given space.
+func NewEncoder(s *Space) *Encoder {
+	e := &Encoder{space: s, offsets: make([]int, s.Len())}
+	dim := 0
+	for i, p := range s.Params() {
+		e.offsets[i] = dim
+		dim += e.width(p)
+	}
+	e.dim = dim
+	e.catMask = make([]bool, dim)
+	for i, p := range s.Params() {
+		switch p.Type {
+		case Bool, Tristate, Enum:
+			for j := 0; j < e.width(p); j++ {
+				e.catMask[e.offsets[i]+j] = true
+			}
+		}
+	}
+	return e
+}
+
+func (e *Encoder) width(p *Param) int {
+	if p.Type == Enum {
+		return len(p.Values)
+	}
+	return 1
+}
+
+// Dim returns the feature-vector length.
+func (e *Encoder) Dim() int { return e.dim }
+
+// CategoricalMask reports, per feature dimension, whether it encodes a
+// categorical parameter (x_k in the paper's notation) as opposed to a
+// numerical one (x_n).
+func (e *Encoder) CategoricalMask() []bool { return e.catMask }
+
+// Encode maps a configuration to its feature vector.
+func (e *Encoder) Encode(c *Config) []float64 {
+	out := make([]float64, e.dim)
+	e.EncodeInto(c, out)
+	return out
+}
+
+// EncodeInto writes the feature vector of c into dst, which must have
+// length Dim().
+func (e *Encoder) EncodeInto(c *Config, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, p := range e.space.Params() {
+		off := e.offsets[i]
+		v := c.Value(i)
+		switch p.Type {
+		case Bool:
+			dst[off] = float64(v.I)
+		case Tristate:
+			dst[off] = float64(v.I) / 2
+		case Int, Hex:
+			dst[off] = normalizeInt(v.I, p.Min, p.Max)
+		case Enum:
+			if idx := p.enumIndex(v.S); idx >= 0 {
+				dst[off+idx] = 1
+			}
+		}
+	}
+}
+
+// normalizeInt maps v in [min,max] to [0,1], log-scaled when the range
+// spans ≥2 orders of magnitude so that the encoding resolution matches the
+// log-uniform sampler.
+func normalizeInt(v, min, max int64) float64 {
+	if max == min {
+		return 0
+	}
+	if min > 0 && float64(max)/float64(min) >= 100 {
+		return (math.Log(float64(v)) - math.Log(float64(min))) /
+			(math.Log(float64(max)) - math.Log(float64(min)))
+	}
+	return float64(v-min) / float64(max-min)
+}
+
+// FeatureNames returns a human-readable name per feature dimension
+// (parameter name, with "=value" suffixes for one-hot enum slots).
+func (e *Encoder) FeatureNames() []string {
+	names := make([]string, e.dim)
+	for i, p := range e.space.Params() {
+		off := e.offsets[i]
+		if p.Type == Enum {
+			for j, v := range p.Values {
+				names[off+j] = p.Name + "=" + v
+			}
+			continue
+		}
+		names[off] = p.Name
+	}
+	return names
+}
+
+// ParamOffset returns the first feature index of the i-th parameter.
+func (e *Encoder) ParamOffset(i int) int { return e.offsets[i] }
+
+// ParamOfFeature returns the index of the parameter that feature dimension
+// d belongs to.
+func (e *Encoder) ParamOfFeature(d int) int {
+	// offsets are sorted; binary search for the containing parameter.
+	lo, hi := 0, len(e.offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e.offsets[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,262 @@
+package configspace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Job is a parsed Wayfinder job file (§3.1, §3.4): the target OS and
+// application under test, the metric to optimize, the exploration budget,
+// and the configuration space to explore.
+type Job struct {
+	// Name identifies the job.
+	Name string
+	// OS names the target operating system profile ("linux", "unikraft",
+	// "linux-riscv").
+	OS string
+	// App names the application under test ("nginx", "redis", "sqlite",
+	// "npb").
+	App string
+	// Metric is the optimization target ("throughput", "latency",
+	// "memory", "score").
+	Metric string
+	// Maximize reports whether higher metric values are better.
+	Maximize bool
+	// Iterations is the iteration budget (0 = unlimited, use TimeBudget).
+	Iterations int
+	// TimeBudgetSec is the virtual-time budget in seconds (0 = unlimited).
+	TimeBudgetSec float64
+	// Favor maps a parameter class name to a sampling weight.
+	Favor map[string]float64
+	// Fixed pins parameters to constant values (security-aware mode, §3.5).
+	Fixed map[string]string
+	// Space is the configuration space to explore.
+	Space *Space
+}
+
+// ParseJobYAML parses a job file in the YAML subset described in yaml.go.
+//
+// Example:
+//
+//	name: nginx-linux
+//	os: linux
+//	app: nginx
+//	metric: throughput
+//	maximize: true
+//	iterations: 250
+//	favor:
+//	  runtime: 4
+//	  compile: 1
+//	fixed:
+//	  kernel.randomize_va_space: "2"
+//	params:
+//	  - name: net.core.somaxconn
+//	    type: int
+//	    class: runtime
+//	    default: 128
+//	    min: 16
+//	    max: 65536
+func ParseJobYAML(src string) (*Job, error) {
+	root, err := parseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	if !root.isMap() {
+		return nil, fmt.Errorf("configspace: job file root must be a mapping")
+	}
+	job := &Job{
+		Name:   root.str("name", "unnamed"),
+		OS:     root.str("os", "linux"),
+		App:    root.str("app", ""),
+		Metric: root.str("metric", "throughput"),
+		Favor:  map[string]float64{},
+		Fixed:  map[string]string{},
+	}
+	switch strings.ToLower(root.str("maximize", "true")) {
+	case "true", "yes", "y", "1":
+		job.Maximize = true
+	case "false", "no", "n", "0":
+		job.Maximize = false
+	default:
+		return nil, fmt.Errorf("configspace: bad maximize value %q", root.str("maximize", ""))
+	}
+	iters, err := root.intval("iterations", 0)
+	if err != nil {
+		return nil, err
+	}
+	job.Iterations = int(iters)
+	budget, err := root.intval("time_budget_sec", 0)
+	if err != nil {
+		return nil, err
+	}
+	job.TimeBudgetSec = float64(budget)
+
+	if favor := root.get("favor"); favor != nil && favor.isMap() {
+		for _, k := range favor.keys {
+			w, err := favor.intval(k, 1)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := ParseClass(k); err != nil {
+				return nil, err
+			}
+			job.Favor[k] = float64(w)
+		}
+	}
+	if fixed := root.get("fixed"); fixed != nil && fixed.isMap() {
+		for _, k := range fixed.keys {
+			job.Fixed[k] = fixed.str(k, "")
+		}
+	}
+
+	space := NewSpace(job.Name)
+	params := root.get("params")
+	if params != nil {
+		if !params.isSeq() {
+			return nil, fmt.Errorf("configspace: params must be a sequence")
+		}
+		for idx, item := range params.seq {
+			p, err := parseParamNode(item)
+			if err != nil {
+				return nil, fmt.Errorf("configspace: params[%d]: %w", idx, err)
+			}
+			if err := space.Add(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for class, w := range job.Favor {
+		cl, _ := ParseClass(class)
+		space.Favor(cl, w)
+	}
+	// Fixed parameters bind to the job's own space when one is defined;
+	// profile-based jobs (no params section) defer resolution to the
+	// runner, which knows the target OS profile's space.
+	if space.Len() > 0 {
+		for name, raw := range job.Fixed {
+			p, _ := space.Lookup(name)
+			if p == nil {
+				return nil, fmt.Errorf("configspace: fixed: unknown parameter %q", name)
+			}
+			v, err := p.ParseValue(raw)
+			if err != nil {
+				return nil, err
+			}
+			if err := space.Fix(name, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	job.Space = space
+	return job, nil
+}
+
+func parseParamNode(n *yamlNode) (*Param, error) {
+	if !n.isMap() {
+		return nil, fmt.Errorf("parameter entry must be a mapping")
+	}
+	name := n.str("name", "")
+	if name == "" {
+		return nil, fmt.Errorf("parameter missing name")
+	}
+	typ, err := ParseType(n.str("type", "bool"))
+	if err != nil {
+		return nil, err
+	}
+	class, err := ParseClass(n.str("class", "runtime"))
+	if err != nil {
+		return nil, err
+	}
+	p := &Param{Name: name, Type: typ, Class: class, Help: n.str("help", "")}
+	switch typ {
+	case Int, Hex:
+		p.Min, err = n.intval("min", 0)
+		if err != nil {
+			return nil, err
+		}
+		p.Max, err = n.intval("max", p.Min)
+		if err != nil {
+			return nil, err
+		}
+		def, err := n.intval("default", p.Min)
+		if err != nil {
+			return nil, err
+		}
+		p.Default = IntValue(def)
+	case Enum:
+		values := n.get("values")
+		if values == nil || !values.isSeq() {
+			return nil, fmt.Errorf("%s: enum parameter requires a values sequence", name)
+		}
+		for _, v := range values.seq {
+			if !v.isScalar() {
+				return nil, fmt.Errorf("%s: enum values must be scalars", name)
+			}
+			p.Values = append(p.Values, v.scalar)
+		}
+		def := n.str("default", p.Values[0])
+		p.Default = EnumValue(def)
+	default: // Bool, Tristate
+		raw := n.str("default", "n")
+		v, err := p.ParseValue(raw)
+		if err != nil {
+			return nil, err
+		}
+		p.Default = v
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteJobYAML renders a job back to the YAML subset, providing round-trip
+// persistence for generated spaces (e.g. the output of the §3.4 probing
+// heuristic).
+func WriteJobYAML(job *Job) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name: %s\n", job.Name)
+	fmt.Fprintf(&b, "os: %s\n", job.OS)
+	if job.App != "" {
+		fmt.Fprintf(&b, "app: %s\n", job.App)
+	}
+	fmt.Fprintf(&b, "metric: %s\n", job.Metric)
+	fmt.Fprintf(&b, "maximize: %v\n", job.Maximize)
+	if job.Iterations > 0 {
+		fmt.Fprintf(&b, "iterations: %d\n", job.Iterations)
+	}
+	if job.TimeBudgetSec > 0 {
+		fmt.Fprintf(&b, "time_budget_sec: %d\n", int64(job.TimeBudgetSec))
+	}
+	if len(job.Favor) > 0 {
+		b.WriteString("favor:\n")
+		for _, class := range []string{"compile", "boot", "runtime"} {
+			if w, ok := job.Favor[class]; ok {
+				fmt.Fprintf(&b, "  %s: %d\n", class, int64(w))
+			}
+		}
+	}
+	if job.Space != nil && job.Space.Len() > 0 {
+		b.WriteString("params:\n")
+		for _, p := range job.Space.Params() {
+			fmt.Fprintf(&b, "  - name: %s\n", p.Name)
+			fmt.Fprintf(&b, "    type: %s\n", p.Type)
+			fmt.Fprintf(&b, "    class: %s\n", p.Class)
+			switch p.Type {
+			case Int, Hex:
+				fmt.Fprintf(&b, "    default: %d\n", p.Default.I)
+				fmt.Fprintf(&b, "    min: %d\n", p.Min)
+				fmt.Fprintf(&b, "    max: %d\n", p.Max)
+			case Enum:
+				fmt.Fprintf(&b, "    default: %s\n", p.Default.S)
+				b.WriteString("    values:\n")
+				for _, v := range p.Values {
+					fmt.Fprintf(&b, "      - %s\n", v)
+				}
+			default:
+				fmt.Fprintf(&b, "    default: %s\n", p.FormatValue(p.Default))
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package configspace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJob = `
+# Wayfinder job file
+name: nginx-linux
+os: linux
+app: nginx
+metric: throughput   # requests per second
+maximize: true
+iterations: 250
+favor:
+  runtime: 4
+  compile: 1
+fixed:
+  kernel.randomize_va_space: "2"
+params:
+  - name: net.core.somaxconn
+    type: int
+    class: runtime
+    default: 128
+    min: 16
+    max: 65536
+  - name: kernel.randomize_va_space
+    type: int
+    class: runtime
+    default: 2
+    min: 0
+    max: 2
+  - name: net.core.default_qdisc
+    type: string
+    class: runtime
+    default: pfifo_fast
+    values:
+      - pfifo_fast
+      - fq
+      - fq_codel
+  - name: CONFIG_PREEMPT
+    type: bool
+    class: compile
+    default: n
+  - name: CONFIG_E1000
+    type: tristate
+    class: compile
+    default: m
+  - name: CONFIG_PHYSICAL_START
+    type: hex
+    class: compile
+    default: 0x1000000
+    min: 0x100000
+    max: 0x10000000
+`
+
+func TestParseJobYAML(t *testing.T) {
+	job, err := ParseJobYAML(sampleJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "nginx-linux" || job.OS != "linux" || job.App != "nginx" {
+		t.Fatalf("header wrong: %+v", job)
+	}
+	if !job.Maximize || job.Iterations != 250 {
+		t.Fatalf("budget wrong: %+v", job)
+	}
+	if job.Favor["runtime"] != 4 || job.Favor["compile"] != 1 {
+		t.Fatalf("favor wrong: %v", job.Favor)
+	}
+	if job.Space.Len() != 6 {
+		t.Fatalf("space has %d params", job.Space.Len())
+	}
+	p, _ := job.Space.Lookup("net.core.somaxconn")
+	if p == nil || p.Type != Int || p.Min != 16 || p.Max != 65536 || p.Default.I != 128 {
+		t.Fatalf("somaxconn parsed wrong: %+v", p)
+	}
+	q, _ := job.Space.Lookup("net.core.default_qdisc")
+	if q == nil || q.Type != Enum || len(q.Values) != 3 || q.Default.S != "pfifo_fast" {
+		t.Fatalf("qdisc parsed wrong: %+v", q)
+	}
+	h, _ := job.Space.Lookup("CONFIG_PHYSICAL_START")
+	if h == nil || h.Type != Hex || h.Default.I != 0x1000000 {
+		t.Fatalf("hex parsed wrong: %+v", h)
+	}
+	fixed, _ := job.Space.Lookup("kernel.randomize_va_space")
+	if fixed == nil || !fixed.Fixed || fixed.Default.I != 2 {
+		t.Fatalf("fixed param not pinned: %+v", fixed)
+	}
+	if job.Space.ClassWeight(Runtime) != 4 {
+		t.Fatal("favor not applied to space")
+	}
+}
+
+func TestParseJobErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad type", "name: x\nparams:\n  - name: p\n    type: quantum\n"},
+		{"bad class", "name: x\nparams:\n  - name: p\n    type: bool\n    class: never\n"},
+		{"enum without values", "name: x\nparams:\n  - name: p\n    type: string\n"},
+		{"fixed unknown", "name: x\nfixed:\n  nope: \"1\"\nparams:\n  - name: p\n    type: bool\n"},
+		{"default out of range", "name: x\nparams:\n  - name: p\n    type: int\n    min: 0\n    max: 5\n    default: 9\n"},
+		{"bad maximize", "name: x\nmaximize: perhaps\n"},
+		{"duplicate param", "name: x\nparams:\n  - name: p\n    type: bool\n  - name: p\n    type: bool\n"},
+		{"tab indent", "name: x\nparams:\n\t- name: p\n"},
+		{"bad favor class", "name: x\nfavor:\n  whenever: 2\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseJobYAML(tc.src); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestJobYAMLRoundTrip(t *testing.T) {
+	job, err := ParseJobYAML(sampleJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WriteJobYAML(job)
+	job2, err := ParseJobYAML(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	if job2.Space.Len() != job.Space.Len() {
+		t.Fatalf("round trip lost params: %d vs %d", job2.Space.Len(), job.Space.Len())
+	}
+	for _, p := range job.Space.Params() {
+		p2, _ := job2.Space.Lookup(p.Name)
+		if p2 == nil {
+			t.Fatalf("round trip lost %s", p.Name)
+		}
+		if p2.Type != p.Type || p2.Class != p.Class || p2.Default != p.Default {
+			t.Fatalf("round trip changed %s: %+v vs %+v", p.Name, p, p2)
+		}
+	}
+}
+
+func TestYAMLQuotedStrings(t *testing.T) {
+	src := "name: \"hello: world\"\nos: 'linux # not a comment'\n"
+	job, err := ParseJobYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "hello: world" {
+		t.Fatalf("quoted colon mishandled: %q", job.Name)
+	}
+	if job.OS != "linux # not a comment" {
+		t.Fatalf("quoted hash mishandled: %q", job.OS)
+	}
+}
+
+func TestYAMLEmptyDocument(t *testing.T) {
+	job, err := ParseJobYAML("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Space.Len() != 0 {
+		t.Fatal("empty document should yield empty space")
+	}
+}
+
+func TestYAMLSequenceOfScalars(t *testing.T) {
+	src := `
+name: x
+params:
+  - name: e
+    type: string
+    class: boot
+    default: b
+    values:
+      - a
+      - b
+      - "c d"
+`
+	job, err := ParseJobYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := job.Space.Lookup("e")
+	if p == nil || len(p.Values) != 3 || p.Values[2] != "c d" {
+		t.Fatalf("scalar sequence parsed wrong: %+v", p)
+	}
+}
+
+func TestYAMLCommentOnlyAndSeparator(t *testing.T) {
+	src := "---\n# just comments\nname: y\n"
+	job, err := ParseJobYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "y" {
+		t.Fatalf("name = %q", job.Name)
+	}
+}
+
+func TestWriteJobYAMLContainsSections(t *testing.T) {
+	job, err := ParseJobYAML(sampleJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WriteJobYAML(job)
+	for _, want := range []string{"name: nginx-linux", "params:", "favor:", "type: tristate", "type: hex"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

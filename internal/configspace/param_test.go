@@ -1,0 +1,138 @@
+package configspace
+
+import (
+	"testing"
+)
+
+func TestTypeRoundTrip(t *testing.T) {
+	for _, typ := range []Type{Bool, Tristate, Int, Hex, Enum} {
+		parsed, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if parsed != typ {
+			t.Fatalf("round trip %v -> %v", typ, parsed)
+		}
+	}
+	if _, err := ParseType("banana"); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestClassRoundTrip(t *testing.T) {
+	for _, c := range []Class{CompileTime, BootTime, Runtime} {
+		parsed, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if parsed != c {
+			t.Fatalf("round trip %v -> %v", c, parsed)
+		}
+	}
+	if _, err := ParseClass("sometime"); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+}
+
+func TestParamValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Param
+		ok   bool
+	}{
+		{"good bool", Param{Name: "a", Type: Bool, Default: BoolValue(true)}, true},
+		{"bad bool default", Param{Name: "a", Type: Bool, Default: IntValue(7)}, false},
+		{"good tristate", Param{Name: "a", Type: Tristate, Default: TriValue(TriModule)}, true},
+		{"bad tristate", Param{Name: "a", Type: Tristate, Default: IntValue(3)}, false},
+		{"good int", Param{Name: "a", Type: Int, Min: 1, Max: 10, Default: IntValue(5)}, true},
+		{"int default out of range", Param{Name: "a", Type: Int, Min: 1, Max: 10, Default: IntValue(50)}, false},
+		{"int min>max", Param{Name: "a", Type: Int, Min: 10, Max: 1, Default: IntValue(5)}, false},
+		{"good enum", Param{Name: "a", Type: Enum, Values: []string{"x", "y"}, Default: EnumValue("x")}, true},
+		{"enum empty domain", Param{Name: "a", Type: Enum, Default: EnumValue("x")}, false},
+		{"enum default not in domain", Param{Name: "a", Type: Enum, Values: []string{"x"}, Default: EnumValue("z")}, false},
+		{"empty name", Param{Type: Bool}, false},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestInDomain(t *testing.T) {
+	intP := &Param{Name: "n", Type: Int, Min: 10, Max: 20, Default: IntValue(15)}
+	if !intP.InDomain(IntValue(10)) || !intP.InDomain(IntValue(20)) {
+		t.Fatal("bounds should be in domain")
+	}
+	if intP.InDomain(IntValue(9)) || intP.InDomain(IntValue(21)) {
+		t.Fatal("out-of-range ints accepted")
+	}
+	enumP := &Param{Name: "e", Type: Enum, Values: []string{"pfifo", "bfifo"}, Default: EnumValue("pfifo")}
+	if !enumP.InDomain(EnumValue("bfifo")) || enumP.InDomain(EnumValue("red")) {
+		t.Fatal("enum domain check broken")
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	cases := []struct {
+		p    Param
+		want float64
+	}{
+		{Param{Type: Bool}, 2},
+		{Param{Type: Tristate}, 3},
+		{Param{Type: Int, Min: 0, Max: 9}, 10},
+		{Param{Type: Enum, Values: []string{"a", "b", "c"}}, 3},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Cardinality(); got != tc.want {
+			t.Errorf("Cardinality(%v) = %v, want %v", tc.p.Type, got, tc.want)
+		}
+	}
+}
+
+func TestFormatParseValueRoundTrip(t *testing.T) {
+	ps := []*Param{
+		{Name: "b", Type: Bool, Default: BoolValue(true)},
+		{Name: "t", Type: Tristate, Default: TriValue(TriModule)},
+		{Name: "i", Type: Int, Min: -5, Max: 100, Default: IntValue(42)},
+		{Name: "h", Type: Hex, Min: 0, Max: 0xffff, Default: IntValue(0xabc)},
+		{Name: "e", Type: Enum, Values: []string{"pfifo", "bfifo"}, Default: EnumValue("bfifo")},
+	}
+	for _, p := range ps {
+		s := p.FormatValue(p.Default)
+		v, err := p.ParseValue(s)
+		if err != nil {
+			t.Fatalf("%s: ParseValue(%q): %v", p.Name, s, err)
+		}
+		if v != p.Default {
+			t.Fatalf("%s: round trip %v -> %q -> %v", p.Name, p.Default, s, v)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	p := &Param{Name: "i", Type: Int, Min: 0, Max: 10, Default: IntValue(1)}
+	if _, err := p.ParseValue("seven"); err == nil {
+		t.Fatal("expected error for non-numeric int")
+	}
+	bp := &Param{Name: "b", Type: Bool, Default: BoolValue(false)}
+	if _, err := bp.ParseValue("maybe"); err == nil {
+		t.Fatal("expected error for bad bool")
+	}
+	ep := &Param{Name: "e", Type: Enum, Values: []string{"a"}, Default: EnumValue("a")}
+	if _, err := ep.ParseValue("z"); err == nil {
+		t.Fatal("expected error for out-of-domain enum")
+	}
+}
+
+func TestHexFormatting(t *testing.T) {
+	p := &Param{Name: "h", Type: Hex, Min: 0, Max: 1 << 20, Default: IntValue(0x100)}
+	if got := p.FormatValue(IntValue(255)); got != "0xff" {
+		t.Fatalf("hex format = %q", got)
+	}
+	v, err := p.ParseValue("0xFF")
+	if err != nil || v.I != 255 {
+		t.Fatalf("hex parse = %v, %v", v, err)
+	}
+}

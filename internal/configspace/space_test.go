@@ -1,0 +1,234 @@
+package configspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wayfinder/internal/rng"
+)
+
+// testSpace builds a small mixed-type space used across the tests.
+func testSpace(t testing.TB) *Space {
+	t.Helper()
+	s := NewSpace("test")
+	s.MustAdd(&Param{Name: "CONFIG_PREEMPT", Type: Bool, Class: CompileTime, Default: BoolValue(false)})
+	s.MustAdd(&Param{Name: "CONFIG_E1000", Type: Tristate, Class: CompileTime, Default: TriValue(TriModule)})
+	s.MustAdd(&Param{Name: "CONFIG_LOG_BUF_SHIFT", Type: Int, Class: CompileTime, Min: 12, Max: 25, Default: IntValue(17)})
+	s.MustAdd(&Param{Name: "mitigations", Type: Enum, Class: BootTime, Values: []string{"auto", "off", "auto,nosmt"}, Default: EnumValue("auto")})
+	s.MustAdd(&Param{Name: "net.core.somaxconn", Type: Int, Class: Runtime, Min: 16, Max: 1 << 16, Default: IntValue(128)})
+	s.MustAdd(&Param{Name: "vm.swappiness", Type: Int, Class: Runtime, Min: 0, Max: 100, Default: IntValue(60)})
+	s.MustAdd(&Param{Name: "net.core.default_qdisc", Type: Enum, Class: Runtime, Values: []string{"pfifo_fast", "fq", "fq_codel"}, Default: EnumValue("pfifo_fast")})
+	return s
+}
+
+func TestAddDuplicate(t *testing.T) {
+	s := NewSpace("dup")
+	p := &Param{Name: "x", Type: Bool, Default: BoolValue(false)}
+	if err := s.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Param{Name: "x", Type: Bool, Default: BoolValue(true)}); err == nil {
+		t.Fatal("duplicate add should fail")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s := testSpace(t)
+	p, i := s.Lookup("vm.swappiness")
+	if p == nil || p.Name != "vm.swappiness" || s.Param(i) != p {
+		t.Fatal("lookup broken")
+	}
+	if p, i := s.Lookup("nope"); p != nil || i != -1 {
+		t.Fatal("missing lookup should return nil, -1")
+	}
+	if s.Index("CONFIG_PREEMPT") != 0 {
+		t.Fatal("index order wrong")
+	}
+}
+
+func TestCensus(t *testing.T) {
+	s := testSpace(t)
+	c := s.Census()
+	if c.CompileBool != 1 || c.CompileTristate != 1 || c.CompileInt != 1 {
+		t.Fatalf("compile census wrong: %+v", c)
+	}
+	if c.Boot != 1 || c.Runtime != 3 {
+		t.Fatalf("boot/runtime census wrong: %+v", c)
+	}
+	if c.Total() != s.Len() {
+		t.Fatalf("total %d != len %d", c.Total(), s.Len())
+	}
+}
+
+func TestLogCardinality(t *testing.T) {
+	s := NewSpace("card")
+	s.MustAdd(&Param{Name: "a", Type: Bool, Default: BoolValue(false)})
+	s.MustAdd(&Param{Name: "b", Type: Int, Min: 0, Max: 9, Default: IntValue(0)})
+	// 2 * 10 = 20 configs -> log10 = 1.301...
+	if got := s.LogCardinality(); math.Abs(got-math.Log10(20)) > 1e-9 {
+		t.Fatalf("LogCardinality = %v", got)
+	}
+	if err := s.Fix("b", IntValue(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LogCardinality(); math.Abs(got-math.Log10(2)) > 1e-9 {
+		t.Fatalf("LogCardinality after fix = %v", got)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	s := testSpace(t)
+	d := s.Default()
+	for i, p := range s.Params() {
+		if d.Value(i) != p.Default {
+			t.Fatalf("%s default mismatch", p.Name)
+		}
+	}
+	if d.String() != "<default>" {
+		t.Fatalf("default config String = %q", d.String())
+	}
+}
+
+func TestRandomInDomain(t *testing.T) {
+	s := testSpace(t)
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		c := s.Random(r)
+		for i, p := range s.Params() {
+			if !p.InDomain(c.Value(i)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomRespectsFixed(t *testing.T) {
+	s := testSpace(t)
+	if err := s.Fix("vm.swappiness", IntValue(10)); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 50; i++ {
+		c := s.Random(r)
+		if got := c.GetInt("vm.swappiness", -1); got != 10 {
+			t.Fatalf("fixed parameter varied: %d", got)
+		}
+	}
+}
+
+func TestFixErrors(t *testing.T) {
+	s := testSpace(t)
+	if err := s.Fix("nope", IntValue(1)); err == nil {
+		t.Fatal("fixing unknown parameter should fail")
+	}
+	if err := s.Fix("vm.swappiness", IntValue(1000)); err == nil {
+		t.Fatal("fixing out-of-domain value should fail")
+	}
+}
+
+func TestLogUniformSamplingHitsSmallEnd(t *testing.T) {
+	// A [16, 65536] range sampled log-uniformly should produce values below
+	// 256 reasonably often (~40% of draws); plain uniform would give ~0.4%.
+	s := NewSpace("log")
+	s.MustAdd(&Param{Name: "n", Type: Int, Class: Runtime, Min: 16, Max: 1 << 16, Default: IntValue(128)})
+	r := rng.New(77)
+	small := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		c := s.Random(r)
+		if c.GetInt("n", 0) < 256 {
+			small++
+		}
+	}
+	if frac := float64(small) / n; frac < 0.2 {
+		t.Fatalf("small-end fraction = %v, expected log-uniform behaviour", frac)
+	}
+}
+
+func TestMutateChangesExactlyK(t *testing.T) {
+	s := testSpace(t)
+	r := rng.New(9)
+	base := s.Default()
+	for k := 1; k <= 3; k++ {
+		// Mutation may re-draw the same value; diff count is <= k, and the
+		// mutated indices are within the space.
+		c := s.Mutate(base, k, r)
+		if d := len(base.Diff(c)); d > k {
+			t.Fatalf("Mutate(k=%d) changed %d parameters", k, d)
+		}
+	}
+}
+
+func TestMutateRespectsFavor(t *testing.T) {
+	s := testSpace(t)
+	s.Favor(CompileTime, 0)
+	s.Favor(BootTime, 0)
+	r := rng.New(13)
+	base := s.Default()
+	for i := 0; i < 100; i++ {
+		c := s.Mutate(base, 2, r)
+		for _, idx := range base.Diff(c) {
+			if s.Param(idx).Class != Runtime {
+				t.Fatalf("mutation touched %s despite zero weight", s.Param(idx).Name)
+			}
+		}
+	}
+}
+
+func TestMutateRespectsFixed(t *testing.T) {
+	s := testSpace(t)
+	if err := s.Fix("net.core.somaxconn", IntValue(1024)); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	base := s.Default()
+	for i := 0; i < 200; i++ {
+		c := s.Mutate(base, s.Len(), r)
+		if got := c.GetInt("net.core.somaxconn", -1); got != 1024 {
+			t.Fatalf("fixed param mutated to %d", got)
+		}
+	}
+}
+
+func TestNeighborStaysInDomain(t *testing.T) {
+	s := testSpace(t)
+	r := rng.New(21)
+	c := s.Default()
+	for i := 0; i < 500; i++ {
+		c = s.Neighbor(c, r)
+		for j, p := range s.Params() {
+			if !p.InDomain(c.Value(j)) {
+				t.Fatalf("neighbor left domain for %s: %v", p.Name, c.Value(j))
+			}
+		}
+	}
+}
+
+func TestNeighborChangesAtMostOne(t *testing.T) {
+	s := testSpace(t)
+	r := rng.New(23)
+	base := s.Default()
+	for i := 0; i < 100; i++ {
+		c := s.Neighbor(base, r)
+		if d := len(base.Diff(c)); d > 1 {
+			t.Fatalf("neighbor changed %d parameters", d)
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	s := testSpace(t)
+	names := s.SortedNames()
+	if len(names) != s.Len() {
+		t.Fatal("wrong count")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package configspace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The paper's Wayfinder takes "YAML files representing the configuration
+// space of the target OS (job files)" as input (§3.1). Since this module is
+// stdlib-only, we implement the small YAML subset those job files need:
+// block mappings, block sequences, nested indentation, scalars (strings,
+// integers, booleans), inline comments, and quoted strings. Anchors, flow
+// collections, multi-line scalars, and tags are intentionally unsupported.
+
+// yamlNode is the parse result: one of Scalar (string), Map, or Seq.
+type yamlNode struct {
+	scalar string
+	isNull bool
+	m      map[string]*yamlNode
+	keys   []string // preserves mapping order
+	seq    []*yamlNode
+}
+
+func (n *yamlNode) isScalar() bool { return n.m == nil && n.seq == nil }
+func (n *yamlNode) isMap() bool    { return n.m != nil }
+func (n *yamlNode) isSeq() bool    { return n.seq != nil }
+
+// get returns the child node for key in a mapping, or nil.
+func (n *yamlNode) get(key string) *yamlNode {
+	if n == nil || n.m == nil {
+		return nil
+	}
+	return n.m[key]
+}
+
+// str returns the scalar value for key, or def.
+func (n *yamlNode) str(key, def string) string {
+	c := n.get(key)
+	if c == nil || !c.isScalar() || c.isNull {
+		return def
+	}
+	return c.scalar
+}
+
+// intval returns the integer value for key, or def.
+func (n *yamlNode) intval(key string, def int64) (int64, error) {
+	c := n.get(key)
+	if c == nil || !c.isScalar() || c.isNull {
+		return def, nil
+	}
+	s := strings.TrimSpace(c.scalar)
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v, nil
+	}
+	if t := strings.TrimPrefix(strings.ToLower(s), "0x"); t != s {
+		if v, err := strconv.ParseInt(t, 16, 64); err == nil {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("configspace: field %q: not an integer: %q", key, c.scalar)
+}
+
+type yamlLine struct {
+	indent int
+	text   string // content with indentation stripped
+	lineNo int
+}
+
+// parseYAML parses a document into a node tree.
+func parseYAML(src string) (*yamlNode, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		text := stripComment(raw)
+		trimmed := strings.TrimRight(text, " \t")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.TrimSpace(trimmed) == "---" {
+			continue
+		}
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		if strings.ContainsRune(trimmed[:indent], '\t') || (indent < len(trimmed) && trimmed[indent] == '\t') {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed for indentation", i+1)
+		}
+		lines = append(lines, yamlLine{indent: indent, text: trimmed[indent:], lineNo: i + 1})
+	}
+	if len(lines) == 0 {
+		return &yamlNode{m: map[string]*yamlNode{}}, nil
+	}
+	node, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("yaml: line %d: unexpected dedent", rest[0].lineNo)
+	}
+	return node, nil
+}
+
+// stripComment removes a trailing "#..." comment that is not inside quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses lines at exactly the given indent into one node.
+func parseBlock(lines []yamlLine, indent int) (*yamlNode, []yamlLine, error) {
+	if len(lines) == 0 {
+		return &yamlNode{isNull: true}, lines, nil
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseSeq(lines, indent)
+	}
+	return parseMap(lines, indent)
+}
+
+func parseSeq(lines []yamlLine, indent int) (*yamlNode, []yamlLine, error) {
+	node := &yamlNode{seq: []*yamlNode{}}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indent in sequence", l.lineNo)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		lines = lines[1:]
+		if rest == "" {
+			// Item body is the following more-indented block.
+			if len(lines) > 0 && lines[0].indent > indent {
+				child, remaining, err := parseBlock(lines, lines[0].indent)
+				if err != nil {
+					return nil, nil, err
+				}
+				node.seq = append(node.seq, child)
+				lines = remaining
+			} else {
+				node.seq = append(node.seq, &yamlNode{isNull: true})
+			}
+			continue
+		}
+		if key, val, ok := splitKV(rest); ok {
+			// "- key: value" starts an inline mapping; its continuation
+			// lines are indented past the dash.
+			itemIndent := indent + 2
+			item := &yamlNode{m: map[string]*yamlNode{}}
+			if err := addMapEntry(item, key, val, &lines, itemIndent, l.lineNo); err != nil {
+				return nil, nil, err
+			}
+			for len(lines) > 0 && lines[0].indent == itemIndent &&
+				!strings.HasPrefix(lines[0].text, "- ") && lines[0].text != "-" {
+				nl := lines[0]
+				k2, v2, ok2 := splitKV(nl.text)
+				if !ok2 {
+					return nil, nil, fmt.Errorf("yaml: line %d: expected key: value", nl.lineNo)
+				}
+				lines = lines[1:]
+				if err := addMapEntry(item, k2, v2, &lines, itemIndent, nl.lineNo); err != nil {
+					return nil, nil, err
+				}
+			}
+			node.seq = append(node.seq, item)
+			continue
+		}
+		node.seq = append(node.seq, scalarNode(rest))
+	}
+	return node, lines, nil
+}
+
+func parseMap(lines []yamlLine, indent int) (*yamlNode, []yamlLine, error) {
+	node := &yamlNode{m: map[string]*yamlNode{}}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, nil, fmt.Errorf("yaml: line %d: unexpected indent", l.lineNo)
+			}
+			break
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			break
+		}
+		key, val, ok := splitKV(l.text)
+		if !ok {
+			return nil, nil, fmt.Errorf("yaml: line %d: expected key: value", l.lineNo)
+		}
+		lines = lines[1:]
+		if err := addMapEntry(node, key, val, &lines, indent, l.lineNo); err != nil {
+			return nil, nil, err
+		}
+	}
+	return node, lines, nil
+}
+
+// addMapEntry stores key→value in node; when value is empty the child is
+// the following more-indented block (or null).
+func addMapEntry(node *yamlNode, key, val string, lines *[]yamlLine, indent, lineNo int) error {
+	if _, dup := node.m[key]; dup {
+		return fmt.Errorf("yaml: line %d: duplicate key %q", lineNo, key)
+	}
+	var child *yamlNode
+	if val == "" {
+		if len(*lines) > 0 && (*lines)[0].indent > indent {
+			c, remaining, err := parseBlock(*lines, (*lines)[0].indent)
+			if err != nil {
+				return err
+			}
+			child = c
+			*lines = remaining
+		} else {
+			child = &yamlNode{isNull: true}
+		}
+	} else {
+		child = scalarNode(val)
+	}
+	node.m[key] = child
+	node.keys = append(node.keys, key)
+	return nil
+}
+
+// splitKV splits "key: value" at the first colon that is followed by a
+// space or end-of-line and not inside quotes.
+func splitKV(s string) (key, val string, ok bool) {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ':':
+			if inSingle || inDouble {
+				continue
+			}
+			if i+1 == len(s) {
+				return strings.TrimSpace(unquote(s[:i])), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(unquote(s[:i])), strings.TrimSpace(s[i+2:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func scalarNode(s string) *yamlNode {
+	s = strings.TrimSpace(s)
+	if s == "~" || s == "null" {
+		return &yamlNode{isNull: true}
+	}
+	return &yamlNode{scalar: unquote(s)}
+}
+
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/search"
+	"wayfinder/internal/simos"
+	"wayfinder/internal/stats"
+	"wayfinder/internal/vm"
+)
+
+// Options configures one search session.
+type Options struct {
+	// Iterations is the iteration budget (0 = unbounded; TimeBudgetSec
+	// must then be set).
+	Iterations int
+	// TimeBudgetSec is the virtual-time budget in seconds (0 = unbounded).
+	TimeBudgetSec float64
+	// Seed drives measurement noise and evaluation-time jitter.
+	Seed uint64
+	// WarmStart evaluates the space default first, anchoring the session
+	// (off by default: the paper kickstarts every search with a random
+	// configuration).
+	WarmStart bool
+}
+
+// Result is one evaluated configuration.
+type Result struct {
+	// Iteration is the 0-based iteration index.
+	Iteration int `json:"iteration"`
+	// Config is the evaluated configuration (not serialized).
+	Config *configspace.Config `json:"-"`
+	// ConfigString is the compact non-default rendering.
+	ConfigString string `json:"config"`
+	// Metric is the measured value; 0 when Crashed.
+	Metric float64 `json:"metric"`
+	// Crashed reports a build/boot/run failure.
+	Crashed bool `json:"crashed"`
+	// Stage is the failing stage ("ok" otherwise).
+	Stage string `json:"stage"`
+	// Reason is the failure reason, if any.
+	Reason string `json:"reason,omitempty"`
+	// BuildSkipped reports the §3.1 optimization: the previous image was
+	// reused because only runtime/boot parameters changed.
+	BuildSkipped bool `json:"build_skipped"`
+	// StartSec/EndSec are virtual timestamps.
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+	// DecisionCost is the real time the searcher spent deciding.
+	DecisionCost time.Duration `json:"decision_cost_ns"`
+}
+
+// Report summarizes a session.
+type Report struct {
+	// Searcher names the strategy.
+	Searcher string `json:"searcher"`
+	// Metric and Unit describe the objective.
+	Metric string `json:"metric"`
+	Unit   string `json:"unit"`
+	// Maximize is the optimization direction.
+	Maximize bool `json:"maximize"`
+	// History lists every iteration in order.
+	History []Result `json:"history"`
+	// Best is the best non-crashed result (nil if every run crashed).
+	Best *Result `json:"best,omitempty"`
+	// BestTimeSec is the virtual time at which Best finished — Table 2's
+	// "avg. time to find".
+	BestTimeSec float64 `json:"best_time_sec"`
+	// Crashes is the total crash count.
+	Crashes int `json:"crashes"`
+	// ElapsedSec is the session's virtual duration.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Builds counts actual image builds (vs skipped).
+	Builds int `json:"builds"`
+}
+
+// CrashRate returns the overall crash fraction.
+func (r *Report) CrashRate() float64 {
+	if len(r.History) == 0 {
+		return 0
+	}
+	return float64(r.Crashes) / float64(len(r.History))
+}
+
+// CrashRateSeries returns the trailing-window crash rate per iteration
+// (the dashed curves of Fig 6).
+func (r *Report) CrashRateSeries(window int) []float64 {
+	events := make([]bool, len(r.History))
+	for i, h := range r.History {
+		events[i] = h.Crashed
+	}
+	return stats.MovingRate(events, window)
+}
+
+// BestSoFarSeries returns, per iteration, the best metric value observed
+// up to and including it (crashes carry the previous best forward).
+func (r *Report) BestSoFarSeries() []float64 {
+	out := make([]float64, len(r.History))
+	have := false
+	best := 0.0
+	for i, h := range r.History {
+		if !h.Crashed {
+			if !have || (r.Maximize && h.Metric > best) || (!r.Maximize && h.Metric < best) {
+				best, have = h.Metric, true
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SmoothedMetricSeries returns the EWMA-smoothed per-iteration metric, with
+// crashes holding the previous smoothed value (how the paper's Fig 6
+// renders noisy sessions).
+func (r *Report) SmoothedMetricSeries(alpha float64) []float64 {
+	out := make([]float64, len(r.History))
+	var cur float64
+	started := false
+	for i, h := range r.History {
+		if h.Crashed {
+			out[i] = cur
+			continue
+		}
+		if !started {
+			cur, started = h.Metric, true
+		} else {
+			cur = alpha*h.Metric + (1-alpha)*cur
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// MarshalJSON serializes the report (configs as strings).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type alias Report
+	return json.Marshal((*alias)(r))
+}
+
+// Engine runs search sessions against a simulated OS model.
+type Engine struct {
+	Model    *simos.Model
+	App      *simos.App
+	Metric   Metric
+	Searcher search.Searcher
+	Clock    *vm.Clock
+
+	enc   *configspace.Encoder
+	noise *rng.RNG
+}
+
+// NewEngine assembles an engine. The clock may be shared across engines
+// to model sequential experiments.
+func NewEngine(model *simos.Model, app *simos.App, metric Metric, s search.Searcher, clock *vm.Clock, seed uint64) *Engine {
+	return &Engine{
+		Model:    model,
+		App:      app,
+		Metric:   metric,
+		Searcher: s,
+		Clock:    clock,
+		enc:      configspace.NewEncoder(model.Space),
+		noise:    rng.New(seed ^ 0xe7617e),
+	}
+}
+
+// Run executes the core loop of §3.1: 1) build and boot an image for the
+// proposed configuration, 2) benchmark the application, 3) ask the search
+// algorithm for the next configuration — until the budget is exhausted.
+func (e *Engine) Run(opts Options) (*Report, error) {
+	if opts.Iterations <= 0 && opts.TimeBudgetSec <= 0 {
+		return nil, fmt.Errorf("core: no budget given (iterations or virtual time)")
+	}
+	report := &Report{
+		Searcher: e.Searcher.Name(),
+		Metric:   e.Metric.Name(),
+		Unit:     e.Metric.Unit(),
+		Maximize: e.Metric.Maximize(),
+	}
+	var prevBuilt *configspace.Config // configuration of the last built image
+	var prevBooted *configspace.Config
+
+	for iter := 0; ; iter++ {
+		if opts.Iterations > 0 && iter >= opts.Iterations {
+			break
+		}
+		if opts.TimeBudgetSec > 0 && e.Clock.Now() >= opts.TimeBudgetSec {
+			break
+		}
+		var cfg *configspace.Config
+		if opts.WarmStart && iter == 0 {
+			cfg = e.Model.Space.Default()
+		} else {
+			cfg = e.Searcher.Propose()
+		}
+		res := e.evaluate(iter, cfg, &prevBuilt, &prevBooted, report)
+		report.History = append(report.History, res)
+		if res.Crashed {
+			report.Crashes++
+		} else if report.Best == nil ||
+			(report.Maximize && res.Metric > report.Best.Metric) ||
+			(!report.Maximize && res.Metric < report.Best.Metric) {
+			best := res
+			report.Best = &best
+			report.BestTimeSec = res.EndSec
+		}
+		e.Searcher.Observe(search.Observation{
+			Config:  cfg,
+			X:       e.enc.Encode(cfg),
+			Metric:  res.Metric,
+			Crashed: res.Crashed,
+			Stage:   res.Stage,
+		})
+		report.History[len(report.History)-1].DecisionCost = e.Searcher.DecisionCost()
+		// Grid adopts improvements as its sweep base.
+		if g, ok := e.Searcher.(*search.Grid); ok && report.Best != nil {
+			g.AdoptBase(report.Best.Config)
+		}
+	}
+	report.ElapsedSec = e.Clock.Now()
+	return report, nil
+}
+
+// evaluate charges the virtual costs of building, booting, and
+// benchmarking one configuration, honoring the §3.1 build-skip
+// optimization, and returns the result.
+func (e *Engine) evaluate(iter int, cfg *configspace.Config, prevBuilt, prevBooted **configspace.Config, report *Report) Result {
+	res := Result{
+		Iteration:    iter,
+		Config:       cfg,
+		ConfigString: cfg.String(),
+		Stage:        "ok",
+		StartSec:     e.Clock.Now(),
+	}
+	jitter := func(base, frac float64) float64 {
+		return base * (1 + frac*(e.noise.Float64()-0.5))
+	}
+	stage, reason := e.Model.CrashOutcome(cfg)
+
+	// Build task: skipped when the configuration differs from the last
+	// built image only in boot/runtime parameters (§3.1).
+	needBuild := *prevBuilt == nil || !cfg.OnlyBootOrRuntimeDiff(*prevBuilt)
+	if needBuild {
+		e.Clock.Advance(jitter(e.Model.BuildSeconds, 0.3))
+		report.Builds++
+		if stage == simos.StageBuild {
+			res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
+			res.EndSec = e.Clock.Now()
+			return res
+		}
+		*prevBuilt = cfg.Clone()
+		*prevBooted = nil // new image must boot
+	} else {
+		res.BuildSkipped = true
+		if stage == simos.StageBuild {
+			// The differing parameters are boot/runtime, but the hidden
+			// build outcome keys off compile parameters only, so a skipped
+			// build cannot fail. Guard anyway.
+			res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
+			res.EndSec = e.Clock.Now()
+			return res
+		}
+	}
+
+	// Boot task: a reboot is needed unless only runtime parameters differ
+	// from the currently-running instance; runtime deltas are applied live
+	// (a few seconds of sysctl writes).
+	needBoot := *prevBooted == nil || !cfg.OnlyRuntimeDiff(*prevBooted)
+	if needBoot {
+		e.Clock.Advance(jitter(e.Model.BootSeconds, 0.3))
+	} else {
+		e.Clock.Advance(jitter(2, 0.5))
+	}
+	if stage == simos.StageBoot {
+		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
+		res.EndSec = e.Clock.Now()
+		*prevBooted = nil
+		return res
+	}
+	*prevBooted = cfg.Clone()
+
+	// Test task: run the benchmark.
+	benchTime := e.App.BenchSeconds
+	if _, isMem := e.Metric.(MemoryMetric); isMem {
+		benchTime = 6 // footprint measurement needs no load generation
+	}
+	if stage == simos.StageRun {
+		// Crashes surface partway through the benchmark.
+		e.Clock.Advance(jitter(benchTime*0.4, 0.5))
+		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
+		res.EndSec = e.Clock.Now()
+		*prevBooted = nil // crashed instance must be replaced
+		return res
+	}
+	e.Clock.Advance(jitter(benchTime, 0.25))
+	res.Metric = e.Metric.Measure(e.Model, e.App, cfg, e.noise)
+	res.EndSec = e.Clock.Now()
+	return res
+}

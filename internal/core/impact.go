@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sort"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/deeptune"
+)
+
+// ParamImpact is the model's estimate of how much one parameter moves the
+// target metric — the data behind the paper's "High-Impact Configuration
+// Parameters" analysis (§4.1), obtained by querying the learned DTM
+// rather than the hidden simulator.
+type ParamImpact struct {
+	// Name is the parameter name.
+	Name string
+	// Impact is the predicted metric swing across the parameter's domain
+	// (max predicted − min predicted), holding everything else at the
+	// reference configuration.
+	Impact float64
+	// BestValue is the domain value with the highest predicted metric
+	// (direction-corrected).
+	BestValue string
+	// Positive reports whether the parameter's best setting improves on
+	// its reference value (vs. merely being the least bad).
+	Positive bool
+}
+
+// probeValues returns representative domain values for impact probing.
+func probeValues(p *configspace.Param) []configspace.Value {
+	switch p.Type {
+	case configspace.Bool:
+		return []configspace.Value{configspace.BoolValue(false), configspace.BoolValue(true)}
+	case configspace.Tristate:
+		return []configspace.Value{
+			configspace.TriValue(configspace.TriNo),
+			configspace.TriValue(configspace.TriModule),
+			configspace.TriValue(configspace.TriYes),
+		}
+	case configspace.Enum:
+		out := make([]configspace.Value, len(p.Values))
+		for i, v := range p.Values {
+			out[i] = configspace.EnumValue(v)
+		}
+		return out
+	default:
+		var out []configspace.Value
+		for v := p.Min; v < p.Max && len(out) < 12; v = v*8 + 1 {
+			out = append(out, configspace.IntValue(v))
+		}
+		out = append(out, configspace.IntValue(p.Max))
+		return out
+	}
+}
+
+// HighImpactParams queries a trained DTM for the parameters with the
+// largest predicted influence on the metric, evaluated around a reference
+// configuration. Results are sorted by descending impact.
+func HighImpactParams(model *deeptune.DTM, enc *configspace.Encoder,
+	space *configspace.Space, ref *configspace.Config, maximize bool) []ParamImpact {
+	var out []ParamImpact
+	x := make([]float64, enc.Dim())
+	for i := 0; i < space.Len(); i++ {
+		p := space.Param(i)
+		if p.Fixed {
+			continue
+		}
+		values := probeValues(p)
+		if len(values) < 2 {
+			continue
+		}
+		lo, hi := 0.0, 0.0
+		first := true
+		var bestVal configspace.Value
+		refPred := 0.0
+		{
+			enc.EncodeInto(ref, x)
+			refPred = model.Predict(x).Perf
+		}
+		cand := ref.Clone()
+		for _, v := range values {
+			cand.SetIndex(i, v)
+			enc.EncodeInto(cand, x)
+			pred := model.Predict(x).Perf
+			if first {
+				lo, hi, bestVal = pred, pred, v
+				first = false
+				continue
+			}
+			if pred < lo {
+				lo = pred
+			}
+			if pred > hi {
+				hi = pred
+				if maximize {
+					bestVal = v
+				}
+			}
+			if !maximize && pred <= lo {
+				bestVal = v
+			}
+		}
+		cand.SetIndex(i, ref.Value(i))
+		impact := hi - lo
+		positive := (maximize && hi > refPred) || (!maximize && lo < refPred)
+		out = append(out, ParamImpact{
+			Name:      p.Name,
+			Impact:    impact,
+			BestValue: p.FormatValue(bestVal),
+			Positive:  positive,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Impact > out[b].Impact })
+	return out
+}

@@ -1,0 +1,124 @@
+// Package core implements the Wayfinder engine: the automated
+// configure→build→boot→benchmark loop of §3.1, with the build-skip
+// optimization, crash accounting, iteration/virtual-time budgets, result
+// history, and reporting. It is the paper's "evaluation platform able to
+// configure, build, run, and benchmark OSes automatically".
+package core
+
+import (
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/simos"
+	"wayfinder/internal/stats"
+)
+
+// Metric turns a successfully-benchmarked configuration into the value
+// the search optimizes. Implementations may be stateful (the Fig 11 score
+// normalizes against the session's running range).
+type Metric interface {
+	// Name identifies the metric.
+	Name() string
+	// Unit is the reporting unit.
+	Unit() string
+	// Maximize reports the optimization direction.
+	Maximize() bool
+	// Measure evaluates a non-crashing configuration.
+	Measure(m *simos.Model, app *simos.App, c *configspace.Config, noise *rng.RNG) float64
+}
+
+// PerfMetric measures the application benchmark metric (throughput or
+// latency, per the app's definition).
+type PerfMetric struct {
+	App *simos.App
+}
+
+// Name implements Metric.
+func (p *PerfMetric) Name() string { return "performance" }
+
+// Unit implements Metric.
+func (p *PerfMetric) Unit() string { return p.App.Unit }
+
+// Maximize implements Metric.
+func (p *PerfMetric) Maximize() bool { return p.App.Maximize }
+
+// Measure implements Metric.
+func (p *PerfMetric) Measure(m *simos.Model, app *simos.App, c *configspace.Config, noise *rng.RNG) float64 {
+	return m.Performance(c, app, noise)
+}
+
+// MemoryMetric measures the booted image's memory footprint in MB
+// (minimize) — the Fig 10 objective.
+type MemoryMetric struct{}
+
+// Name implements Metric.
+func (MemoryMetric) Name() string { return "memory" }
+
+// Unit implements Metric.
+func (MemoryMetric) Unit() string { return "MB" }
+
+// Maximize implements Metric.
+func (MemoryMetric) Maximize() bool { return false }
+
+// Measure implements Metric.
+func (MemoryMetric) Measure(m *simos.Model, app *simos.App, c *configspace.Config, noise *rng.RNG) float64 {
+	return m.MemoryMB(c, noise)
+}
+
+// ScoreMetric is the joint throughput–memory objective of Fig 11/Table 4:
+//
+//	s = mXNorm(t) − mXNorm(m)                     (Eq. 4)
+//
+// where mXNorm is min-max normalization over the session's observations so
+// far. Throughput and memory are measured on every evaluation; the raw
+// pairs are retained so the final report can re-normalize over the whole
+// session exactly as the paper's post-processing does.
+type ScoreMetric struct {
+	throughputs []float64
+	memories    []float64
+}
+
+// Name implements Metric.
+func (s *ScoreMetric) Name() string { return "score" }
+
+// Unit implements Metric.
+func (s *ScoreMetric) Unit() string { return "score" }
+
+// Maximize implements Metric.
+func (s *ScoreMetric) Maximize() bool { return true }
+
+// Measure implements Metric.
+func (s *ScoreMetric) Measure(m *simos.Model, app *simos.App, c *configspace.Config, noise *rng.RNG) float64 {
+	t := m.Performance(c, app, noise)
+	mem := m.MemoryMB(c, noise)
+	s.throughputs = append(s.throughputs, t)
+	s.memories = append(s.memories, mem)
+	return s.scoreAt(len(s.throughputs) - 1)
+}
+
+// scoreAt computes the Eq. 4 score of observation i under the *current*
+// normalization ranges.
+func (s *ScoreMetric) scoreAt(i int) float64 {
+	tn := stats.MinMaxNorm(s.throughputs)
+	mn := stats.MinMaxNorm(s.memories)
+	return tn[i] - mn[i]
+}
+
+// Pair returns the raw (throughput, memory) observation i.
+func (s *ScoreMetric) Pair(i int) (throughput, memory float64) {
+	return s.throughputs[i], s.memories[i]
+}
+
+// Len returns the number of measured pairs.
+func (s *ScoreMetric) Len() int { return len(s.throughputs) }
+
+// FinalScores re-normalizes all observations over the whole session and
+// returns the Eq. 4 score per observation — the values Table 4 ranks.
+func (s *ScoreMetric) FinalScores() []float64 {
+	tn := stats.MinMaxNorm(s.throughputs)
+	mn := stats.MinMaxNorm(s.memories)
+	out := make([]float64, len(tn))
+	for i := range tn {
+		out[i] = tn[i] - mn[i]
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package cozart implements a Cozart-style compile-time debloater (Kuo et
+// al., SIGMETRICS'20 — the paper's §4.4 synergy study). Cozart uses
+// dynamic analysis to trace which kernel components a workload actually
+// exercises and derives a reduced compile-time configuration: unused
+// options are switched off, shrinking the image and its footprint, with a
+// performance side benefit from removing default-on debug machinery.
+//
+// The dynamic-analysis step is simulated: tracing a workload in the
+// simulator observes (a) the essential boot set, (b) every compile option
+// whose effect class the application is sensitive to, and (c) the inert
+// driver options whose (deterministic) trace coin-flip says the workload's
+// environment loads them. The derived baseline then becomes the starting
+// point Wayfinder optimizes runtime parameters on top of (Fig 11).
+package cozart
+
+import (
+	"sort"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/simos"
+)
+
+// Trace is the simulated dynamic-analysis result for one workload.
+type Trace struct {
+	// Used lists compile-time options the workload exercised.
+	Used map[string]bool
+	// Total is the number of compile-time options considered.
+	Total int
+}
+
+// UsedCount returns the number of options observed in use.
+func (t *Trace) UsedCount() int { return len(t.Used) }
+
+// TraceWorkload simulates running the application under Cozart's tracers:
+// essentials are always observed; options with a hidden effect on a class
+// the app is sensitive to are observed in proportion to that sensitivity;
+// inert options are observed with a fixed environment-dependent
+// probability (deterministic per option name).
+func TraceWorkload(m *simos.Model, app *simos.App, seed uint64) *Trace {
+	tr := &Trace{Used: map[string]bool{}}
+	effectOf := map[string]simos.EffectClass{}
+	hasEffect := map[string]bool{}
+	for _, e := range m.Effects {
+		effectOf[e.Param] = e.Class
+		hasEffect[e.Param] = true
+	}
+	crashGuarded := map[string]bool{}
+	for _, r := range m.CrashRules {
+		if r.Stage == simos.StageBoot || r.Stage == simos.StageBuild {
+			crashGuarded[r.Param] = true
+		}
+	}
+	for _, p := range m.Space.Params() {
+		if p.Class != configspace.CompileTime {
+			continue
+		}
+		tr.Total++
+		switch {
+		case crashGuarded[p.Name]:
+			// Boot-essential: always traced.
+			tr.Used[p.Name] = true
+		case hasEffect[p.Name]:
+			// The workload touches this subsystem iff it is sensitive to
+			// the option's class.
+			if app.Sens(effectOf[p.Name]) > 0.1 {
+				tr.Used[p.Name] = true
+			}
+		default:
+			// Inert option: loaded by ~30% of environments, deterministic
+			// per option so repeated traces agree.
+			r := rng.New(seed).SplitLabeled(p.Name)
+			if r.Chance(0.3) {
+				tr.Used[p.Name] = true
+			}
+		}
+	}
+	return tr
+}
+
+// Debloat derives the reduced compile-time baseline from a trace: every
+// unused compile option is switched off (bool n, tristate n, ints at
+// their minimum footprint); used options and non-compile parameters keep
+// their defaults.
+func Debloat(m *simos.Model, tr *Trace) *configspace.Config {
+	c := m.Space.Default()
+	for i, p := range m.Space.Params() {
+		if p.Class != configspace.CompileTime || tr.Used[p.Name] {
+			continue
+		}
+		switch p.Type {
+		case configspace.Bool:
+			c.SetIndex(i, configspace.BoolValue(false))
+		case configspace.Tristate:
+			c.SetIndex(i, configspace.TriValue(configspace.TriNo))
+		case configspace.Int, configspace.Hex:
+			c.SetIndex(i, configspace.IntValue(p.Min))
+		}
+	}
+	return c
+}
+
+// Apply traces the workload, derives the debloated baseline, verifies it
+// still boots and runs (Cozart validates its output configurations), and
+// rebases the space defaults onto it so subsequent searches start from
+// the reduced kernel. It returns the baseline.
+func Apply(m *simos.Model, app *simos.App, seed uint64) (*configspace.Config, error) {
+	tr := TraceWorkload(m, app, seed)
+	base := Debloat(m, tr)
+	if st, _ := m.CrashOutcome(base); st != simos.StageOK {
+		// Back off: re-enable unused options in deterministic order until
+		// the image is healthy (Cozart's iterative re-addition step).
+		var names []string
+		for i, p := range m.Space.Params() {
+			if p.Class == configspace.CompileTime && !tr.Used[p.Name] {
+				_ = i
+				names = append(names, p.Name)
+			}
+		}
+		sort.Strings(names)
+		healthy := false
+		for _, name := range names {
+			p, i := m.Space.Lookup(name)
+			base.SetIndex(i, p.Default)
+			if st, _ := m.CrashOutcome(base); st == simos.StageOK {
+				healthy = true
+				break
+			}
+		}
+		if !healthy {
+			// Give up debloating: fall back to the stock default.
+			base = m.Space.Default()
+		}
+	}
+	if err := m.Space.SetDefaultsFrom(base); err != nil {
+		return nil, err
+	}
+	return base, nil
+}

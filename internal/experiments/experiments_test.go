@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the experiment tests fast; shape assertions are loose.
+func tinyScale() Scale {
+	s := QuickScale()
+	s.Seeds = 1
+	s.Iterations = 60
+	s.RandomConfigs = 120
+	s.PerAppConfigs = 200
+	s.TimeBudgetSec = 1200
+	s.SynthIters = 30
+	return s
+}
+
+func cell(t *testing.T, tab Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not found in %v", col, tab.Columns)
+	return ""
+}
+
+func cellF(t *testing.T, tab Table, row int, col string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.TrimSuffix(cell(t, tab, row, col), "x"), "%")
+	s = strings.TrimSuffix(s, "s")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", tinyScale()); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestIDsDispatch(t *testing.T) {
+	// Every advertised ID must dispatch (exercised cheaply: only fig1 and
+	// table1 actually run here; the rest are covered by their own tests).
+	for _, id := range []string{"fig1", "table1"} {
+		res, err := Run(id, tinyScale())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.ID != id {
+			t.Fatalf("result ID %q for %q", res.ID, id)
+		}
+		if res.Render() == "" {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res, err := Fig1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := res.Series[0].Y
+	if len(ys) != 13 {
+		t.Fatalf("%d versions, want 13", len(ys))
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] <= ys[i-1] {
+			t.Fatal("option count must grow monotonically")
+		}
+	}
+	if ys[0] > 7000 || ys[len(ys)-1] < 20000 {
+		t.Fatalf("trajectory endpoints wrong: %v .. %v", ys[0], ys[len(ys)-1])
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res, err := Table1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	want := map[string]string{
+		"bool": "7585", "tristate": "10034", "string": "154",
+		"hex": "94", "int": "3405", "boot-time": "231", "runtime": "13328",
+	}
+	for col, wantV := range want {
+		if got := cell(t, tab, 0, col); got != wantV {
+			t.Errorf("%s = %s, want %s", col, got, wantV)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Fig2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if rate := cellF(t, tab, 0, "crash rate"); rate < 0.2 || rate > 0.45 {
+		t.Fatalf("crash rate %v, want ≈1/3", rate)
+	}
+	if rel := cellF(t, tab, 0, "max/default"); rel < 1.02 || rel > 1.3 {
+		t.Fatalf("best/default = %v, want ≈1.1", rel)
+	}
+	ys := res.Series[0].Y
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatal("sorted series must be ascending")
+		}
+	}
+	if spread := ys[len(ys)-1] / ys[0]; spread < 1.3 {
+		t.Fatalf("throughput spread %vx, want large", spread)
+	}
+}
+
+func TestFig5ClusterStructure(t *testing.T) {
+	res, err := Fig5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	get := func(r int, name string) float64 { return cellF(t, tab, r, name) }
+	// Diagonal = 1.
+	order := []string{"nginx", "redis", "sqlite", "npb"}
+	for i, name := range order {
+		if get(i, name) != 1 {
+			t.Fatalf("diagonal %s = %v", name, get(i, name))
+		}
+	}
+	// System-intensive cluster beats NPB pairings.
+	sysPairs := []float64{get(0, "redis"), get(0, "sqlite"), get(1, "sqlite")}
+	npbPairs := []float64{get(0, "npb"), get(1, "npb"), get(2, "npb")}
+	for _, s := range sysPairs {
+		for _, n := range npbPairs {
+			if s <= n {
+				t.Fatalf("cluster structure broken: sys %v <= npb %v\n%s", s, n, res.Render())
+			}
+		}
+	}
+}
+
+func TestFig7UnicornGrowsDeepTuneFlat(t *testing.T) {
+	res, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	uni := series["unicorn-mem-bytes"].Y
+	if uni[len(uni)-1] <= uni[0] {
+		t.Fatal("unicorn memory should grow over iterations")
+	}
+	// Unicorn's per-iteration fit cost (deterministic sample-touch count)
+	// grows with the history; DeepTune's update is bounded by its training
+	// window, so its per-update sample count is capped. Wall-clock at tiny
+	// scales is too noisy to compare, so the assertion uses the work
+	// counter for Unicorn and the structural window bound for DeepTune.
+	work := series["unicorn-work"].Y
+	n := len(work) / 5
+	if n == 0 {
+		n = 1
+	}
+	if meanOf(work[len(work)-n:]) <= 2*meanOf(work[:n]) {
+		t.Fatalf("unicorn work did not grow: head %v tail %v",
+			meanOf(work[:n]), meanOf(work[len(work)-n:]))
+	}
+	dt := series["deeptune-time-s"].Y
+	if len(dt) != len(work) {
+		t.Fatal("series lengths differ")
+	}
+	for _, v := range dt {
+		if v <= 0 {
+			t.Fatal("deeptune update cost not recorded")
+		}
+	}
+}
+
+func TestFig8EvaluationDominates(t *testing.T) {
+	scale := tinyScale()
+	res, err := Fig8(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	update := cellF(t, tab, 0, "seconds")
+	if update > 2 {
+		t.Fatalf("DeepTune update = %vs, want <2s wall-clock", update)
+	}
+	for row := 1; row < len(tab.Rows); row++ {
+		test := cellF(t, tab, row, "seconds")
+		if test < 10*update {
+			t.Fatalf("evaluation (%vs) should dominate update (%vs)", test, update)
+		}
+	}
+}
+
+func TestFig9Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-session experiment")
+	}
+	scale := tinyScale()
+	scale.TimeBudgetSec = 8000
+	res, err := Fig9(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// rows: random, bayesian, wayfinder
+	rnd := cellF(t, tab, 0, "best req/s")
+	wf := cellF(t, tab, 2, "best req/s")
+	if wf <= rnd {
+		t.Fatalf("wayfinder (%v) should beat random (%v) on unikraft\n%s", wf, rnd, res.Render())
+	}
+	if rel := cellF(t, tab, 2, "vs default"); rel < 1.5 {
+		t.Fatalf("wayfinder unikraft improvement %vx, want large headroom", rel)
+	}
+}
+
+func TestFig10Reduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-session experiment")
+	}
+	scale := tinyScale()
+	scale.TimeBudgetSec = 4000
+	res, err := Fig10(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	rndBest := cellF(t, tab, 0, "best MB")
+	dtBest := cellF(t, tab, 1, "best MB")
+	if dtBest > 212 || rndBest > 215 {
+		t.Fatalf("footprints did not shrink: random %v, deeptune %v", rndBest, dtBest)
+	}
+	if red := cellF(t, tab, 1, "reduction"); red < 2 {
+		t.Fatalf("deeptune reduction %v%%, want a few percent at tiny scale", red)
+	}
+}
+
+func TestTable4BeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-session experiment")
+	}
+	scale := tinyScale()
+	scale.TimeBudgetSec = 2500
+	res, err := Table4(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) < 3 {
+		t.Fatalf("want ≥2 top rows + baseline, got %d", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "cozart" {
+		t.Fatalf("last row should be the cozart baseline: %v", last)
+	}
+	top1Thr := cellF(t, tab, 0, "throughput (req/s)")
+	baseThr, err2 := strconv.ParseFloat(last[3], 64)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if top1Thr < baseThr*0.95 {
+		t.Fatalf("top score throughput %v far below baseline %v", top1Thr, baseThr)
+	}
+}
+
+func TestRenderContainsTables(t *testing.T) {
+	res, err := Table1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"table1", "boot-time", "13328"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResampleToGrid(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 20, 30}
+	out := resampleToGrid(xs, ys, 4, 5)
+	// grid t = 0,1,2,3,4 → values 10 (nothing yet, holds first), 10, 20, 30, 30
+	want := []float64{10, 10, 20, 30, 30}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("resample = %v, want %v", out, want)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"wayfinder/internal/apps"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/core"
+	"wayfinder/internal/cozart"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/search"
+	"wayfinder/internal/simos"
+)
+
+// Fig9 reproduces Figure 9: Nginx on the Unikraft unikernel, comparing
+// Wayfinder (DeepTune), random search, and Bayesian optimization under a
+// 3-hour virtual budget over 33 parameters (10 application + 23 OS).
+func Fig9(scale Scale) (*Result, error) {
+	res := &Result{ID: "fig9", Title: "Unikraft/Nginx: Wayfinder vs random vs Bayesian optimization"}
+	app := apps.Nginx()
+	// Unikraft's base throughput under the default config is lower than
+	// Linux's tuned default; the headroom is what the figure shows.
+	app.Base = 9500
+	app.BenchSeconds = 30
+
+	kinds := []struct {
+		label string
+		mk    func(m *simos.Model, seed uint64) search.Searcher
+	}{
+		{"random", func(m *simos.Model, seed uint64) search.Searcher {
+			return search.NewRandom(m.Space, seed)
+		}},
+		{"bayesian", func(m *simos.Model, seed uint64) search.Searcher {
+			return search.NewBayesian(m.Space, true, seed)
+		}},
+		{"wayfinder", func(m *simos.Model, seed uint64) search.Searcher {
+			cfg := deeptune.DefaultConfig()
+			cfg.Seed = seed
+			return search.NewDeepTune(m.Space, true, cfg)
+		}},
+	}
+	summary := Table{
+		Title:   "Best throughput under the time budget (mean over runs)",
+		Columns: []string{"searcher", "best req/s", "vs default", "iterations", "crash rate"},
+	}
+	for _, kind := range kinds {
+		var runs []*core.Report
+		for seed := uint64(1); seed <= uint64(scale.Seeds); seed++ {
+			m := simos.NewUnikraft(1)
+			rep, err := session(m, app, &core.PerfMetric{App: app}, kind.mk(m, seed),
+				core.Options{TimeBudgetSec: scale.TimeBudgetSec, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, rep)
+		}
+		sessionSeries(res, kind.label, runs, scale.TimeBudgetSec)
+		var best, iters, crash []float64
+		for _, rep := range runs {
+			if rep.Best != nil {
+				best = append(best, rep.Best.Metric)
+			}
+			iters = append(iters, float64(len(rep.History)))
+			crash = append(crash, rep.CrashRate())
+		}
+		summary.Rows = append(summary.Rows, []string{
+			kind.label, fmtF(meanOf(best), 0), fmtF(meanOf(best)/app.Base, 2) + "x",
+			fmtF(meanOf(iters), 0), fmtF(meanOf(crash), 3),
+		})
+	}
+	res.Tables = append(res.Tables, summary)
+	res.Notes = append(res.Notes,
+		"paper shape: Wayfinder converges by ~100 min, Bayesian needs >160 min to match, random never gets there")
+	return res, nil
+}
+
+// Fig10 reproduces Figure 10: minimizing the memory footprint of RISC-V
+// Linux images under a 3-hour budget, Wayfinder vs random, favoring
+// compile-time options. Proposals mutate a bounded number of options from
+// the distro default — fully random compile configurations essentially
+// never boot.
+func Fig10(scale Scale) (*Result, error) {
+	res := &Result{ID: "fig10", Title: "RISC-V Linux memory footprint minimization"}
+	const mutateK = 30
+	app := apps.Nginx() // the workload only needs to boot; metric is MB
+	kinds := []struct {
+		label string
+		mk    func(m *simos.Model, seed uint64) search.Searcher
+	}{
+		{"random", func(m *simos.Model, seed uint64) search.Searcher {
+			return search.NewRandomMutate(m.Space, mutateK, seed)
+		}},
+		{"deeptune", func(m *simos.Model, seed uint64) search.Searcher {
+			cfg := deeptune.DefaultConfig()
+			cfg.Seed = seed
+			cfg.PoolMutateK = mutateK
+			return search.NewDeepTune(m.Space, false, cfg)
+		}},
+	}
+	defaultMB := 0.0
+	summary := Table{
+		Title:   "Footprint after the budget (mean over runs)",
+		Columns: []string{"searcher", "best MB", "reduction", "crashes", "late crashes (last 25%)"},
+	}
+	for _, kind := range kinds {
+		var runs []*core.Report
+		for seed := uint64(1); seed <= uint64(scale.Seeds); seed++ {
+			m := simos.NewRiscv(simos.DefaultRiscvOptions())
+			m.Space.Favor(configspace.Runtime, 0.2)
+			if defaultMB == 0 {
+				defaultMB = m.MemoryMB(m.Space.Default(), rng.New(1))
+			}
+			rep, err := session(m, app, core.MemoryMetric{}, kind.mk(m, seed),
+				core.Options{TimeBudgetSec: scale.TimeBudgetSec, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, rep)
+		}
+		sessionSeries(res, kind.label, runs, scale.TimeBudgetSec)
+		var best, crash, late []float64
+		for _, rep := range runs {
+			if rep.Best != nil {
+				best = append(best, rep.Best.Metric)
+			}
+			crash = append(crash, rep.CrashRate())
+			lateCount, lateTot := 0, 0
+			for _, h := range rep.History[len(rep.History)*3/4:] {
+				lateTot++
+				if h.Crashed {
+					lateCount++
+				}
+			}
+			if lateTot > 0 {
+				late = append(late, float64(lateCount)/float64(lateTot))
+			}
+		}
+		summary.Rows = append(summary.Rows, []string{
+			kind.label, fmtF(meanOf(best), 1),
+			fmtF(100*(defaultMB-meanOf(best))/defaultMB, 1) + "%",
+			fmtF(meanOf(crash), 3), fmtF(meanOf(late), 3),
+		})
+	}
+	res.Tables = append(res.Tables, summary)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("default footprint %.1f MB; paper: Wayfinder 192 MB (-8.5%%), random 203 MB (-5.5%%), few late crashes for Wayfinder", defaultMB))
+	return res, nil
+}
+
+// fig11Sessions runs the Cozart-synergy experiment and returns the score
+// metric states alongside the reports (Table 4 reuses them).
+func fig11Sessions(scale Scale) (random, deeptuneRuns []*core.Report,
+	scoreMetrics, randomMetrics []*core.ScoreMetric, baselinePairs [][2]float64, err error) {
+	app := apps.Nginx()
+	for seed := uint64(1); seed <= uint64(scale.Seeds); seed++ {
+		for _, kind := range []string{"random", "deeptune"} {
+			m := simos.NewLinux(scale.Linux)
+			base, aerr := cozart.Apply(m, app, 1)
+			if aerr != nil {
+				err = aerr
+				return
+			}
+			// Cozart fixed the compile-time configuration; Wayfinder
+			// explores the runtime parameters on top (§4.4).
+			m.Space.Favor(configspace.CompileTime, 0)
+			sm := &core.ScoreMetric{}
+			// Record the Cozart baseline's own throughput/memory for the
+			// Table 4 comparison row, using the session's noise stream.
+			var s search.Searcher
+			if kind == "random" {
+				s = search.NewRandom(m.Space, seed)
+			} else {
+				cfg := deeptune.DefaultConfig()
+				cfg.Seed = seed
+				s = search.NewDeepTune(m.Space, true, cfg)
+			}
+			rep, rerr := session(m, app, sm, s,
+				core.Options{TimeBudgetSec: scale.TimeBudgetSec, Seed: seed, WarmStart: true})
+			if rerr != nil {
+				err = rerr
+				return
+			}
+			if kind == "random" {
+				random = append(random, rep)
+				randomMetrics = append(randomMetrics, sm)
+			} else {
+				deeptuneRuns = append(deeptuneRuns, rep)
+				scoreMetrics = append(scoreMetrics, sm)
+				bt, bm := sm.Pair(0) // WarmStart: observation 0 is the baseline
+				baselinePairs = append(baselinePairs, [2]float64{bt, bm})
+			}
+			_ = base
+		}
+	}
+	return
+}
+
+// Fig11 reproduces Figure 11: co-optimizing throughput and memory (the
+// Eq. 4 score) on top of a Cozart-debloated baseline, Wayfinder vs random.
+func Fig11(scale Scale) (*Result, error) {
+	res := &Result{ID: "fig11", Title: "Throughput-memory co-optimization on top of Cozart"}
+	random, dt, dtMetrics, rndMetrics, _, err := fig11Sessions(scale)
+	if err != nil {
+		return nil, err
+	}
+	sessionSeries(res, "random", random, scale.TimeBudgetSec)
+	sessionSeries(res, "deeptune", dt, scale.TimeBudgetSec)
+	// Rank on scores re-normalized over each whole session: the running
+	// normalization used during the search is degenerate for the first few
+	// observations.
+	bestFinal := func(metrics []*core.ScoreMetric) []float64 {
+		var best []float64
+		for _, sm := range metrics {
+			finals := sm.FinalScores()
+			if len(finals) == 0 {
+				continue
+			}
+			b := finals[0]
+			for _, v := range finals[1:] {
+				if v > b {
+					b = v
+				}
+			}
+			best = append(best, b)
+		}
+		return best
+	}
+	res.Tables = append(res.Tables, Table{
+		Title:   "Best session-normalized score (mean over runs)",
+		Columns: []string{"searcher", "best score"},
+		Rows: [][]string{
+			{"random", fmtF(meanOf(bestFinal(rndMetrics)), 3)},
+			{"deeptune", fmtF(meanOf(bestFinal(dtMetrics)), 3)},
+		},
+	})
+	res.Notes = append(res.Notes,
+		"paper shape: DeepTune's policy outscores random, with an exploitation phase of lowered crash rate")
+	return res, nil
+}
+
+// Table4 reproduces Table 4: the top-5 throughput/memory scores found
+// during the Fig 11 exploration, re-normalized over the whole session,
+// against the Cozart baseline.
+func Table4(scale Scale) (*Result, error) {
+	res := &Result{ID: "table4", Title: "Top-5 throughput-memory results on top of Cozart"}
+	_, dt, metrics, _, basePairs, err := fig11Sessions(scale)
+	if err != nil {
+		return nil, err
+	}
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("experiments: no deeptune sessions")
+	}
+	// Use the first session's full re-normalized scores (the paper ranks
+	// within one exploration).
+	sm := metrics[0]
+	finals := sm.FinalScores()
+	type entry struct {
+		score, thr, mem float64
+	}
+	var entries []entry
+	for i := 0; i < sm.Len(); i++ {
+		t, m := sm.Pair(i)
+		entries = append(entries, entry{finals[i], t, m})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].score > entries[b].score })
+	t := Table{
+		Title:   "Top-5 scores (session 1)",
+		Columns: []string{"rank", "score", "memory (MB)", "throughput (req/s)"},
+	}
+	for i := 0; i < len(entries) && i < 5; i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1), fmtF(entries[i].score, 2),
+			fmtF(entries[i].mem, 2), fmtF(entries[i].thr, 0),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"cozart", "-", fmtF(basePairs[0][1], 2), fmtF(basePairs[0][0], 0),
+	})
+	res.Tables = append(res.Tables, t)
+	_ = dt
+	res.Notes = append(res.Notes,
+		"paper shape: top entries beat the Cozart baseline on throughput while using less memory")
+	return res, nil
+}

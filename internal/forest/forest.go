@@ -1,0 +1,323 @@
+// Package forest implements a random-forest regressor with permutation
+// feature importance. The paper uses a feature-importance algorithm
+// (Breiman's random forests, their ref. [17]) to build the cross-similarity
+// matrix of Figure 5: the importance vector of each application's
+// performance model is compared across applications to predict whether
+// transfer learning will help.
+package forest
+
+import (
+	"math"
+	"sort"
+
+	"wayfinder/internal/rng"
+	"wayfinder/internal/stats"
+)
+
+// Config controls forest construction.
+type Config struct {
+	// Trees is the ensemble size.
+	Trees int
+	// MaxDepth bounds tree depth (0 = unbounded).
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf.
+	MinLeaf int
+	// FeatureFraction is the fraction of features considered per split
+	// (0 = use sqrt(d), the regression-forest convention is d/3 but sqrt
+	// decorrelates better on the wide one-hot spaces we feed it).
+	FeatureFraction float64
+	// Seed seeds bootstrap sampling and feature subsampling.
+	Seed uint64
+}
+
+// DefaultConfig returns sensible defaults for the Fig 5 workload.
+func DefaultConfig() Config {
+	return Config{Trees: 50, MaxDepth: 12, MinLeaf: 3, Seed: 1}
+}
+
+// Forest is a trained random-forest regressor.
+type Forest struct {
+	cfg   Config
+	trees []*tree
+	dim   int
+	oob   [][]int // per-tree out-of-bag sample indices
+	xs    [][]float64
+	ys    []float64
+}
+
+type tree struct {
+	// Flat node arrays; children index into the same slices. leaf nodes
+	// have feature = -1.
+	feature   []int
+	threshold []float64
+	left      []int
+	right     []int
+	value     []float64
+}
+
+func (t *tree) predict(x []float64) float64 {
+	n := 0
+	for t.feature[n] >= 0 {
+		if x[t.feature[n]] <= t.threshold[n] {
+			n = t.left[n]
+		} else {
+			n = t.right[n]
+		}
+	}
+	return t.value[n]
+}
+
+// Fit trains a forest on the dataset.
+func Fit(xs [][]float64, ys []float64, cfg Config) *Forest {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 50
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	f := &Forest{cfg: cfg, dim: 0, xs: xs, ys: ys}
+	if len(xs) > 0 {
+		f.dim = len(xs[0])
+	}
+	r := rng.New(cfg.Seed)
+	n := len(xs)
+	for ti := 0; ti < cfg.Trees; ti++ {
+		tr := r.Split()
+		// Bootstrap sample.
+		idx := make([]int, n)
+		inBag := make([]bool, n)
+		for i := range idx {
+			j := tr.Intn(n)
+			idx[i] = j
+			inBag[j] = true
+		}
+		var oob []int
+		for i := 0; i < n; i++ {
+			if !inBag[i] {
+				oob = append(oob, i)
+			}
+		}
+		t := &tree{}
+		b := &builder{f: f, t: t, r: tr, xs: xs, ys: ys}
+		b.grow(idx, 0)
+		f.trees = append(f.trees, t)
+		f.oob = append(f.oob, oob)
+	}
+	return f
+}
+
+type builder struct {
+	f  *Forest
+	t  *tree
+	r  *rng.RNG
+	xs [][]float64
+	ys []float64
+}
+
+// grow builds a subtree over the given sample indices and returns its node
+// index.
+func (b *builder) grow(idx []int, depth int) int {
+	node := len(b.t.feature)
+	b.t.feature = append(b.t.feature, -1)
+	b.t.threshold = append(b.t.threshold, 0)
+	b.t.left = append(b.t.left, -1)
+	b.t.right = append(b.t.right, -1)
+	mean := 0.0
+	for _, i := range idx {
+		mean += b.ys[i]
+	}
+	if len(idx) > 0 {
+		mean /= float64(len(idx))
+	}
+	b.t.value = append(b.t.value, mean)
+
+	cfg := b.f.cfg
+	if len(idx) < 2*cfg.MinLeaf || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(b.ys, idx) {
+		return node
+	}
+	feat, thr, ok := b.bestSplit(idx)
+	if !ok {
+		return node
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if b.xs[i][feat] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
+		return node
+	}
+	b.t.feature[node] = feat
+	b.t.threshold[node] = thr
+	b.t.left[node] = b.grow(li, depth+1)
+	b.t.right[node] = b.grow(ri, depth+1)
+	return node
+}
+
+func pure(ys []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if ys[i] != ys[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit searches a random feature subset for the variance-minimizing
+// threshold.
+func (b *builder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+	dim := b.f.dim
+	k := int(b.f.cfg.FeatureFraction * float64(dim))
+	if b.f.cfg.FeatureFraction == 0 {
+		k = int(math.Sqrt(float64(dim))) + 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > dim {
+		k = dim
+	}
+	bestScore := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	perm := b.r.Perm(dim)[:k]
+	for _, feat := range perm {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, b.xs[i][feat])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints between distinct sorted values,
+		// subsampled for speed.
+		for vi := 0; vi < len(vals)-1; vi++ {
+			if vals[vi] == vals[vi+1] {
+				continue
+			}
+			thr := (vals[vi] + vals[vi+1]) / 2
+			var ln, rn int
+			var lsum, rsum, lsq, rsq float64
+			for _, i := range idx {
+				y := b.ys[i]
+				if b.xs[i][feat] <= thr {
+					ln++
+					lsum += y
+					lsq += y * y
+				} else {
+					rn++
+					rsum += y
+					rsq += y * y
+				}
+			}
+			if ln == 0 || rn == 0 {
+				continue
+			}
+			// Weighted child SSE.
+			score := (lsq - lsum*lsum/float64(ln)) + (rsq - rsum*rsum/float64(rn))
+			if score < bestScore {
+				bestScore = score
+				feature, threshold, ok = feat, thr, true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// Predict returns the ensemble-average prediction.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Importance computes permutation feature importance on out-of-bag
+// samples: for each feature, the mean increase in squared error when the
+// feature's values are shuffled. Larger = more important. The returned
+// vector is non-negative and normalized to unit L2 norm when non-zero,
+// ready for Fig 5's similarity computation.
+func (f *Forest) Importance(seed uint64) []float64 {
+	imp := make([]float64, f.dim)
+	r := rng.New(seed)
+	for ti, t := range f.trees {
+		oob := f.oob[ti]
+		if len(oob) < 2 {
+			continue
+		}
+		baseErr := 0.0
+		for _, i := range oob {
+			d := t.predict(f.xs[i]) - f.ys[i]
+			baseErr += d * d
+		}
+		baseErr /= float64(len(oob))
+		// Shuffle one feature at a time among OOB rows.
+		perm := make([]int, len(oob))
+		x := make([]float64, f.dim)
+		for feat := 0; feat < f.dim; feat++ {
+			copy(perm, r.Perm(len(oob)))
+			permErr := 0.0
+			for pi, i := range oob {
+				copy(x, f.xs[i])
+				x[feat] = f.xs[oob[perm[pi]]][feat]
+				d := t.predict(x) - f.ys[i]
+				permErr += d * d
+			}
+			permErr /= float64(len(oob))
+			if delta := permErr - baseErr; delta > 0 {
+				imp[feat] += delta
+			}
+		}
+	}
+	// Normalize to unit norm.
+	norm := 0.0
+	for _, v := range imp {
+		norm += v * v
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range imp {
+			imp[i] /= norm
+		}
+	}
+	return imp
+}
+
+// Similarity computes the cross-similarity score between two normalized
+// importance vectors the way Figure 5 does: the importance scores are
+// treated as vectors and compared by Euclidean distance, mapped to (0,1]
+// so identical profiles score 1.
+func Similarity(a, b []float64) float64 {
+	d := stats.Euclidean(a, b)
+	return 1 / (1 + d)
+}
+
+// OOBError returns the out-of-bag mean squared error, an unbiased estimate
+// of generalization error.
+func (f *Forest) OOBError() float64 {
+	sum, n := 0.0, 0
+	preds := make([]float64, len(f.xs))
+	counts := make([]int, len(f.xs))
+	for ti, t := range f.trees {
+		for _, i := range f.oob[ti] {
+			preds[i] += t.predict(f.xs[i])
+			counts[i]++
+		}
+	}
+	for i := range preds {
+		if counts[i] == 0 {
+			continue
+		}
+		d := preds[i]/float64(counts[i]) - f.ys[i]
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

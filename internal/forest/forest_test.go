@@ -1,0 +1,190 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"wayfinder/internal/rng"
+	"wayfinder/internal/stats"
+)
+
+// makeDataset builds n samples of dim features where only the listed
+// features influence y (linearly), plus noise.
+func makeDataset(n, dim int, active map[int]float64, noise float64, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = r.Float64()
+		}
+		y := 0.0
+		for d, w := range active {
+			y += w * x[d]
+		}
+		xs[i] = x
+		ys[i] = y + r.Normal(0, noise)
+	}
+	return xs, ys
+}
+
+func TestPredictLearnsLinearSignal(t *testing.T) {
+	xs, ys := makeDataset(400, 5, map[int]float64{0: 10}, 0.1, 1)
+	f := Fit(xs, ys, DefaultConfig())
+	// Predictions should track the signal: low x0 vs high x0.
+	lo := f.Predict([]float64{0.1, 0.5, 0.5, 0.5, 0.5})
+	hi := f.Predict([]float64{0.9, 0.5, 0.5, 0.5, 0.5})
+	if hi-lo < 5 {
+		t.Fatalf("forest failed to learn signal: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestPredictConstantTarget(t *testing.T) {
+	xs, ys := makeDataset(100, 3, nil, 0, 2)
+	for i := range ys {
+		ys[i] = 7
+	}
+	f := Fit(xs, ys, DefaultConfig())
+	if p := f.Predict(xs[0]); math.Abs(p-7) > 1e-9 {
+		t.Fatalf("constant prediction = %v", p)
+	}
+}
+
+func TestImportanceIdentifiesActiveFeatures(t *testing.T) {
+	active := map[int]float64{2: 8, 7: 4}
+	xs, ys := makeDataset(500, 10, active, 0.1, 3)
+	f := Fit(xs, ys, DefaultConfig())
+	imp := f.Importance(1)
+	if len(imp) != 10 {
+		t.Fatalf("importance dim = %d", len(imp))
+	}
+	// Feature 2 should dominate, feature 7 second; all inactive features
+	// should be well below.
+	if stats.ArgMax(imp) != 2 {
+		t.Fatalf("top feature = %d, want 2 (imp=%v)", stats.ArgMax(imp), imp)
+	}
+	for d := 0; d < 10; d++ {
+		if d == 2 || d == 7 {
+			continue
+		}
+		if imp[d] > imp[7] {
+			t.Fatalf("inactive feature %d (%v) outranks active 7 (%v)", d, imp[d], imp[7])
+		}
+	}
+}
+
+func TestImportanceNormalized(t *testing.T) {
+	xs, ys := makeDataset(300, 6, map[int]float64{0: 5, 1: 5}, 0.1, 4)
+	f := Fit(xs, ys, DefaultConfig())
+	imp := f.Importance(2)
+	norm := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("importance must be non-negative")
+		}
+		norm += v * v
+	}
+	if math.Abs(math.Sqrt(norm)-1) > 1e-9 {
+		t.Fatalf("importance norm = %v, want 1", math.Sqrt(norm))
+	}
+}
+
+func TestSimilarityMatrixStructure(t *testing.T) {
+	// Two "applications" sharing active features should be similar; a third
+	// with disjoint features should not — the Figure 5 premise.
+	xsA, ysA := makeDataset(400, 12, map[int]float64{1: 9, 3: 5}, 0.1, 5)
+	xsB, ysB := makeDataset(400, 12, map[int]float64{1: 7, 3: 6}, 0.1, 6)
+	xsC, ysC := makeDataset(400, 12, map[int]float64{9: 9, 11: 5}, 0.1, 7)
+	impA := Fit(xsA, ysA, DefaultConfig()).Importance(1)
+	impB := Fit(xsB, ysB, DefaultConfig()).Importance(1)
+	impC := Fit(xsC, ysC, DefaultConfig()).Importance(1)
+	simAB := Similarity(impA, impB)
+	simAC := Similarity(impA, impC)
+	if simAB <= simAC {
+		t.Fatalf("similar apps score %v, dissimilar %v — ordering wrong", simAB, simAC)
+	}
+	if Similarity(impA, impA) != 1 {
+		t.Fatal("self-similarity must be 1")
+	}
+	if simAB < 0.7 {
+		t.Fatalf("shared-feature similarity = %v, expected high", simAB)
+	}
+	if simAC > 0.6 {
+		t.Fatalf("disjoint-feature similarity = %v, expected low", simAC)
+	}
+}
+
+func TestOOBErrorReasonable(t *testing.T) {
+	xs, ys := makeDataset(400, 5, map[int]float64{0: 10}, 0.2, 8)
+	f := Fit(xs, ys, DefaultConfig())
+	oob := f.OOBError()
+	// Target variance is ~100/12 ≈ 8.3; a fitted forest should do much
+	// better than predicting the mean.
+	if oob > 3 {
+		t.Fatalf("OOB error = %v, too high", oob)
+	}
+	if oob <= 0 {
+		t.Fatalf("OOB error = %v, want positive (noise floor)", oob)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	xs, ys := makeDataset(200, 5, map[int]float64{0: 5}, 0.1, 9)
+	cfg := DefaultConfig()
+	a := Fit(xs, ys, cfg).Predict(xs[0])
+	b := Fit(xs, ys, cfg).Predict(xs[0])
+	if a != b {
+		t.Fatal("same seed should give identical forests")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 999
+	c := Fit(xs, ys, cfg2).Predict(xs[0])
+	if a == c {
+		t.Log("different seeds gave same prediction (possible but unlikely)")
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	xs, ys := makeDataset(100, 3, map[int]float64{0: 10}, 0, 10)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 30
+	f := Fit(xs, ys, cfg)
+	// With MinLeaf 30 on 100 samples, trees are very shallow; verify no
+	// leaf-node crash and sane predictions.
+	p := f.Predict(xs[0])
+	if math.IsNaN(p) {
+		t.Fatal("NaN prediction")
+	}
+}
+
+func TestSmallDataset(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{0, 1}
+	f := Fit(xs, ys, Config{Trees: 5, Seed: 1, MinLeaf: 1})
+	p := f.Predict([]float64{0.5})
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		t.Fatalf("tiny-dataset prediction = %v", p)
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	xs, ys := makeDataset(500, 20, map[int]float64{0: 5, 3: 3}, 0.1, 1)
+	cfg := DefaultConfig()
+	cfg.Trees = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fit(xs, ys, cfg)
+	}
+}
+
+func BenchmarkImportance(b *testing.B) {
+	xs, ys := makeDataset(300, 20, map[int]float64{0: 5}, 0.1, 1)
+	cfg := DefaultConfig()
+	cfg.Trees = 10
+	f := Fit(xs, ys, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Importance(uint64(i))
+	}
+}

@@ -1,0 +1,187 @@
+// Package gp implements Gaussian-process regression with an RBF kernel and
+// the Expected Improvement acquisition function — the Bayesian-optimization
+// baseline the paper compares DeepTune against (§2.3, §4.4).
+//
+// The implementation is deliberately the textbook one: the kernel matrix is
+// refit with an O(n³) Cholesky factorization every time a point is added,
+// and prediction is O(n) per candidate after an O(n²) solve. Those costs
+// are not an implementation accident — they are the scalability ceiling the
+// paper measures (Gaussian processes "typically have a computational
+// complexity of O(n³), and O(n²) for memory"), and the reason Bayesian
+// optimization is only competitive on small spaces like Unikraft's (Fig 9).
+package gp
+
+import (
+	"errors"
+	"math"
+
+	"wayfinder/internal/stats"
+)
+
+// GP is a Gaussian-process regressor over fixed-length feature vectors.
+type GP struct {
+	// LengthScale is the RBF kernel length scale ℓ.
+	LengthScale float64
+	// SignalVar is the kernel signal variance σ_f².
+	SignalVar float64
+	// NoiseVar is the observation noise σ_n² added to the diagonal.
+	NoiseVar float64
+
+	xs    [][]float64
+	ys    []float64
+	yMean float64
+
+	chol  *stats.Matrix // Cholesky factor of K + σ_n² I
+	alpha []float64     // (K+σ_n²I)⁻¹ (y − mean)
+	dirty bool
+}
+
+// New returns a GP with the given hyperparameters.
+func New(lengthScale, signalVar, noiseVar float64) *GP {
+	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar}
+}
+
+// Len returns the number of observations.
+func (g *GP) Len() int { return len(g.xs) }
+
+// Add appends an observation. The model is refit lazily on the next
+// prediction (a full O(n³) refactorization — see the package comment).
+func (g *GP) Add(x []float64, y float64) {
+	g.xs = append(g.xs, append([]float64(nil), x...))
+	g.ys = append(g.ys, y)
+	g.dirty = true
+}
+
+func (g *GP) kernel(a, b []float64) float64 {
+	d2 := stats.SquaredDistance(a, b)
+	return g.SignalVar * math.Exp(-d2/(2*g.LengthScale*g.LengthScale))
+}
+
+// ErrNoData is returned when predicting from an empty model.
+var ErrNoData = errors.New("gp: no observations")
+
+// fit factorizes the kernel matrix. Called automatically when dirty.
+func (g *GP) fit() error {
+	n := len(g.xs)
+	if n == 0 {
+		return ErrNoData
+	}
+	g.yMean = stats.Mean(g.ys)
+	k := stats.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kernel(g.xs[i], g.xs[j])
+			if i == j {
+				v += g.NoiseVar
+			}
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	chol, err := stats.Cholesky(k)
+	if err != nil {
+		// Numerical rescue: add jitter and retry once.
+		for i := 0; i < n; i++ {
+			k.Set(i, i, k.At(i, i)+1e-6*g.SignalVar)
+		}
+		chol, err = stats.Cholesky(k)
+		if err != nil {
+			return err
+		}
+	}
+	centered := make([]float64, n)
+	for i, y := range g.ys {
+		centered[i] = y - g.yMean
+	}
+	g.chol = chol
+	g.alpha = stats.SolveCholesky(chol, centered)
+	g.dirty = false
+	return nil
+}
+
+// Predict returns the posterior mean and standard deviation at x.
+func (g *GP) Predict(x []float64) (mean, std float64, err error) {
+	if g.dirty || g.chol == nil {
+		if err := g.fit(); err != nil {
+			return 0, 0, err
+		}
+	}
+	n := len(g.xs)
+	kStar := make([]float64, n)
+	for i := range g.xs {
+		kStar[i] = g.kernel(x, g.xs[i])
+	}
+	mean = g.yMean
+	for i := range kStar {
+		mean += kStar[i] * g.alpha[i]
+	}
+	// Variance: k(x,x) − k*ᵀ (K+σ²I)⁻¹ k*, via v = L⁻¹ k*.
+	v := forwardSolve(g.chol, kStar)
+	variance := g.kernel(x, x)
+	for _, vi := range v {
+		variance -= vi * vi
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance), nil
+}
+
+// forwardSolve solves L v = b for lower-triangular L.
+func forwardSolve(l *stats.Matrix, b []float64) []float64 {
+	n := l.Rows
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * v[k]
+		}
+		v[i] = sum / l.At(i, i)
+	}
+	return v
+}
+
+// ExpectedImprovement returns EI(x) for maximization over the incumbent
+// best observed value, with exploration jitter xi.
+func (g *GP) ExpectedImprovement(x []float64, best, xi float64) (float64, error) {
+	mean, std, err := g.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if std < 1e-12 {
+		if mean > best+xi {
+			return mean - best - xi, nil
+		}
+		return 0, nil
+	}
+	z := (mean - best - xi) / std
+	return (mean-best-xi)*stdNormCDF(z) + std*stdNormPDF(z), nil
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// LogMarginalLikelihood returns the log evidence of the fitted model, used
+// by tests and by hyperparameter selection.
+func (g *GP) LogMarginalLikelihood() (float64, error) {
+	if g.dirty || g.chol == nil {
+		if err := g.fit(); err != nil {
+			return 0, err
+		}
+	}
+	n := len(g.xs)
+	ll := 0.0
+	for i := 0; i < n; i++ {
+		ll -= math.Log(g.chol.At(i, i))
+	}
+	for i := 0; i < n; i++ {
+		ll -= 0.5 * (g.ys[i] - g.yMean) * g.alpha[i]
+	}
+	ll -= 0.5 * float64(n) * math.Log(2*math.Pi)
+	return ll, nil
+}

@@ -1,0 +1,232 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"wayfinder/internal/rng"
+)
+
+func TestPredictNoData(t *testing.T) {
+	g := New(1, 1, 0.01)
+	if _, _, err := g.Predict([]float64{0}); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestInterpolatesObservations(t *testing.T) {
+	g := New(0.5, 1, 1e-6)
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{1, 3, 2}
+	for i := range xs {
+		g.Add(xs[i], ys[i])
+	}
+	for i := range xs {
+		mean, std, err := g.Predict(xs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-ys[i]) > 0.01 {
+			t.Fatalf("mean at training point %v = %v, want %v", xs[i], mean, ys[i])
+		}
+		if std > 0.05 {
+			t.Fatalf("std at training point = %v, want ~0", std)
+		}
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	g := New(0.3, 1, 1e-4)
+	g.Add([]float64{0}, 0)
+	g.Add([]float64{0.2}, 0.1)
+	_, stdNear, err := g.Predict([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stdFar, err := g.Predict([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdFar <= stdNear {
+		t.Fatalf("stdFar=%v should exceed stdNear=%v", stdFar, stdNear)
+	}
+	// Far from data the posterior reverts to the prior std.
+	if math.Abs(stdFar-1) > 0.05 {
+		t.Fatalf("far std = %v, want ~prior 1", stdFar)
+	}
+}
+
+func TestPosteriorMeanRevertsToDataMean(t *testing.T) {
+	g := New(0.1, 1, 1e-4)
+	g.Add([]float64{0}, 10)
+	g.Add([]float64{0.1}, 12)
+	mean, _, err := g.Predict([]float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-11) > 0.1 {
+		t.Fatalf("far-field mean = %v, want data mean 11", mean)
+	}
+}
+
+func TestLearnsSmoothFunction(t *testing.T) {
+	g := New(0.4, 1, 1e-3)
+	r := rng.New(1)
+	f := func(x float64) float64 { return math.Sin(3 * x) }
+	for i := 0; i < 30; i++ {
+		x := r.Float64() * 2
+		g.Add([]float64{x}, f(x))
+	}
+	maxErr := 0.0
+	for x := 0.1; x < 1.9; x += 0.1 {
+		mean, _, err := g.Predict([]float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(mean - f(x)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.15 {
+		t.Fatalf("max interpolation error = %v", maxErr)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	g := New(0.5, 1, 1e-4)
+	g.Add([]float64{0}, 0)
+	g.Add([]float64{1}, 1)
+	// EI at the incumbent should be near zero; EI in unexplored territory
+	// should be positive.
+	eiKnown, err := g.ExpectedImprovement([]float64{1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eiNew, err := g.ExpectedImprovement([]float64{2}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eiNew <= eiKnown {
+		t.Fatalf("EI(new)=%v should exceed EI(incumbent)=%v", eiNew, eiKnown)
+	}
+	if eiKnown < 0 || eiNew < 0 {
+		t.Fatal("EI must be non-negative")
+	}
+}
+
+func TestEIFindsMaximumOf1DFunction(t *testing.T) {
+	// Bayesian-optimize f(x) = -(x-0.7)² and check convergence near 0.7.
+	g := New(0.2, 1, 1e-4)
+	f := func(x float64) float64 { return -(x - 0.7) * (x - 0.7) }
+	r := rng.New(2)
+	g.Add([]float64{0}, f(0))
+	g.Add([]float64{1}, f(1))
+	best, bestX := math.Inf(-1), 0.0
+	for _, y := range []float64{f(0), f(1)} {
+		if y > best {
+			best = y
+		}
+	}
+	for iter := 0; iter < 20; iter++ {
+		// Candidate grid + jitter.
+		bestEI, bestCand := -1.0, 0.0
+		for i := 0; i < 50; i++ {
+			x := r.Float64()
+			ei, err := g.ExpectedImprovement([]float64{x}, best, 0.001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ei > bestEI {
+				bestEI, bestCand = ei, x
+			}
+		}
+		y := f(bestCand)
+		g.Add([]float64{bestCand}, y)
+		if y > best {
+			best, bestX = y, bestCand
+		}
+	}
+	if math.Abs(bestX-0.7) > 0.05 {
+		t.Fatalf("BO converged to %v, want ~0.7", bestX)
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersGoodFit(t *testing.T) {
+	r := rng.New(3)
+	xs := make([][]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		x := r.Float64() * 2
+		xs[i] = []float64{x}
+		ys[i] = math.Sin(3 * x)
+	}
+	good := New(0.4, 1, 1e-2)
+	bad := New(1e-3, 1, 1e-2) // absurdly short length scale
+	for i := range xs {
+		good.Add(xs[i], ys[i])
+		bad.Add(xs[i], ys[i])
+	}
+	llGood, err := good.LogMarginalLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	llBad, err := bad.LogMarginalLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llGood <= llBad {
+		t.Fatalf("good model LL %v should beat degenerate %v", llGood, llBad)
+	}
+}
+
+func TestRefitOnAdd(t *testing.T) {
+	g := New(0.5, 1, 1e-4)
+	g.Add([]float64{0}, 0)
+	m1, _, err := g.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Add([]float64{0.5}, 5)
+	m2, _, err := g.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2-5) > 0.1 {
+		t.Fatalf("model did not refit after Add: %v -> %v", m1, m2)
+	}
+}
+
+func TestDuplicatePointsNumericallyStable(t *testing.T) {
+	g := New(0.5, 1, 1e-8)
+	for i := 0; i < 5; i++ {
+		g.Add([]float64{0.3}, 1.0)
+	}
+	mean, _, err := g.Predict([]float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("duplicate-point prediction = %v", mean)
+	}
+}
+
+// BenchmarkGPRefit demonstrates the O(n³) refit cost that limits Bayesian
+// optimization on large histories (the paper's scalability argument).
+func BenchmarkGPRefit(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		b.Run(map[int]string{50: "n50", 100: "n100", 200: "n200"}[n], func(b *testing.B) {
+			r := rng.New(1)
+			g := New(0.5, 1, 1e-3)
+			for i := 0; i < n; i++ {
+				g.Add([]float64{r.Float64(), r.Float64()}, r.Float64())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.dirty = true
+				if _, _, err := g.Predict([]float64{0.5, 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,373 @@
+package kconfig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SymbolType enumerates the Kconfig option kinds (Table 1's columns).
+type SymbolType int
+
+const (
+	// TypeUnknown marks symbols referenced before definition.
+	TypeUnknown SymbolType = iota
+	// TypeBool is an on/off option.
+	TypeBool
+	// TypeTristate is an n/m/y option.
+	TypeTristate
+	// TypeString is a free-form string option.
+	TypeString
+	// TypeHex is a hexadecimal integer option.
+	TypeHex
+	// TypeInt is a decimal integer option.
+	TypeInt
+)
+
+// String returns the Kconfig keyword for the type.
+func (t SymbolType) String() string {
+	switch t {
+	case TypeBool:
+		return "bool"
+	case TypeTristate:
+		return "tristate"
+	case TypeString:
+		return "string"
+	case TypeHex:
+		return "hex"
+	case TypeInt:
+		return "int"
+	default:
+		return "unknown"
+	}
+}
+
+// Tristate is a Kconfig tristate value; bools use No and Yes only.
+type Tristate int
+
+// Tristate values, ordered so that && is min and || is max.
+const (
+	No     Tristate = 0
+	Module Tristate = 1
+	Yes    Tristate = 2
+)
+
+// String returns the n/m/y spelling.
+func (t Tristate) String() string {
+	switch t {
+	case Yes:
+		return "y"
+	case Module:
+		return "m"
+	default:
+		return "n"
+	}
+}
+
+// Expr is a Kconfig dependency expression.
+type Expr interface {
+	// Eval computes the tristate value of the expression under an
+	// assignment of symbol values.
+	Eval(get func(name string) Tristate) Tristate
+	// Symbols appends the names referenced by the expression.
+	Symbols(into []string) []string
+	String() string
+}
+
+// SymbolRef references a config symbol (or the constants y/m/n).
+type SymbolRef struct{ Name string }
+
+// Eval implements Expr.
+func (e *SymbolRef) Eval(get func(string) Tristate) Tristate {
+	switch e.Name {
+	case "y":
+		return Yes
+	case "m":
+		return Module
+	case "n":
+		return No
+	}
+	return get(e.Name)
+}
+
+// Symbols implements Expr.
+func (e *SymbolRef) Symbols(into []string) []string {
+	switch e.Name {
+	case "y", "m", "n":
+		return into
+	}
+	return append(into, e.Name)
+}
+
+func (e *SymbolRef) String() string { return e.Name }
+
+// NotExpr is !x (tristate negation: 2 - x).
+type NotExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(get func(string) Tristate) Tristate { return Yes - e.X.Eval(get) }
+
+// Symbols implements Expr.
+func (e *NotExpr) Symbols(into []string) []string { return e.X.Symbols(into) }
+
+func (e *NotExpr) String() string { return "!" + e.X.String() }
+
+// AndExpr is x && y (tristate min).
+type AndExpr struct{ X, Y Expr }
+
+// Eval implements Expr.
+func (e *AndExpr) Eval(get func(string) Tristate) Tristate {
+	a, b := e.X.Eval(get), e.Y.Eval(get)
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Symbols implements Expr.
+func (e *AndExpr) Symbols(into []string) []string { return e.Y.Symbols(e.X.Symbols(into)) }
+
+func (e *AndExpr) String() string { return "(" + e.X.String() + " && " + e.Y.String() + ")" }
+
+// OrExpr is x || y (tristate max).
+type OrExpr struct{ X, Y Expr }
+
+// Eval implements Expr.
+func (e *OrExpr) Eval(get func(string) Tristate) Tristate {
+	a, b := e.X.Eval(get), e.Y.Eval(get)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Symbols implements Expr.
+func (e *OrExpr) Symbols(into []string) []string { return e.Y.Symbols(e.X.Symbols(into)) }
+
+func (e *OrExpr) String() string { return "(" + e.X.String() + " || " + e.Y.String() + ")" }
+
+// CmpExpr is x = y or x != y over symbol values; it evaluates to y or n.
+type CmpExpr struct {
+	X, Y Expr
+	Neq  bool
+}
+
+// Eval implements Expr.
+func (e *CmpExpr) Eval(get func(string) Tristate) Tristate {
+	eq := e.X.Eval(get) == e.Y.Eval(get)
+	if eq != e.Neq {
+		return Yes
+	}
+	return No
+}
+
+// Symbols implements Expr.
+func (e *CmpExpr) Symbols(into []string) []string { return e.Y.Symbols(e.X.Symbols(into)) }
+
+func (e *CmpExpr) String() string {
+	op := "="
+	if e.Neq {
+		op = "!="
+	}
+	return "(" + e.X.String() + " " + op + " " + e.Y.String() + ")"
+}
+
+// Default is one "default VALUE [if COND]" clause.
+type Default struct {
+	Value string // literal value or symbol name
+	Cond  Expr   // nil = unconditional
+}
+
+// Select is one "select SYMBOL [if COND]" clause.
+type Select struct {
+	Target string
+	Cond   Expr
+}
+
+// Range is an "int"/"hex" "range MIN MAX [if COND]" clause.
+type Range struct {
+	Min, Max string
+	Cond     Expr
+}
+
+// Symbol is one config/menuconfig entry.
+type Symbol struct {
+	Name      string
+	Type      SymbolType
+	Prompt    string
+	Help      string
+	DependsOn Expr // conjunction of all depends-on lines and enclosing if/menu conditions
+	Defaults  []Default
+	Selects   []Select
+	Ranges    []Range
+	// Choice is non-nil when the symbol is a member of a choice group.
+	Choice *Choice
+}
+
+// Choice is a Kconfig choice block: a group of bool symbols of which
+// exactly one is y (when the choice is active).
+type Choice struct {
+	Prompt  string
+	Members []*Symbol
+	Default string // symbol name
+}
+
+// Tree is a parsed Kconfig hierarchy.
+type Tree struct {
+	Symbols []*Symbol
+	Choices []*Choice
+	byName  map[string]*Symbol
+}
+
+// Lookup returns the named symbol, or nil.
+func (t *Tree) Lookup(name string) *Symbol {
+	return t.byName[name]
+}
+
+// Len returns the number of config symbols.
+func (t *Tree) Len() int { return len(t.Symbols) }
+
+// Census counts symbols per type — one Linux version's column set in the
+// paper's Table 1 / Figure 1.
+type Census struct {
+	Bool, Tristate, String, Hex, Int int
+}
+
+// Total returns the total option count.
+func (c Census) Total() int { return c.Bool + c.Tristate + c.String + c.Hex + c.Int }
+
+// Census counts the tree's symbols by type.
+func (t *Tree) Census() Census {
+	var c Census
+	for _, s := range t.Symbols {
+		switch s.Type {
+		case TypeBool:
+			c.Bool++
+		case TypeTristate:
+			c.Tristate++
+		case TypeString:
+			c.String++
+		case TypeHex:
+			c.Hex++
+		case TypeInt:
+			c.Int++
+		}
+	}
+	return c
+}
+
+// conj returns a && b, eliding nils.
+func conj(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &AndExpr{X: a, Y: b}
+}
+
+// DependencyOrder returns the symbols topologically sorted so that every
+// symbol appears after the symbols its depends-on expression references.
+// Cycles (legal in real Kconfig via select, but pathological) are broken
+// arbitrarily and reported.
+func (t *Tree) DependencyOrder() (order []*Symbol, cyclic []string) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(t.Symbols))
+	var visit func(s *Symbol)
+	visit = func(s *Symbol) {
+		switch state[s.Name] {
+		case gray:
+			cyclic = append(cyclic, s.Name)
+			return
+		case black:
+			return
+		}
+		state[s.Name] = gray
+		if s.DependsOn != nil {
+			for _, dep := range s.DependsOn.Symbols(nil) {
+				if d := t.byName[dep]; d != nil {
+					visit(d)
+				}
+			}
+		}
+		state[s.Name] = black
+		order = append(order, s)
+	}
+	for _, s := range t.Symbols {
+		visit(s)
+	}
+	return order, cyclic
+}
+
+// String renders the tree back to Kconfig syntax (round-trip support).
+func (t *Tree) String() string {
+	var b strings.Builder
+	seenChoice := map[*Choice]bool{}
+	for _, s := range t.Symbols {
+		if s.Choice != nil {
+			if seenChoice[s.Choice] {
+				continue
+			}
+			seenChoice[s.Choice] = true
+			b.WriteString("choice\n")
+			if s.Choice.Prompt != "" {
+				fmt.Fprintf(&b, "\tprompt \"%s\"\n", s.Choice.Prompt)
+			}
+			if s.Choice.Default != "" {
+				fmt.Fprintf(&b, "\tdefault %s\n", s.Choice.Default)
+			}
+			b.WriteString("\n")
+			for _, m := range s.Choice.Members {
+				writeSymbol(&b, m)
+			}
+			b.WriteString("endchoice\n\n")
+			continue
+		}
+		writeSymbol(&b, s)
+	}
+	return b.String()
+}
+
+func writeSymbol(b *strings.Builder, s *Symbol) {
+	fmt.Fprintf(b, "config %s\n", s.Name)
+	if s.Prompt != "" {
+		fmt.Fprintf(b, "\t%s \"%s\"\n", s.Type, s.Prompt)
+	} else {
+		fmt.Fprintf(b, "\t%s\n", s.Type)
+	}
+	if s.DependsOn != nil {
+		fmt.Fprintf(b, "\tdepends on %s\n", s.DependsOn)
+	}
+	for _, d := range s.Defaults {
+		v := d.Value
+		if s.Type == TypeString {
+			v = "\"" + v + "\""
+		}
+		if d.Cond != nil {
+			fmt.Fprintf(b, "\tdefault %s if %s\n", v, d.Cond)
+		} else {
+			fmt.Fprintf(b, "\tdefault %s\n", v)
+		}
+	}
+	for _, sel := range s.Selects {
+		if sel.Cond != nil {
+			fmt.Fprintf(b, "\tselect %s if %s\n", sel.Target, sel.Cond)
+		} else {
+			fmt.Fprintf(b, "\tselect %s\n", sel.Target)
+		}
+	}
+	for _, r := range s.Ranges {
+		fmt.Fprintf(b, "\trange %s %s\n", r.Min, r.Max)
+	}
+	if s.Help != "" {
+		b.WriteString("\thelp\n")
+		for _, line := range strings.Split(s.Help, "\n") {
+			fmt.Fprintf(b, "\t  %s\n", line)
+		}
+	}
+	b.WriteString("\n")
+}

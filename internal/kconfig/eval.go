@@ -1,0 +1,375 @@
+package kconfig
+
+import (
+	"fmt"
+	"strconv"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+)
+
+// Assignment maps symbol names to values. Bool/tristate symbols store
+// "n"/"m"/"y"; int/hex/string symbols store their literal value.
+type Assignment map[string]string
+
+// tri returns the tristate value of a symbol under the assignment;
+// undefined or non-boolean symbols read as n.
+func (a Assignment) tri(name string) Tristate {
+	switch a[name] {
+	case "y":
+		return Yes
+	case "m":
+		return Module
+	default:
+		return No
+	}
+}
+
+// DefaultConfig computes the assignment Kconfig's defconfig machinery
+// would produce: symbols get their first default whose condition holds
+// (in dependency order), clamped by depends-on; select clauses then force
+// their targets on.
+func (t *Tree) DefaultConfig() Assignment {
+	a := Assignment{}
+	order, _ := t.DependencyOrder()
+	for _, s := range order {
+		a[s.Name] = t.defaultValue(s, a)
+	}
+	t.applySelects(a)
+	return a
+}
+
+func (t *Tree) defaultValue(s *Symbol, a Assignment) string {
+	dep := Yes
+	if s.DependsOn != nil {
+		dep = s.DependsOn.Eval(a.tri)
+	}
+	switch s.Type {
+	case TypeBool, TypeTristate:
+		if dep == No {
+			return "n"
+		}
+		for _, d := range s.Defaults {
+			if d.Cond != nil && d.Cond.Eval(a.tri) == No {
+				continue
+			}
+			v := d.Value
+			// A default may reference another symbol.
+			if v != "y" && v != "m" && v != "n" {
+				v = a.tri(v).String()
+			}
+			if s.Type == TypeBool && v == "m" {
+				v = "y"
+			}
+			// Clamp tristate default by the dependency value.
+			if s.Type == TypeTristate && v == "y" && dep == Module {
+				v = "m"
+			}
+			return v
+		}
+		return "n"
+	case TypeInt, TypeHex:
+		for _, d := range s.Defaults {
+			if d.Cond != nil && d.Cond.Eval(a.tri) == No {
+				continue
+			}
+			return d.Value
+		}
+		return "0"
+	default: // TypeString
+		for _, d := range s.Defaults {
+			if d.Cond != nil && d.Cond.Eval(a.tri) == No {
+				continue
+			}
+			return d.Value
+		}
+		return ""
+	}
+}
+
+// applySelects forces select targets on. Kconfig select ignores the
+// target's dependencies — the documented source of invalid configurations,
+// one reason a third of random configs fail (§2.2).
+func (t *Tree) applySelects(a Assignment) {
+	changed := true
+	for iter := 0; changed && iter < len(t.Symbols)+1; iter++ {
+		changed = false
+		for _, s := range t.Symbols {
+			v := a.tri(s.Name)
+			if v == No {
+				continue
+			}
+			for _, sel := range s.Selects {
+				if sel.Cond != nil && sel.Cond.Eval(a.tri) == No {
+					continue
+				}
+				target := t.byName[sel.Target]
+				if target == nil {
+					continue
+				}
+				cur := a.tri(sel.Target)
+				want := v
+				if target.Type == TypeBool && want == Module {
+					want = Yes
+				}
+				if want > cur {
+					a[sel.Target] = want.String()
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// RandomConfig draws a random assignment that satisfies every depends-on
+// constraint (in KConfig's sense): symbols whose dependencies evaluate to n
+// are forced off, tristate values are clamped by their dependency value,
+// int/hex values are drawn from their range, and selects are applied last.
+// As in real Kconfig, select can still produce configurations that violate
+// the *target's* dependencies — valid on paper, possibly broken in practice
+// (§1) — which is exactly the behaviour Wayfinder has to cope with.
+func (t *Tree) RandomConfig(r *rng.RNG) Assignment {
+	a := Assignment{}
+	order, _ := t.DependencyOrder()
+	chosen := map[*Choice]string{}
+	for _, s := range order {
+		dep := Yes
+		if s.DependsOn != nil {
+			dep = s.DependsOn.Eval(a.tri)
+		}
+		if s.Choice != nil {
+			// Defer: one member per choice group is picked below.
+			a[s.Name] = "n"
+			if _, done := chosen[s.Choice]; !done && dep != No {
+				pick := s.Choice.Members[r.Intn(len(s.Choice.Members))]
+				chosen[s.Choice] = pick.Name
+			}
+			continue
+		}
+		switch s.Type {
+		case TypeBool:
+			if dep == No {
+				a[s.Name] = "n"
+			} else if r.Bool() {
+				a[s.Name] = "y"
+			} else {
+				a[s.Name] = "n"
+			}
+		case TypeTristate:
+			if dep == No {
+				a[s.Name] = "n"
+			} else {
+				v := Tristate(r.Intn(3))
+				if v > dep {
+					v = dep
+				}
+				a[s.Name] = v.String()
+			}
+		case TypeInt:
+			min, max := t.intRange(s, a, 0, 1<<31-1)
+			if max > min {
+				a[s.Name] = strconv.FormatInt(min+r.Int63n(max-min+1), 10)
+			} else {
+				a[s.Name] = strconv.FormatInt(min, 10)
+			}
+		case TypeHex:
+			min, max := t.intRange(s, a, 0, 1<<31-1)
+			v := min
+			if max > min {
+				v = min + r.Int63n(max-min+1)
+			}
+			a[s.Name] = "0x" + strconv.FormatInt(v, 16)
+		default:
+			a[s.Name] = t.defaultValue(s, a)
+		}
+	}
+	for ch, name := range chosen {
+		_ = ch
+		a[name] = "y"
+	}
+	t.applySelects(a)
+	return a
+}
+
+// intRange returns the active range of an int/hex symbol, defaulting to
+// [defMin, defMax].
+func (t *Tree) intRange(s *Symbol, a Assignment, defMin, defMax int64) (int64, int64) {
+	for _, r := range s.Ranges {
+		if r.Cond != nil && r.Cond.Eval(a.tri) == No {
+			continue
+		}
+		min, err1 := parseKNum(r.Min)
+		max, err2 := parseKNum(r.Max)
+		if err1 == nil && err2 == nil && min <= max {
+			return min, max
+		}
+	}
+	return defMin, defMax
+}
+
+func parseKNum(s string) (int64, error) {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		return strconv.ParseInt(s[2:], 16, 64)
+	}
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// Violation describes one constraint broken by an assignment.
+type Violation struct {
+	Symbol string
+	Reason string
+}
+
+func (v Violation) String() string { return v.Symbol + ": " + v.Reason }
+
+// Validate checks an assignment against the tree's constraints and returns
+// all violations: enabled symbols whose dependencies are unmet, select
+// targets that are off, out-of-range int/hex values, and broken choice
+// invariants.
+func (t *Tree) Validate(a Assignment) []Violation {
+	var out []Violation
+	for _, s := range t.Symbols {
+		v := a.tri(s.Name)
+		switch s.Type {
+		case TypeBool, TypeTristate:
+			if v == No {
+				continue
+			}
+			if s.DependsOn != nil {
+				dep := s.DependsOn.Eval(a.tri)
+				if dep == No {
+					// A select may legitimately force the symbol on; then
+					// the config is "valid on paper" per Kconfig semantics.
+					if !t.selectedBy(s.Name, a) {
+						out = append(out, Violation{s.Name, "enabled but dependencies unmet"})
+					}
+				} else if v > dep && !t.selectedBy(s.Name, a) {
+					out = append(out, Violation{s.Name, "built-in but dependency allows only module"})
+				}
+			}
+			for _, sel := range s.Selects {
+				if sel.Cond != nil && sel.Cond.Eval(a.tri) == No {
+					continue
+				}
+				if t.byName[sel.Target] != nil && a.tri(sel.Target) < v {
+					out = append(out, Violation{s.Name, "selects " + sel.Target + " which is weaker"})
+				}
+			}
+		case TypeInt, TypeHex:
+			val, err := parseKNum(a[s.Name])
+			if err != nil {
+				out = append(out, Violation{s.Name, "non-numeric value " + a[s.Name]})
+				continue
+			}
+			min, max := t.intRange(s, a, val, val)
+			if val < min || val > max {
+				out = append(out, Violation{s.Name, fmt.Sprintf("value %d outside range [%d,%d]", val, min, max)})
+			}
+		}
+	}
+	for _, ch := range t.Choices {
+		active := 0
+		groupLive := false
+		for _, m := range ch.Members {
+			dep := Yes
+			if m.DependsOn != nil {
+				dep = m.DependsOn.Eval(a.tri)
+			}
+			if dep != No {
+				groupLive = true
+			}
+			if a.tri(m.Name) == Yes {
+				active++
+			}
+		}
+		if groupLive && active != 1 {
+			out = append(out, Violation{choiceName(ch), fmt.Sprintf("choice has %d active members, want 1", active)})
+		}
+	}
+	return out
+}
+
+func (t *Tree) selectedBy(name string, a Assignment) bool {
+	for _, s := range t.Symbols {
+		if a.tri(s.Name) == No {
+			continue
+		}
+		for _, sel := range s.Selects {
+			if sel.Target != name {
+				continue
+			}
+			if sel.Cond != nil && sel.Cond.Eval(a.tri) == No {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func choiceName(ch *Choice) string {
+	if ch.Prompt != "" {
+		return "choice " + ch.Prompt
+	}
+	if len(ch.Members) > 0 {
+		return "choice(" + ch.Members[0].Name + "...)"
+	}
+	return "choice"
+}
+
+// ToSpace converts the tree's symbols into a configspace.Space of
+// compile-time parameters, using the default configuration for defaults.
+// String symbols become single-value enums (they are not explored — §3.4).
+func (t *Tree) ToSpace(name string) (*configspace.Space, error) {
+	defaults := t.DefaultConfig()
+	space := configspace.NewSpace(name)
+	for _, s := range t.Symbols {
+		p := &configspace.Param{Name: s.Name, Class: configspace.CompileTime, Help: s.Help}
+		switch s.Type {
+		case TypeBool:
+			p.Type = configspace.Bool
+			p.Default = configspace.BoolValue(defaults[s.Name] == "y")
+		case TypeTristate:
+			p.Type = configspace.Tristate
+			switch defaults[s.Name] {
+			case "y":
+				p.Default = configspace.TriValue(configspace.TriYes)
+			case "m":
+				p.Default = configspace.TriValue(configspace.TriModule)
+			default:
+				p.Default = configspace.TriValue(configspace.TriNo)
+			}
+		case TypeInt, TypeHex:
+			if s.Type == TypeHex {
+				p.Type = configspace.Hex
+			} else {
+				p.Type = configspace.Int
+			}
+			def, err := parseKNum(defaults[s.Name])
+			if err != nil {
+				def = 0
+			}
+			min, max := t.intRange(s, defaults, def, def)
+			if def < min {
+				def = min
+			}
+			if def > max {
+				def = max
+			}
+			p.Min, p.Max = min, max
+			p.Default = configspace.IntValue(def)
+		default: // string
+			p.Type = configspace.Enum
+			v := defaults[s.Name]
+			if v == "" {
+				v = "(empty)"
+			}
+			p.Values = []string{v}
+			p.Default = configspace.EnumValue(v)
+		}
+		if err := space.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return space, nil
+}

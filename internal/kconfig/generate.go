@@ -1,0 +1,189 @@
+package kconfig
+
+import (
+	"fmt"
+	"strings"
+
+	"wayfinder/internal/rng"
+)
+
+// VersionCensus records the compile-time option counts of one Linux
+// release. The counts behind Figure 1 (total options per version) and
+// Table 1 (the per-type breakdown for 6.0) are reproduced here; older
+// versions use the paper's Figure 1 trajectory with per-type splits
+// matching the historical bool/tristate balance.
+type VersionCensus struct {
+	Version string
+	Census  Census
+}
+
+// LinuxVersions lists the releases on the paper's Figure 1 x-axis with
+// their approximate compile-time option counts. The v6.0 entry matches
+// Table 1 exactly (7585 bool, 10034 tristate, 154 string, 94 hex, 3405 int,
+// 21272 total).
+var LinuxVersions = []VersionCensus{
+	{"v2.6.13", Census{Bool: 2144, Tristate: 3239, String: 38, Hex: 62, Int: 414}},
+	{"v2.6.20", Census{Bool: 2703, Tristate: 3816, String: 44, Hex: 68, Int: 537}},
+	{"v2.6.27", Census{Bool: 3342, Tristate: 4598, String: 54, Hex: 72, Int: 702}},
+	{"v2.6.35", Census{Bool: 4078, Tristate: 5471, String: 64, Hex: 76, Int: 905}},
+	{"v3.2", Census{Bool: 4710, Tristate: 6227, String: 74, Hex: 80, Int: 1126}},
+	{"v3.10", Census{Bool: 5368, Tristate: 7017, String: 86, Hex: 84, Int: 1401}},
+	{"v3.17", Census{Bool: 5859, Tristate: 7602, String: 96, Hex: 86, Int: 1648}},
+	{"v4.4", Census{Bool: 6272, Tristate: 8103, String: 108, Hex: 88, Int: 1961}},
+	{"v4.12", Census{Bool: 6634, Tristate: 8541, String: 118, Hex: 90, Int: 2309}},
+	{"v4.19", Census{Bool: 6925, Tristate: 8902, String: 128, Hex: 91, Int: 2632}},
+	{"v5.6", Census{Bool: 7189, Tristate: 9335, String: 138, Hex: 92, Int: 2960}},
+	{"v5.13", Census{Bool: 7399, Tristate: 9689, String: 146, Hex: 93, Int: 3194}},
+	{"v6.0", Census{Bool: 7585, Tristate: 10034, String: 154, Hex: 94, Int: 3405}},
+}
+
+// LookupVersion returns the census entry for a version string.
+func LookupVersion(version string) (VersionCensus, bool) {
+	for _, v := range LinuxVersions {
+		if v.Version == version {
+			return v, true
+		}
+	}
+	return VersionCensus{}, false
+}
+
+// subsystems gives the generator a realistic menu structure: every
+// generated symbol belongs to one subsystem menu, and dependencies stay
+// mostly within a subsystem with occasional cross-subsystem "select"s,
+// like the real tree.
+var subsystems = []string{
+	"GENERAL", "NET", "BLOCK", "FS", "MM", "SCHED", "DRIVERS", "SOUND",
+	"CRYPTO", "SECURITY", "DEBUG", "ARCH", "POWER", "VIRT",
+}
+
+// Generate synthesizes a Kconfig source tree with exactly the requested
+// per-type option counts, deterministic in seed. The structure mimics the
+// real tree: subsystem menus, 2–4 level dependency chains, select edges,
+// choices, defaults, and ranges on numeric options.
+func Generate(census Census, seed uint64) string {
+	r := rng.New(seed)
+	var b strings.Builder
+	b.WriteString("mainmenu \"Synthetic Linux Kernel Configuration\"\n\n")
+
+	// Work out per-subsystem shares.
+	total := census.Total()
+	type slot struct {
+		typ SymbolType
+		n   int
+	}
+	slots := []slot{
+		{TypeBool, census.Bool},
+		{TypeTristate, census.Tristate},
+		{TypeString, census.String},
+		{TypeHex, census.Hex},
+		{TypeInt, census.Int},
+	}
+	// Distribute symbols round-robin weighted by remaining counts, keeping
+	// a per-subsystem recent-symbol pool for dependency edges.
+	perSub := total / len(subsystems)
+	_ = perSub
+	counters := map[string]int{}
+	recent := map[string][]string{}
+	subIdx := 0
+	emitted := 0
+
+	emit := func(typ SymbolType) {
+		sub := subsystems[subIdx%len(subsystems)]
+		subIdx++
+		counters[sub]++
+		name := fmt.Sprintf("%s_OPT_%04d", sub, counters[sub])
+		fmt.Fprintf(&b, "config %s\n", name)
+		switch typ {
+		case TypeBool:
+			fmt.Fprintf(&b, "\tbool \"%s option %d\"\n", strings.ToLower(sub), counters[sub])
+		case TypeTristate:
+			fmt.Fprintf(&b, "\ttristate \"%s driver %d\"\n", strings.ToLower(sub), counters[sub])
+		case TypeString:
+			fmt.Fprintf(&b, "\tstring \"%s name %d\"\n", strings.ToLower(sub), counters[sub])
+			fmt.Fprintf(&b, "\tdefault \"%s-default\"\n", strings.ToLower(sub))
+		case TypeHex:
+			fmt.Fprintf(&b, "\thex \"%s base %d\"\n", strings.ToLower(sub), counters[sub])
+			fmt.Fprintf(&b, "\tdefault 0x%x\n", 0x1000*(1+r.Intn(256)))
+			b.WriteString("\trange 0x1000 0x1000000\n")
+		case TypeInt:
+			fmt.Fprintf(&b, "\tint \"%s count %d\"\n", strings.ToLower(sub), counters[sub])
+			def := 1 << uint(2+r.Intn(12))
+			fmt.Fprintf(&b, "\tdefault %d\n", def)
+			fmt.Fprintf(&b, "\trange 1 %d\n", def*64)
+		}
+		pool := recent[sub]
+		// ~55% of symbols depend on an earlier symbol in their subsystem,
+		// giving the multi-level dependency chains that make a third of
+		// naively-random configurations invalid.
+		if len(pool) > 0 && r.Chance(0.55) {
+			dep := pool[r.Intn(len(pool))]
+			if r.Chance(0.15) && len(pool) > 1 {
+				dep2 := pool[r.Intn(len(pool))]
+				if dep2 != dep {
+					fmt.Fprintf(&b, "\tdepends on %s && %s\n", dep, dep2)
+				} else {
+					fmt.Fprintf(&b, "\tdepends on %s\n", dep)
+				}
+			} else if r.Chance(0.1) && len(pool) > 1 {
+				dep2 := pool[r.Intn(len(pool))]
+				fmt.Fprintf(&b, "\tdepends on %s || %s\n", dep, dep2)
+			} else {
+				fmt.Fprintf(&b, "\tdepends on %s\n", dep)
+			}
+		}
+		// ~6% select an earlier symbol, possibly cross-subsystem — the
+		// mechanism that produces valid-on-paper-but-broken configs.
+		if (typ == TypeBool || typ == TypeTristate) && r.Chance(0.06) {
+			other := subsystems[r.Intn(len(subsystems))]
+			if opool := recent[other]; len(opool) > 0 {
+				fmt.Fprintf(&b, "\tselect %s\n", opool[r.Intn(len(opool))])
+			}
+		}
+		if typ == TypeBool || typ == TypeTristate {
+			// Default distribution approximating a defconfig: most options
+			// off, a core set on.
+			switch {
+			case r.Chance(0.25):
+				b.WriteString("\tdefault y\n")
+			case typ == TypeTristate && r.Chance(0.15):
+				b.WriteString("\tdefault m\n")
+			}
+			pool = append(pool, name)
+			if len(pool) > 40 {
+				pool = pool[1:]
+			}
+			recent[sub] = pool
+		}
+		b.WriteString("\n")
+		emitted++
+	}
+
+	// Interleave types proportionally so subsystems get a realistic mix.
+	remaining := 0
+	for _, s := range slots {
+		remaining += s.n
+	}
+	for remaining > 0 {
+		weights := make([]float64, len(slots))
+		for i, s := range slots {
+			weights[i] = float64(s.n)
+		}
+		i := r.Choice(weights)
+		if slots[i].n == 0 {
+			continue
+		}
+		emit(slots[i].typ)
+		slots[i].n--
+		remaining--
+	}
+	return b.String()
+}
+
+// GenerateVersion synthesizes the Kconfig tree for a named Linux version.
+func GenerateVersion(version string, seed uint64) (string, error) {
+	vc, ok := LookupVersion(version)
+	if !ok {
+		return "", fmt.Errorf("kconfig: unknown version %q", version)
+	}
+	return Generate(vc.Census, seed), nil
+}

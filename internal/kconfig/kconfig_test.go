@@ -1,0 +1,538 @@
+package kconfig
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wayfinder/internal/rng"
+)
+
+const sampleKconfig = `
+mainmenu "Test Kernel Configuration"
+
+config NET
+	bool "Networking support"
+	default y
+	help
+	  Enable the network stack.
+	  Multi-line help text.
+
+menu "Network options"
+depends on NET
+
+config INET
+	bool "TCP/IP networking"
+	default y
+
+config TCP_CONG_ADVANCED
+	bool "Advanced congestion control"
+	depends on INET
+
+choice
+	prompt "Default TCP congestion control"
+	default TCP_CONG_CUBIC
+
+config TCP_CONG_CUBIC
+	bool "CUBIC"
+
+config TCP_CONG_RENO
+	bool "Reno"
+
+endchoice
+
+config E1000
+	tristate "Intel E1000 driver"
+	depends on INET
+	default m
+
+endmenu
+
+config LOG_BUF_SHIFT
+	int "Kernel log buffer size (powers of 2)"
+	range 12 25
+	default 17
+
+config PHYSICAL_START
+	hex "Physical address where the kernel starts"
+	default 0x1000000
+	range 0x100000 0x10000000
+
+config DEFAULT_HOSTNAME
+	string "Default hostname"
+	default "(none)"
+
+config CRYPTO_SHA256
+	tristate "SHA-256 digest"
+
+config IPSEC
+	bool "IPsec support"
+	depends on INET
+	select CRYPTO_SHA256
+
+if NET
+config NETFILTER
+	bool "Network packet filtering"
+endif
+
+comment "End of test configuration"
+`
+
+func parseSample(t testing.TB) *Tree {
+	t.Helper()
+	tree, err := Parse(sampleKconfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestParseSymbols(t *testing.T) {
+	tree := parseSample(t)
+	wantSyms := []string{"NET", "INET", "TCP_CONG_ADVANCED", "TCP_CONG_CUBIC",
+		"TCP_CONG_RENO", "E1000", "LOG_BUF_SHIFT", "PHYSICAL_START",
+		"DEFAULT_HOSTNAME", "CRYPTO_SHA256", "IPSEC", "NETFILTER"}
+	if tree.Len() != len(wantSyms) {
+		t.Fatalf("parsed %d symbols, want %d", tree.Len(), len(wantSyms))
+	}
+	for _, name := range wantSyms {
+		if tree.Lookup(name) == nil {
+			t.Fatalf("symbol %s missing", name)
+		}
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	tree := parseSample(t)
+	cases := map[string]SymbolType{
+		"NET":              TypeBool,
+		"E1000":            TypeTristate,
+		"LOG_BUF_SHIFT":    TypeInt,
+		"PHYSICAL_START":   TypeHex,
+		"DEFAULT_HOSTNAME": TypeString,
+	}
+	for name, want := range cases {
+		if got := tree.Lookup(name).Type; got != want {
+			t.Errorf("%s type = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseHelp(t *testing.T) {
+	tree := parseSample(t)
+	help := tree.Lookup("NET").Help
+	if !strings.Contains(help, "Enable the network stack.") ||
+		!strings.Contains(help, "Multi-line help text.") {
+		t.Fatalf("help = %q", help)
+	}
+}
+
+func TestMenuDependsPropagates(t *testing.T) {
+	tree := parseSample(t)
+	inet := tree.Lookup("INET")
+	if inet.DependsOn == nil {
+		t.Fatal("INET should inherit menu dependency on NET")
+	}
+	syms := inet.DependsOn.Symbols(nil)
+	if len(syms) != 1 || syms[0] != "NET" {
+		t.Fatalf("INET deps = %v", syms)
+	}
+	// Nested: TCP_CONG_ADVANCED depends on NET (menu) && INET (own).
+	adv := tree.Lookup("TCP_CONG_ADVANCED")
+	symSet := map[string]bool{}
+	for _, s := range adv.DependsOn.Symbols(nil) {
+		symSet[s] = true
+	}
+	if !symSet["NET"] || !symSet["INET"] {
+		t.Fatalf("TCP_CONG_ADVANCED deps = %v", symSet)
+	}
+}
+
+func TestIfBlockPropagates(t *testing.T) {
+	tree := parseSample(t)
+	nf := tree.Lookup("NETFILTER")
+	syms := nf.DependsOn.Symbols(nil)
+	if len(syms) != 1 || syms[0] != "NET" {
+		t.Fatalf("NETFILTER deps = %v", syms)
+	}
+}
+
+func TestChoiceParsed(t *testing.T) {
+	tree := parseSample(t)
+	if len(tree.Choices) != 1 {
+		t.Fatalf("%d choices parsed", len(tree.Choices))
+	}
+	ch := tree.Choices[0]
+	if len(ch.Members) != 2 || ch.Default != "TCP_CONG_CUBIC" {
+		t.Fatalf("choice = %+v", ch)
+	}
+	if tree.Lookup("TCP_CONG_CUBIC").Choice != ch {
+		t.Fatal("member not linked to its choice")
+	}
+}
+
+func TestRangesParsed(t *testing.T) {
+	tree := parseSample(t)
+	s := tree.Lookup("LOG_BUF_SHIFT")
+	if len(s.Ranges) != 1 || s.Ranges[0].Min != "12" || s.Ranges[0].Max != "25" {
+		t.Fatalf("ranges = %+v", s.Ranges)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  map[string]Tristate
+		want Tristate
+	}{
+		{"A && B", map[string]Tristate{"A": Yes, "B": Module}, Module},
+		{"A || B", map[string]Tristate{"A": No, "B": Module}, Module},
+		{"!A", map[string]Tristate{"A": Module}, Module},
+		{"!A", map[string]Tristate{"A": Yes}, No},
+		{"A = B", map[string]Tristate{"A": Yes, "B": Yes}, Yes},
+		{"A != B", map[string]Tristate{"A": Yes, "B": Yes}, No},
+		{"(A || B) && !C", map[string]Tristate{"A": No, "B": Yes, "C": No}, Yes},
+		{"y && m", nil, Module},
+	}
+	for _, tc := range cases {
+		src := "config X\n\tbool\n\tdepends on " + tc.src + "\n"
+		tree, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		got := tree.Lookup("X").DependsOn.Eval(func(n string) Tristate {
+			return tc.env[n]
+		})
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unterminated string", "config X\n\tbool \"oops\n"},
+		{"stray amp", "config X\n\tbool\n\tdepends on A & B\n"},
+		{"missing paren", "config X\n\tbool\n\tdepends on (A && B\n"},
+		{"unknown keyword", "flurble X\n"},
+		{"config without name", "config\n\tbool\n"},
+		{"unclosed menu", "menu \"m\"\nconfig X\n\tbool\n"},
+		{"source without resolver", "source \"net/Kconfig\"\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestSourceResolution(t *testing.T) {
+	files := map[string]string{
+		"net/Kconfig": "config SUB\n\tbool \"sub option\"\n\tdefault y\n",
+	}
+	tree, err := ParseWithSources("config TOP\n\tbool\nif TOP\nsource \"net/Kconfig\"\nendif\n",
+		func(path string) (string, error) { return files[path], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := tree.Lookup("SUB")
+	if sub == nil {
+		t.Fatal("sourced symbol missing")
+	}
+	syms := sub.DependsOn.Symbols(nil)
+	if len(syms) != 1 || syms[0] != "TOP" {
+		t.Fatalf("sourced symbol deps = %v (if condition should propagate)", syms)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	tree := parseSample(t)
+	a := tree.DefaultConfig()
+	if a["NET"] != "y" || a["INET"] != "y" {
+		t.Fatalf("defaults: NET=%s INET=%s", a["NET"], a["INET"])
+	}
+	if a["E1000"] != "m" {
+		t.Fatalf("E1000 default = %s, want m", a["E1000"])
+	}
+	if a["TCP_CONG_ADVANCED"] != "n" {
+		t.Fatalf("unset bool default = %s, want n", a["TCP_CONG_ADVANCED"])
+	}
+	if a["LOG_BUF_SHIFT"] != "17" {
+		t.Fatalf("LOG_BUF_SHIFT = %s", a["LOG_BUF_SHIFT"])
+	}
+	if a["DEFAULT_HOSTNAME"] != "(none)" {
+		t.Fatalf("string default = %q", a["DEFAULT_HOSTNAME"])
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	tree := parseSample(t)
+	a := tree.DefaultConfig()
+	// The default config enables IPSEC=n so CRYPTO_SHA256 stays n; the
+	// default assignment should carry no violations except the inactive
+	// choice (whose default member is not forced by our defconfig).
+	viols := tree.Validate(a)
+	for _, v := range viols {
+		if !strings.HasPrefix(v.Symbol, "choice") {
+			t.Fatalf("default config violation: %v", v)
+		}
+	}
+}
+
+func TestSelectForcesTarget(t *testing.T) {
+	tree := parseSample(t)
+	a := tree.DefaultConfig()
+	a["IPSEC"] = "y"
+	tree.applySelects(a)
+	if a["CRYPTO_SHA256"] != "y" {
+		t.Fatalf("select did not fire: CRYPTO_SHA256=%s", a["CRYPTO_SHA256"])
+	}
+}
+
+func TestRandomConfigRespectsDependencies(t *testing.T) {
+	tree := parseSample(t)
+	if err := quick.Check(func(seed uint64) bool {
+		a := tree.RandomConfig(rng.New(seed))
+		// Direct depends-on must hold unless forced by select.
+		for _, v := range tree.Validate(a) {
+			if strings.Contains(v.Reason, "dependencies unmet") {
+				return false
+			}
+			if strings.Contains(v.Reason, "outside range") {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomConfigChoiceInvariant(t *testing.T) {
+	tree := parseSample(t)
+	r := rng.New(4)
+	for i := 0; i < 100; i++ {
+		a := tree.RandomConfig(r)
+		if a["NET"] == "y" && a["INET"] == "y" {
+			active := 0
+			for _, m := range tree.Choices[0].Members {
+				if a[m.Name] == "y" {
+					active++
+				}
+			}
+			if active != 1 {
+				t.Fatalf("choice invariant broken: %d active", active)
+			}
+		}
+	}
+}
+
+func TestDependencyOrder(t *testing.T) {
+	tree := parseSample(t)
+	order, cyclic := tree.DependencyOrder()
+	if len(cyclic) != 0 {
+		t.Fatalf("unexpected cycles: %v", cyclic)
+	}
+	pos := map[string]int{}
+	for i, s := range order {
+		pos[s.Name] = i
+	}
+	if pos["NET"] > pos["INET"] {
+		t.Fatal("NET should come before INET")
+	}
+	if pos["INET"] > pos["E1000"] {
+		t.Fatal("INET should come before E1000")
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	tree := parseSample(t)
+	a := tree.DefaultConfig()
+	a["NET"] = "n"
+	a["INET"] = "y" // depends on NET
+	viols := tree.Validate(a)
+	found := false
+	for _, v := range viols {
+		if v.Symbol == "INET" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("INET violation not reported: %v", viols)
+	}
+	a = tree.DefaultConfig()
+	a["LOG_BUF_SHIFT"] = "99"
+	viols = tree.Validate(a)
+	found = false
+	for _, v := range viols {
+		if v.Symbol == "LOG_BUF_SHIFT" && strings.Contains(v.Reason, "outside range") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("range violation not reported: %v", viols)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	tree := parseSample(t)
+	c := tree.Census()
+	want := Census{Bool: 7, Tristate: 2, String: 1, Hex: 1, Int: 1}
+	if c != want {
+		t.Fatalf("census = %+v, want %+v", c, want)
+	}
+	if c.Total() != tree.Len() {
+		t.Fatal("census total mismatch")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tree := parseSample(t)
+	tree2, err := Parse(tree.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, tree.String())
+	}
+	if tree2.Len() != tree.Len() {
+		t.Fatalf("round trip lost symbols: %d vs %d", tree2.Len(), tree.Len())
+	}
+	if tree2.Census() != tree.Census() {
+		t.Fatal("round trip changed census")
+	}
+}
+
+func TestToSpace(t *testing.T) {
+	tree := parseSample(t)
+	space, err := tree.ToSpace("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Len() != tree.Len() {
+		t.Fatalf("space has %d params, tree %d symbols", space.Len(), tree.Len())
+	}
+	p, _ := space.Lookup("LOG_BUF_SHIFT")
+	if p == nil || p.Min != 12 || p.Max != 25 || p.Default.I != 17 {
+		t.Fatalf("LOG_BUF_SHIFT param = %+v", p)
+	}
+	e, _ := space.Lookup("E1000")
+	if e == nil || e.Default.I != int64(Module) {
+		t.Fatalf("E1000 param = %+v", e)
+	}
+}
+
+func TestGenerateMatchesCensus(t *testing.T) {
+	want := Census{Bool: 120, Tristate: 80, String: 10, Hex: 5, Int: 30}
+	src := Generate(want, 42)
+	tree, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Census(); got != want {
+		t.Fatalf("generated census = %+v, want %+v", got, want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := Census{Bool: 50, Tristate: 30, Int: 10}
+	if Generate(c, 7) != Generate(c, 7) {
+		t.Fatal("generator not deterministic")
+	}
+	if Generate(c, 7) == Generate(c, 8) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateHasDependencies(t *testing.T) {
+	src := Generate(Census{Bool: 300, Tristate: 200, Int: 50}, 11)
+	tree, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDeps := 0
+	for _, s := range tree.Symbols {
+		if s.DependsOn != nil {
+			withDeps++
+		}
+	}
+	if frac := float64(withDeps) / float64(tree.Len()); frac < 0.3 {
+		t.Fatalf("only %.0f%% of generated symbols have dependencies", frac*100)
+	}
+}
+
+func TestGenerateVersionTable1(t *testing.T) {
+	src, err := GenerateVersion("v6.0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tree.Census()
+	want := Census{Bool: 7585, Tristate: 10034, String: 154, Hex: 94, Int: 3405}
+	if c != want {
+		t.Fatalf("v6.0 census = %+v, want Table 1's %+v", c, want)
+	}
+}
+
+func TestGenerateVersionUnknown(t *testing.T) {
+	if _, err := GenerateVersion("v99.9", 1); err == nil {
+		t.Fatal("expected error for unknown version")
+	}
+}
+
+func TestFigure1Monotone(t *testing.T) {
+	prev := 0
+	for _, vc := range LinuxVersions {
+		total := vc.Census.Total()
+		if total <= prev {
+			t.Fatalf("option counts must grow: %s has %d after %d", vc.Version, total, prev)
+		}
+		prev = total
+	}
+	first := LinuxVersions[0].Census.Total()
+	last := LinuxVersions[len(LinuxVersions)-1].Census.Total()
+	if first > 7000 || last < 20000 {
+		t.Fatalf("Figure 1 trajectory wrong: %d -> %d", first, last)
+	}
+}
+
+func TestGeneratedRandomConfigs(t *testing.T) {
+	src := Generate(Census{Bool: 200, Tristate: 100, Int: 30, Hex: 10}, 3)
+	tree, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 20; i++ {
+		a := tree.RandomConfig(r)
+		for _, v := range tree.Validate(a) {
+			if strings.Contains(v.Reason, "dependencies unmet") {
+				t.Fatalf("random config broke dependency: %v", v)
+			}
+		}
+	}
+}
+
+func BenchmarkParseGenerated(b *testing.B) {
+	src := Generate(Census{Bool: 1000, Tristate: 600, String: 20, Hex: 10, Int: 200}, 1)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomConfig(b *testing.B) {
+	src := Generate(Census{Bool: 1000, Tristate: 600, Int: 200}, 1)
+	tree, err := Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.RandomConfig(r)
+	}
+}

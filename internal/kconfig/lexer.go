@@ -1,0 +1,196 @@
+// Package kconfig implements the subset of the Linux Kconfig configuration
+// language that Wayfinder needs to define compile-time search spaces: the
+// lexer and parser for config/menuconfig/choice/menu/if blocks, tristate
+// expression evaluation, dependency-respecting configuration generation,
+// and an option census (the data behind the paper's Table 1 and Figure 1).
+//
+// The real Linux tree is not available offline, so the package also ships a
+// deterministic generator that synthesizes Kconfig trees with the option
+// counts and dependency structure of given kernel versions (see DESIGN.md,
+// Substitutions).
+package kconfig
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent  // CONFIG symbol or keyword
+	tokString // "quoted"
+	tokNumber // 123 or 0xabc
+	tokAndAnd // &&
+	tokOrOr   // ||
+	tokNot    // !
+	tokEq     // =
+	tokNeq    // !=
+	tokLParen // (
+	tokRParen // )
+	tokHelp   // a whole help block, pre-collected
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer tokenizes Kconfig source. Kconfig is line-oriented: keywords start
+// entries, attributes are indented lines, and "help" swallows the following
+// more-indented block verbatim.
+type lexer struct {
+	lines []string
+	// queue of tokens for the current line
+	queue []token
+	line  int // 1-based index of the next line to lex
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{lines: strings.Split(src, "\n")}
+}
+
+// next returns the next token, lexing line by line. Every source line
+// yields its tokens followed by one tokNewline.
+func (lx *lexer) next() (token, error) {
+	for len(lx.queue) == 0 {
+		if lx.line >= len(lx.lines) {
+			return token{kind: tokEOF, line: lx.line}, nil
+		}
+		raw := lx.lines[lx.line]
+		lx.line++
+		if err := lx.lexLine(raw, lx.line); err != nil {
+			return token{}, err
+		}
+	}
+	t := lx.queue[0]
+	lx.queue = lx.queue[1:]
+	return t, nil
+}
+
+func (lx *lexer) lexLine(raw string, lineNo int) error {
+	s := raw
+	// Strip comments: '#' outside quotes.
+	inQ := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQ != 0 {
+			if c == inQ {
+				inQ = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inQ = c
+		case '#':
+			s = s[:i]
+		}
+		if len(s) <= i {
+			break
+		}
+	}
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return nil // skip blank lines entirely; entries are keyword-delimited
+	}
+	if trimmed == "help" || trimmed == "---help---" {
+		// Collect the indented help body.
+		var body []string
+		for lx.line < len(lx.lines) {
+			l := lx.lines[lx.line]
+			t := strings.TrimSpace(l)
+			if t == "" {
+				lx.line++
+				body = append(body, "")
+				continue
+			}
+			if !strings.HasPrefix(l, "\t") && !strings.HasPrefix(l, "  ") {
+				break
+			}
+			body = append(body, t)
+			lx.line++
+		}
+		lx.queue = append(lx.queue,
+			token{kind: tokHelp, text: strings.TrimSpace(strings.Join(body, "\n")), line: lineNo},
+			token{kind: tokNewline, line: lineNo})
+		return nil
+	}
+	i := 0
+	for i < len(trimmed) {
+		c := trimmed[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '"' || c == '\'':
+			j := i + 1
+			for j < len(trimmed) && trimmed[j] != c {
+				j++
+			}
+			if j >= len(trimmed) {
+				return fmt.Errorf("kconfig: line %d: unterminated string", lineNo)
+			}
+			lx.queue = append(lx.queue, token{kind: tokString, text: trimmed[i+1 : j], line: lineNo})
+			i = j + 1
+		case c == '&':
+			if i+1 < len(trimmed) && trimmed[i+1] == '&' {
+				lx.queue = append(lx.queue, token{kind: tokAndAnd, line: lineNo})
+				i += 2
+			} else {
+				return fmt.Errorf("kconfig: line %d: stray '&'", lineNo)
+			}
+		case c == '|':
+			if i+1 < len(trimmed) && trimmed[i+1] == '|' {
+				lx.queue = append(lx.queue, token{kind: tokOrOr, line: lineNo})
+				i += 2
+			} else {
+				return fmt.Errorf("kconfig: line %d: stray '|'", lineNo)
+			}
+		case c == '!':
+			if i+1 < len(trimmed) && trimmed[i+1] == '=' {
+				lx.queue = append(lx.queue, token{kind: tokNeq, line: lineNo})
+				i += 2
+			} else {
+				lx.queue = append(lx.queue, token{kind: tokNot, line: lineNo})
+				i++
+			}
+		case c == '=':
+			lx.queue = append(lx.queue, token{kind: tokEq, line: lineNo})
+			i++
+		case c == '(':
+			lx.queue = append(lx.queue, token{kind: tokLParen, line: lineNo})
+			i++
+		case c == ')':
+			lx.queue = append(lx.queue, token{kind: tokRParen, line: lineNo})
+			i++
+		case isNumStart(c):
+			j := i + 1
+			for j < len(trimmed) && isWordChar(trimmed[j]) {
+				j++
+			}
+			lx.queue = append(lx.queue, token{kind: tokNumber, text: trimmed[i:j], line: lineNo})
+			i = j
+		case isWordChar(c):
+			j := i + 1
+			for j < len(trimmed) && isWordChar(trimmed[j]) {
+				j++
+			}
+			lx.queue = append(lx.queue, token{kind: tokIdent, text: trimmed[i:j], line: lineNo})
+			i = j
+		default:
+			return fmt.Errorf("kconfig: line %d: unexpected character %q", lineNo, string(c))
+		}
+	}
+	lx.queue = append(lx.queue, token{kind: tokNewline, line: lineNo})
+	return nil
+}
+
+func isNumStart(c byte) bool { return c >= '0' && c <= '9' }
+
+func isWordChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

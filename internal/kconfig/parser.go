@@ -1,0 +1,602 @@
+package kconfig
+
+import (
+	"fmt"
+)
+
+// Parse parses Kconfig source into a Tree.
+//
+// Supported constructs: config, menuconfig, choice/endchoice,
+// menu/endmenu (with menu-level "depends on"), if/endif, comment lines,
+// "source" (resolved via ParseWithSources), mainmenu, and per-entry
+// attributes bool/tristate/string/hex/int (with prompt), prompt, default,
+// depends on, select, range, and help.
+func Parse(src string) (*Tree, error) {
+	return ParseWithSources(src, nil)
+}
+
+// ParseWithSources parses Kconfig source, resolving `source "path"`
+// statements through resolve. A nil resolve makes source statements an
+// error.
+func ParseWithSources(src string, resolve func(path string) (string, error)) (*Tree, error) {
+	p := &parser{lx: newLexer(src), resolve: resolve}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	tree := &Tree{byName: map[string]*Symbol{}}
+	if err := p.parseBlock(tree, nil, ""); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("kconfig: line %d: unexpected %q", p.tok.line, p.tok.text)
+	}
+	return tree, nil
+}
+
+type parser struct {
+	lx      *lexer
+	tok     token
+	resolve func(string) (string, error)
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// skipNewlines consumes newline tokens.
+func (p *parser) skipNewlines() error {
+	for p.tok.kind == tokNewline {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) expectNewline() error {
+	if p.tok.kind != tokNewline && p.tok.kind != tokEOF {
+		return fmt.Errorf("kconfig: line %d: trailing %q", p.tok.line, p.tok.text)
+	}
+	return p.skipNewlines()
+}
+
+// parseBlock parses entries until one of the given terminators (or EOF for
+// the top level). cond is the conjunction of enclosing if/menu conditions.
+func (p *parser) parseBlock(tree *Tree, cond Expr, terminator string) error {
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokEOF {
+			if terminator != "" {
+				return fmt.Errorf("kconfig: unexpected EOF, expected %q", terminator)
+			}
+			return nil
+		}
+		if p.tok.kind != tokIdent {
+			return fmt.Errorf("kconfig: line %d: expected keyword, got %q", p.tok.line, p.tok.text)
+		}
+		kw := p.tok.text
+		if kw == terminator {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			return p.expectNewline()
+		}
+		switch kw {
+		case "config", "menuconfig":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.parseConfig(tree, cond, nil); err != nil {
+				return err
+			}
+		case "choice":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.parseChoice(tree, cond); err != nil {
+				return err
+			}
+		case "menu":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokString {
+				return fmt.Errorf("kconfig: line %d: menu requires a title", p.tok.line)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+			menuCond := cond
+			// A menu may begin with its own depends-on lines.
+			for p.tok.kind == tokIdent && p.tok.text == "depends" {
+				e, err := p.parseDependsOn()
+				if err != nil {
+					return err
+				}
+				menuCond = conj(menuCond, e)
+			}
+			if err := p.parseBlock(tree, menuCond, "endmenu"); err != nil {
+				return err
+			}
+		case "if":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+			if err := p.parseBlock(tree, conj(cond, e), "endif"); err != nil {
+				return err
+			}
+		case "comment":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokString {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "mainmenu":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokString {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "source":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokString {
+				return fmt.Errorf("kconfig: line %d: source requires a path", p.tok.line)
+			}
+			path := p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+			if p.resolve == nil {
+				return fmt.Errorf("kconfig: source %q: no resolver provided", path)
+			}
+			sub, err := p.resolve(path)
+			if err != nil {
+				return fmt.Errorf("kconfig: source %q: %w", path, err)
+			}
+			subtree, err := ParseWithSources(sub, p.resolve)
+			if err != nil {
+				return fmt.Errorf("kconfig: source %q: %w", path, err)
+			}
+			for _, s := range subtree.Symbols {
+				s.DependsOn = conj(cond, s.DependsOn)
+				if err := addSymbol(tree, s); err != nil {
+					return err
+				}
+			}
+			tree.Choices = append(tree.Choices, subtree.Choices...)
+		default:
+			return fmt.Errorf("kconfig: line %d: unknown keyword %q", p.tok.line, kw)
+		}
+	}
+}
+
+func addSymbol(tree *Tree, s *Symbol) error {
+	if prev, ok := tree.byName[s.Name]; ok {
+		// Real Kconfig merges redefinitions; we merge attributes into the
+		// first definition, matching that behaviour closely enough for a
+		// search space definition.
+		if prev.Type == TypeUnknown {
+			prev.Type = s.Type
+		}
+		prev.Defaults = append(prev.Defaults, s.Defaults...)
+		prev.Selects = append(prev.Selects, s.Selects...)
+		prev.Ranges = append(prev.Ranges, s.Ranges...)
+		prev.DependsOn = conj(prev.DependsOn, s.DependsOn)
+		return nil
+	}
+	tree.byName[s.Name] = s
+	tree.Symbols = append(tree.Symbols, s)
+	return nil
+}
+
+// parseConfig parses the body of a config entry, the `config NAME` keyword
+// and name already consumed up to the name token.
+func (p *parser) parseConfig(tree *Tree, cond Expr, choice *Choice) error {
+	if p.tok.kind != tokIdent {
+		return fmt.Errorf("kconfig: line %d: config requires a symbol name", p.tok.line)
+	}
+	sym := &Symbol{Name: p.tok.text, DependsOn: cond, Choice: choice}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expectNewline(); err != nil {
+		return err
+	}
+	for {
+		if p.tok.kind == tokHelp {
+			sym.Help = p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.tok.kind != tokIdent {
+			break
+		}
+		switch p.tok.text {
+		case "bool", "tristate", "string", "hex", "int":
+			sym.Type = map[string]SymbolType{
+				"bool": TypeBool, "tristate": TypeTristate,
+				"string": TypeString, "hex": TypeHex, "int": TypeInt,
+			}[p.tok.text]
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokString {
+				sym.Prompt = p.tok.text
+				if err := p.advance(); err != nil {
+					return err
+				}
+				// optional "if EXPR" after prompt
+				if p.tok.kind == tokIdent && p.tok.text == "if" {
+					if err := p.advance(); err != nil {
+						return err
+					}
+					if _, err := p.parseExpr(); err != nil {
+						return err
+					}
+				}
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "prompt":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokString {
+				sym.Prompt = p.tok.text
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "default", "def_bool", "def_tristate":
+			kind := p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if kind == "def_bool" && sym.Type == TypeUnknown {
+				sym.Type = TypeBool
+			}
+			if kind == "def_tristate" && sym.Type == TypeUnknown {
+				sym.Type = TypeTristate
+			}
+			var value string
+			switch p.tok.kind {
+			case tokIdent, tokNumber:
+				value = p.tok.text
+			case tokString:
+				value = p.tok.text
+			default:
+				return fmt.Errorf("kconfig: line %d: bad default", p.tok.line)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			var dcond Expr
+			if p.tok.kind == tokIdent && p.tok.text == "if" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				dcond = e
+			}
+			sym.Defaults = append(sym.Defaults, Default{Value: value, Cond: dcond})
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "depends":
+			e, err := p.parseDependsOn()
+			if err != nil {
+				return err
+			}
+			sym.DependsOn = conj(sym.DependsOn, e)
+		case "select", "imply":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokIdent {
+				return fmt.Errorf("kconfig: line %d: select requires a symbol", p.tok.line)
+			}
+			target := p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			var scond Expr
+			if p.tok.kind == tokIdent && p.tok.text == "if" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				scond = e
+			}
+			sym.Selects = append(sym.Selects, Select{Target: target, Cond: scond})
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "range":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokNumber && p.tok.kind != tokIdent {
+				return fmt.Errorf("kconfig: line %d: range requires bounds", p.tok.line)
+			}
+			min := p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokNumber && p.tok.kind != tokIdent {
+				return fmt.Errorf("kconfig: line %d: range requires two bounds", p.tok.line)
+			}
+			max := p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			var rcond Expr
+			if p.tok.kind == tokIdent && p.tok.text == "if" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				rcond = e
+			}
+			sym.Ranges = append(sym.Ranges, Range{Min: min, Max: max, Cond: rcond})
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		default:
+			// Next entry begins.
+			goto done
+		}
+	}
+done:
+	if sym.Type == TypeUnknown {
+		sym.Type = TypeBool
+	}
+	if choice != nil {
+		choice.Members = append(choice.Members, sym)
+	}
+	return addSymbol(tree, sym)
+}
+
+func (p *parser) parseDependsOn() (Expr, error) {
+	// current token is "depends"
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent || p.tok.text != "on" {
+		return nil, fmt.Errorf("kconfig: line %d: expected 'on' after 'depends'", p.tok.line)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return e, p.expectNewline()
+}
+
+func (p *parser) parseChoice(tree *Tree, cond Expr) error {
+	ch := &Choice{}
+	if err := p.expectNewline(); err != nil {
+		return err
+	}
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokHelp {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.tok.kind != tokIdent {
+			return fmt.Errorf("kconfig: line %d: unexpected token in choice", p.tok.line)
+		}
+		switch p.tok.text {
+		case "endchoice":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			tree.Choices = append(tree.Choices, ch)
+			return p.expectNewline()
+		case "config":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.parseConfig(tree, cond, ch); err != nil {
+				return err
+			}
+		case "prompt":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokString {
+				ch.Prompt = p.tok.text
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "default":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokIdent {
+				return fmt.Errorf("kconfig: line %d: choice default requires a symbol", p.tok.line)
+			}
+			ch.Default = p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "bool", "tristate":
+			// choice type line, optionally with prompt
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == tokString {
+				ch.Prompt = p.tok.text
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+		case "depends":
+			if _, err := p.parseDependsOn(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("kconfig: line %d: unknown keyword %q in choice", p.tok.line, p.tok.text)
+		}
+	}
+}
+
+// parseExpr parses a dependency expression with precedence
+// (!) > (=, !=) > (&&) > (||).
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOrOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &OrExpr{X: left, Y: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAndAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndExpr{X: left, Y: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokEq || p.tok.kind == tokNeq {
+		neq := p.tok.kind == tokNeq
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{X: left, Y: right, Neq: neq}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.tok.kind {
+	case tokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("kconfig: line %d: missing ')'", p.tok.line)
+		}
+		return e, p.advance()
+	case tokIdent, tokNumber:
+		e := &SymbolRef{Name: p.tok.text}
+		return e, p.advance()
+	default:
+		return nil, fmt.Errorf("kconfig: line %d: unexpected token in expression", p.tok.line)
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and clears the gradients.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum > 0 {
+			v := o.velocity[p]
+			if v == nil {
+				v = make([]float64, len(p.W))
+				o.velocity[p] = v
+			}
+			for i := range p.W {
+				v[i] = o.Momentum*v[i] - o.LR*p.G[i]
+				p.W[i] += v[i]
+			}
+		} else {
+			for i := range p.W {
+				p.W[i] -= o.LR * p.G[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the DTM's default: incremental
+// updates on a stream of new observations need per-parameter step-size
+// adaptation to stay stable.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns Adam with the conventional β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{},
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		if m == nil {
+			m = make([]float64, len(p.W))
+			o.m[p] = m
+		}
+		v := o.v[p]
+		if v == nil {
+			v = make([]float64, len(p.W))
+			o.v[p] = v
+		}
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			p.W[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradients scales gradients down so their global L2 norm is at most
+// maxNorm, stabilizing incremental updates on small, skewed batches.
+func ClipGradients(params []*Param, maxNorm float64) {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.G {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+}

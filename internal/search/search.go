@@ -1,0 +1,431 @@
+// Package search defines Wayfinder's pluggable search-algorithm API
+// (§3.1) and the four strategies the paper evaluates: random search, grid
+// search, Bayesian optimization, and DeepTune — plus the Unicorn-style
+// causal-inference comparator used in the Fig 7 scalability study.
+//
+// Searchers interact with the platform through Propose/Observe: the
+// platform asks for the next configuration to evaluate and reports back
+// the measured metric, whether the configuration crashed, and at which
+// stage — exactly the information the paper's API exposes ("the history
+// of configurations explored, the corresponding performance results,
+// which configurations resulted in build failure or runtime crashes").
+package search
+
+import (
+	"time"
+
+	"wayfinder/internal/causal"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/gp"
+	"wayfinder/internal/rng"
+)
+
+// Observation is one evaluated configuration reported to a searcher.
+type Observation struct {
+	// Config is the evaluated configuration.
+	Config *configspace.Config
+	// X is its encoded feature vector.
+	X []float64
+	// Metric is the measured value (undefined when Crashed).
+	Metric float64
+	// Crashed reports any build/boot/run failure.
+	Crashed bool
+	// Stage names the failing stage ("build", "boot", "run", "ok").
+	Stage string
+}
+
+// Searcher decides which configuration to evaluate next.
+type Searcher interface {
+	// Name identifies the strategy.
+	Name() string
+	// Propose returns the next configuration to evaluate.
+	Propose() *configspace.Config
+	// Observe reports an evaluation result.
+	Observe(o Observation)
+	// DecisionCost returns the wall-clock time spent inside the last
+	// Propose+Observe pair (the paper's Fig 8 "update time").
+	DecisionCost() time.Duration
+}
+
+// Random is the random-search baseline: every proposal is drawn uniformly
+// from the space, deduplicated against history ("continuously generating
+// unique configurations with random values for each parameter").
+type Random struct {
+	space *configspace.Space
+	rng   *rng.RNG
+	seen  map[uint64]bool
+	cost  time.Duration
+}
+
+// NewRandom returns a random searcher.
+func NewRandom(space *configspace.Space, seed uint64) *Random {
+	return &Random{space: space, rng: rng.New(seed), seen: map[uint64]bool{}}
+}
+
+// Name implements Searcher.
+func (s *Random) Name() string { return "random" }
+
+// Propose implements Searcher.
+func (s *Random) Propose() *configspace.Config {
+	start := time.Now()
+	defer func() { s.cost = time.Since(start) }()
+	for attempt := 0; attempt < 64; attempt++ {
+		c := s.space.Random(s.rng)
+		if !s.seen[c.Hash()] {
+			s.seen[c.Hash()] = true
+			return c
+		}
+	}
+	// Space effectively exhausted near the sampler: accept a duplicate.
+	return s.space.Random(s.rng)
+}
+
+// Observe implements Searcher.
+func (s *Random) Observe(Observation) {}
+
+// DecisionCost implements Searcher.
+func (s *Random) DecisionCost() time.Duration { return s.cost }
+
+// RandomMutate is the random baseline for compile-time exploration (§4.4):
+// instead of resampling every parameter — which on a space with essential
+// boot options produces almost no bootable kernels — each proposal
+// re-draws K randomly-chosen parameters from the space's default (for
+// Fig 10/11, the distro or Cozart baseline).
+type RandomMutate struct {
+	space *configspace.Space
+	k     int
+	rng   *rng.RNG
+	seen  map[uint64]bool
+	cost  time.Duration
+}
+
+// NewRandomMutate returns a mutation-based random searcher.
+func NewRandomMutate(space *configspace.Space, k int, seed uint64) *RandomMutate {
+	return &RandomMutate{space: space, k: k, rng: rng.New(seed), seen: map[uint64]bool{}}
+}
+
+// Name implements Searcher.
+func (s *RandomMutate) Name() string { return "random" }
+
+// Propose implements Searcher.
+func (s *RandomMutate) Propose() *configspace.Config {
+	start := time.Now()
+	defer func() { s.cost = time.Since(start) }()
+	base := s.space.Default()
+	for attempt := 0; attempt < 64; attempt++ {
+		c := s.space.Mutate(base, s.k, s.rng)
+		if !s.seen[c.Hash()] {
+			s.seen[c.Hash()] = true
+			return c
+		}
+	}
+	return s.space.Mutate(base, s.k, s.rng)
+}
+
+// Observe implements Searcher.
+func (s *RandomMutate) Observe(Observation) {}
+
+// DecisionCost implements Searcher.
+func (s *RandomMutate) DecisionCost() time.Duration { return s.cost }
+
+// Grid explores the space systematically, one parameter value after the
+// other: for each parameter in turn it steps through a small value grid
+// while holding everything else at the incumbent default. The paper omits
+// grid search from the evaluation as "well-known to be inferior to random
+// search on large configuration spaces" — it is provided for completeness
+// and for small spaces.
+type Grid struct {
+	space *configspace.Space
+	base  *configspace.Config
+
+	paramIdx int
+	valueIdx int
+	cost     time.Duration
+}
+
+// NewGrid returns a grid searcher starting from the space defaults.
+func NewGrid(space *configspace.Space) *Grid {
+	return &Grid{space: space, base: space.Default()}
+}
+
+// Name implements Searcher.
+func (s *Grid) Name() string { return "grid" }
+
+// gridValues returns the value grid for a parameter: full domains for
+// bool/tristate/enum, a geometric ladder for integers.
+func gridValues(p *configspace.Param) []configspace.Value {
+	switch p.Type {
+	case configspace.Bool:
+		return []configspace.Value{configspace.BoolValue(false), configspace.BoolValue(true)}
+	case configspace.Tristate:
+		return []configspace.Value{
+			configspace.TriValue(configspace.TriNo),
+			configspace.TriValue(configspace.TriModule),
+			configspace.TriValue(configspace.TriYes),
+		}
+	case configspace.Enum:
+		out := make([]configspace.Value, len(p.Values))
+		for i, v := range p.Values {
+			out[i] = configspace.EnumValue(v)
+		}
+		return out
+	default:
+		var out []configspace.Value
+		span := p.Max - p.Min
+		if span <= 8 {
+			for v := p.Min; v <= p.Max; v++ {
+				out = append(out, configspace.IntValue(v))
+			}
+			return out
+		}
+		for v := p.Min; v < p.Max; v = v*4 + 1 {
+			out = append(out, configspace.IntValue(v))
+		}
+		out = append(out, configspace.IntValue(p.Max))
+		return out
+	}
+}
+
+// Propose implements Searcher.
+func (s *Grid) Propose() *configspace.Config {
+	start := time.Now()
+	defer func() { s.cost = time.Since(start) }()
+	for {
+		if s.paramIdx >= s.space.Len() {
+			// Wrapped the whole space: restart.
+			s.paramIdx, s.valueIdx = 0, 0
+		}
+		p := s.space.Param(s.paramIdx)
+		if p.Fixed || s.space.ClassWeight(p.Class) <= 0 {
+			s.paramIdx++
+			s.valueIdx = 0
+			continue
+		}
+		values := gridValues(p)
+		if s.valueIdx >= len(values) {
+			s.paramIdx++
+			s.valueIdx = 0
+			continue
+		}
+		c := s.base.Clone()
+		c.SetIndex(s.paramIdx, values[s.valueIdx])
+		s.valueIdx++
+		return c
+	}
+}
+
+// Observe implements Searcher. Grid adopts improvements into its base so
+// later sweeps stack onto the best known assignment.
+func (s *Grid) Observe(o Observation) {
+	if o.Crashed {
+		return
+	}
+	// Without direction knowledge grid cannot rank; the engine feeds the
+	// best config back via AdoptBase.
+}
+
+// AdoptBase re-centers the sweep on a new base configuration.
+func (s *Grid) AdoptBase(c *configspace.Config) { s.base = c.Clone() }
+
+// DecisionCost implements Searcher.
+func (s *Grid) DecisionCost() time.Duration { return s.cost }
+
+// Bayesian is the Bayesian-optimization baseline: a Gaussian-process
+// surrogate refit on every observation, proposing the candidate with
+// maximum Expected Improvement over a random pool. Crashed configurations
+// are taught to the surrogate as worst-case outcomes (BO has no native
+// crash model — the deficiency §2.3 calls out).
+type Bayesian struct {
+	space    *configspace.Space
+	enc      *configspace.Encoder
+	model    *gp.GP
+	rng      *rng.RNG
+	maximize bool
+
+	poolSize int
+	best     float64
+	haveBest bool
+	worst    float64
+	cost     time.Duration
+}
+
+// NewBayesian returns a Bayesian-optimization searcher.
+func NewBayesian(space *configspace.Space, maximize bool, seed uint64) *Bayesian {
+	return &Bayesian{
+		space:    space,
+		enc:      configspace.NewEncoder(space),
+		model:    gp.New(0.35, 1.0, 1e-3),
+		rng:      rng.New(seed),
+		maximize: maximize,
+		poolSize: 96,
+	}
+}
+
+// Name implements Searcher.
+func (s *Bayesian) Name() string { return "bayesian" }
+
+// signed maps a metric into maximize direction.
+func (s *Bayesian) signed(y float64) float64 {
+	if s.maximize {
+		return y
+	}
+	return -y
+}
+
+// Propose implements Searcher.
+func (s *Bayesian) Propose() *configspace.Config {
+	start := time.Now()
+	defer func() { s.cost = time.Since(start) }()
+	if s.model.Len() < 3 {
+		return s.space.Random(s.rng)
+	}
+	bestEI, bestCand := -1.0, (*configspace.Config)(nil)
+	for i := 0; i < s.poolSize; i++ {
+		c := s.space.Random(s.rng)
+		ei, err := s.model.ExpectedImprovement(s.enc.Encode(c), s.best, 0.01)
+		if err != nil {
+			return c
+		}
+		if ei > bestEI {
+			bestEI, bestCand = ei, c
+		}
+	}
+	if bestCand == nil {
+		return s.space.Random(s.rng)
+	}
+	return bestCand
+}
+
+// Observe implements Searcher.
+func (s *Bayesian) Observe(o Observation) {
+	start := time.Now()
+	defer func() { s.cost += time.Since(start) }()
+	y := s.signed(o.Metric)
+	if o.Crashed {
+		// Penalize with the worst observed value so far.
+		y = s.worst
+	}
+	if !o.Crashed {
+		if y < s.worst || s.model.Len() == 0 {
+			s.worst = y
+		}
+		if !s.haveBest || y > s.best {
+			s.best, s.haveBest = y, true
+		}
+	}
+	s.model.Add(o.X, y)
+}
+
+// DecisionCost implements Searcher.
+func (s *Bayesian) DecisionCost() time.Duration { return s.cost }
+
+// DeepTune adapts the deeptune.Selector to the Searcher interface,
+// carrying the full history the DTM retrains on.
+type DeepTune struct {
+	sel *deeptune.Selector
+
+	xs      [][]float64
+	ys      []float64
+	crashes []bool
+	cost    time.Duration
+}
+
+// NewDeepTune returns a DeepTune searcher.
+func NewDeepTune(space *configspace.Space, maximize bool, cfg deeptune.Config) *DeepTune {
+	return &DeepTune{sel: deeptune.NewSelector(space, maximize, cfg)}
+}
+
+// Name implements Searcher.
+func (s *DeepTune) Name() string { return "deeptune" }
+
+// Selector exposes the underlying selector (for transfer learning).
+func (s *DeepTune) Selector() *deeptune.Selector { return s.sel }
+
+// Propose implements Searcher.
+func (s *DeepTune) Propose() *configspace.Config {
+	start := time.Now()
+	defer func() { s.cost = time.Since(start) }()
+	return s.sel.Propose()
+}
+
+// Observe implements Searcher.
+func (s *DeepTune) Observe(o Observation) {
+	start := time.Now()
+	defer func() { s.cost += time.Since(start) }()
+	s.xs = append(s.xs, o.X)
+	s.ys = append(s.ys, o.Metric)
+	s.crashes = append(s.crashes, o.Crashed)
+	// Selector.Observe never fails with aligned histories, which this
+	// adapter maintains by construction.
+	_ = s.sel.Observe(o.Config, o.X, o.Metric, o.Crashed, s.xs, s.ys, s.crashes)
+}
+
+// DecisionCost implements Searcher.
+func (s *DeepTune) DecisionCost() time.Duration { return s.cost }
+
+// Unicorn adapts the causal-inference optimizer to the Searcher interface
+// (Fig 7's comparator). Every Observe refits the causal graph from
+// scratch — the scaling behaviour the figure measures.
+type Unicorn struct {
+	space    *configspace.Space
+	enc      *configspace.Encoder
+	opt      *causal.Optimizer
+	rng      *rng.RNG
+	maximize bool
+	poolSize int
+	cost     time.Duration
+}
+
+// NewUnicorn returns a causal-inference searcher.
+func NewUnicorn(space *configspace.Space, maximize bool, seed uint64) *Unicorn {
+	enc := configspace.NewEncoder(space)
+	return &Unicorn{
+		space:    space,
+		enc:      enc,
+		opt:      causal.New(enc.Dim(), maximize),
+		rng:      rng.New(seed),
+		maximize: maximize,
+		poolSize: 64,
+	}
+}
+
+// Name implements Searcher.
+func (s *Unicorn) Name() string { return "unicorn" }
+
+// Propose implements Searcher.
+func (s *Unicorn) Propose() *configspace.Config {
+	start := time.Now()
+	defer func() { s.cost = time.Since(start) }()
+	if s.opt.Len() < 5 {
+		return s.space.Random(s.rng)
+	}
+	pool := make([]*configspace.Config, s.poolSize)
+	feats := make([][]float64, s.poolSize)
+	for i := range pool {
+		pool[i] = s.space.Random(s.rng)
+		feats[i] = s.enc.Encode(pool[i])
+	}
+	return pool[s.opt.SelectNext(feats)]
+}
+
+// Observe implements Searcher.
+func (s *Unicorn) Observe(o Observation) {
+	start := time.Now()
+	defer func() { s.cost += time.Since(start) }()
+	y := o.Metric
+	if o.Crashed {
+		y = 0
+		if !s.maximize {
+			y = 1e12
+		}
+	}
+	s.opt.Observe(o.X, y)
+	s.opt.Fit()
+}
+
+// Optimizer exposes the causal optimizer (for Fig 7 cost accounting).
+func (s *Unicorn) Optimizer() *causal.Optimizer { return s.opt }
+
+// DecisionCost implements Searcher.
+func (s *Unicorn) DecisionCost() time.Duration { return s.cost }

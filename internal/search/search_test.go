@@ -1,0 +1,217 @@
+package search
+
+import (
+	"testing"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/rng"
+)
+
+// toySpace returns a small space with one high-impact int and filler.
+func toySpace() *configspace.Space {
+	s := configspace.NewSpace("toy")
+	s.MustAdd(&configspace.Param{Name: "knob", Type: configspace.Int, Class: configspace.Runtime,
+		Min: 0, Max: 100, Default: configspace.IntValue(50)})
+	s.MustAdd(&configspace.Param{Name: "flag", Type: configspace.Bool, Class: configspace.Runtime,
+		Default: configspace.BoolValue(false)})
+	s.MustAdd(&configspace.Param{Name: "mode", Type: configspace.Enum, Class: configspace.Runtime,
+		Values: []string{"a", "b", "c"}, Default: configspace.EnumValue("a")})
+	for i := 0; i < 4; i++ {
+		s.MustAdd(&configspace.Param{Name: string(rune('w' + i)), Type: configspace.Int,
+			Class: configspace.Runtime, Min: 0, Max: 10, Default: configspace.IntValue(5)})
+	}
+	return s
+}
+
+// toyObjective: y = knob, maximize. Crash when knob > 90.
+func toyObjective(c *configspace.Config) (float64, bool) {
+	k := float64(c.GetInt("knob", 0))
+	return k, k > 90
+}
+
+// drive runs a searcher for n iterations against the toy objective and
+// returns the best non-crashed metric.
+func drive(t *testing.T, s Searcher, space *configspace.Space, n int) float64 {
+	t.Helper()
+	enc := configspace.NewEncoder(space)
+	best := -1.0
+	for i := 0; i < n; i++ {
+		c := s.Propose()
+		if c == nil {
+			t.Fatal("nil proposal")
+		}
+		y, crashed := toyObjective(c)
+		if !crashed && y > best {
+			best = y
+		}
+		metric := y
+		if crashed {
+			metric = 0
+		}
+		s.Observe(Observation{Config: c, X: enc.Encode(c), Metric: metric, Crashed: crashed, Stage: "run"})
+	}
+	return best
+}
+
+func TestRandomProposesUnique(t *testing.T) {
+	space := toySpace()
+	s := NewRandom(space, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		c := s.Propose()
+		if seen[c.Hash()] {
+			t.Fatal("random proposed a duplicate with plenty of space left")
+		}
+		seen[c.Hash()] = true
+	}
+}
+
+func TestRandomRespectsFavor(t *testing.T) {
+	space := toySpace()
+	space.Favor(configspace.Runtime, 0) // pin everything
+	s := NewRandom(space, 2)
+	c := s.Propose()
+	if len(c.Diff(space.Default())) != 0 {
+		t.Fatal("zero-weight class was varied")
+	}
+}
+
+func TestGridCoversDomains(t *testing.T) {
+	space := toySpace()
+	s := NewGrid(space)
+	modes := map[string]bool{}
+	flags := map[int64]bool{}
+	for i := 0; i < 60; i++ {
+		c := s.Propose()
+		modes[c.GetString("mode", "")] = true
+		flags[c.GetInt("flag", 0)] = true
+	}
+	if len(modes) != 3 {
+		t.Fatalf("grid visited %d of 3 enum values", len(modes))
+	}
+	if len(flags) != 2 {
+		t.Fatalf("grid visited %d of 2 bool values", len(flags))
+	}
+}
+
+func TestGridChangesOneParamAtATime(t *testing.T) {
+	space := toySpace()
+	s := NewGrid(space)
+	def := space.Default()
+	for i := 0; i < 30; i++ {
+		c := s.Propose()
+		if len(def.Diff(c)) > 1 {
+			t.Fatal("grid changed more than one parameter from base")
+		}
+	}
+}
+
+func TestGridSkipsFixed(t *testing.T) {
+	space := toySpace()
+	if err := space.Fix("knob", configspace.IntValue(42)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewGrid(space)
+	for i := 0; i < 50; i++ {
+		if c := s.Propose(); c.GetInt("knob", -1) != 42 {
+			t.Fatal("grid varied a fixed parameter")
+		}
+	}
+}
+
+func TestBayesianFindsGoodRegion(t *testing.T) {
+	space := toySpace()
+	s := NewBayesian(space, true, 3)
+	best := drive(t, s, space, 60)
+	if best < 75 {
+		t.Fatalf("bayesian best = %v, want ≥75", best)
+	}
+}
+
+func TestBayesianMinimize(t *testing.T) {
+	space := toySpace()
+	s := NewBayesian(space, false, 4)
+	enc := configspace.NewEncoder(space)
+	bestLow := 1e9
+	for i := 0; i < 50; i++ {
+		c := s.Propose()
+		y, crashed := toyObjective(c)
+		if !crashed && y < bestLow {
+			bestLow = y
+		}
+		s.Observe(Observation{Config: c, X: enc.Encode(c), Metric: y, Crashed: crashed})
+	}
+	if bestLow > 20 {
+		t.Fatalf("minimizing bayesian best = %v, want ≤20", bestLow)
+	}
+}
+
+func TestDeepTuneFindsGoodRegionAndAvoidsCrashes(t *testing.T) {
+	space := toySpace()
+	cfg := deeptune.DefaultConfig()
+	cfg.Epochs = 4
+	cfg.Seed = 5
+	s := NewDeepTune(space, true, cfg)
+	best := drive(t, s, space, 80)
+	if best < 75 {
+		t.Fatalf("deeptune best = %v, want ≥75", best)
+	}
+	// After training, proposals should mostly avoid the crash zone.
+	crashy := 0
+	for i := 0; i < 30; i++ {
+		if c := s.Propose(); c.GetInt("knob", 0) > 90 {
+			crashy++
+		}
+	}
+	if crashy > 10 {
+		t.Fatalf("deeptune proposed %d/30 crash-zone configs after training", crashy)
+	}
+}
+
+func TestUnicornImproves(t *testing.T) {
+	space := toySpace()
+	s := NewUnicorn(space, true, 6)
+	best := drive(t, s, space, 40)
+	if best < 70 {
+		t.Fatalf("unicorn best = %v, want ≥70", best)
+	}
+	if s.Optimizer().Graphs() != 40 {
+		t.Fatalf("unicorn refit %d times, want 40 (one per observation)", s.Optimizer().Graphs())
+	}
+}
+
+func TestDecisionCostRecorded(t *testing.T) {
+	space := toySpace()
+	r := rng.New(1)
+	_ = r
+	for _, s := range []Searcher{
+		NewRandom(space, 1),
+		NewGrid(space),
+		NewBayesian(space, true, 1),
+		NewUnicorn(space, true, 1),
+	} {
+		enc := configspace.NewEncoder(space)
+		c := s.Propose()
+		s.Observe(Observation{Config: c, X: enc.Encode(c), Metric: 1})
+		if s.DecisionCost() < 0 {
+			t.Fatalf("%s: negative decision cost", s.Name())
+		}
+	}
+}
+
+func TestSearcherNames(t *testing.T) {
+	space := toySpace()
+	names := map[string]Searcher{
+		"random":   NewRandom(space, 1),
+		"grid":     NewGrid(space),
+		"bayesian": NewBayesian(space, true, 1),
+		"deeptune": NewDeepTune(space, true, deeptune.DefaultConfig()),
+		"unicorn":  NewUnicorn(space, true, 1),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package simos
+
+import (
+	"fmt"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+)
+
+// LinuxOptions sizes the simulated Linux profile. The high-impact
+// parameters are always present; fillers pad the space to make the search
+// problem realistically sparse (the overwhelming majority of Linux's
+// options do nothing for a given workload).
+type LinuxOptions struct {
+	// FillerRuntime is the number of no-effect runtime sysctls.
+	FillerRuntime int
+	// FillerBoot is the number of no-effect boot parameters.
+	FillerBoot int
+	// FillerCompile is the number of compile-time options that only
+	// contribute memory footprint.
+	FillerCompile int
+	// Seed drives filler generation and the crash-model draws.
+	Seed uint64
+}
+
+// DefaultLinuxOptions returns the profile size used by the experiments:
+// large enough that random search struggles (≈300 runtime parameters,
+// ~10²⁰⁰ configurations), small enough to iterate quickly.
+func DefaultLinuxOptions() LinuxOptions {
+	return LinuxOptions{FillerRuntime: 260, FillerBoot: 20, FillerCompile: 60, Seed: 1}
+}
+
+// runtimeParam is one row of the hidden sysctl table.
+type runtimeParam struct {
+	name             string
+	def              int64
+	hardMin, hardMax int64
+	boolTyped        bool
+}
+
+// linuxRuntimeTable lists the named sysctls of the simulated kernel. The
+// high-impact ones mirror the parameters the paper reports Wayfinder
+// (re)discovering: net.core.somaxconn, net.core.rmem_default,
+// net.ipv4.tcp_keepalive_time, vm.stat_interval, printk verbosity/delay,
+// and vm.block_dump (§4.1, "High-Impact Configuration Parameters").
+var linuxRuntimeTable = []runtimeParam{
+	{"net.core.somaxconn", 128, 16, 65536, false},
+	{"net.core.rmem_default", 212992, 4096, 33554432, false},
+	{"net.core.wmem_default", 212992, 4096, 33554432, false},
+	{"net.core.rmem_max", 212992, 4096, 33554432, false},
+	{"net.core.wmem_max", 212992, 4096, 33554432, false},
+	{"net.core.netdev_max_backlog", 1000, 10, 100000, false},
+	{"net.ipv4.tcp_max_syn_backlog", 512, 64, 65536, false},
+	{"net.ipv4.tcp_keepalive_time", 7200, 60, 72000, false},
+	{"net.ipv4.tcp_fin_timeout", 60, 5, 300, false},
+	{"net.core.busy_poll", 0, 0, 500, false},
+	{"kernel.printk_level", 7, 0, 15, false},
+	{"kernel.printk_delay", 0, 0, 10000, false},
+	{"vm.block_dump", 0, 0, 1, true},
+	{"kernel.sched_schedstats", 0, 0, 1, true},
+	{"vm.stat_interval", 1, 1, 300, false},
+	{"vm.dirty_ratio", 20, 1, 99, false},
+	{"vm.dirty_background_ratio", 10, 1, 99, false},
+	{"vm.dirty_expire_centisecs", 3000, 100, 360000, false},
+	{"vm.swappiness", 60, 0, 100, false},
+	{"vm.nr_hugepages", 0, 0, 8192, false},
+	{"vm.overcommit_memory", 0, 0, 2, false},
+	{"vm.min_free_kbytes", 67584, 1024, 4194304, false},
+	{"vm.max_map_count", 65530, 1024, 16777216, false},
+	{"kernel.sched_min_granularity_ns", 3000000, 100000, 1000000000, false},
+	{"kernel.sched_wakeup_granularity_ns", 4000000, 100000, 2000000000, false},
+	{"kernel.sched_migration_cost_ns", 500000, 0, 100000000, false},
+	{"fs.file-max", 65536, 1024, 10000000, false},
+	{"kernel.threads-max", 63000, 20, 4194304, false},
+}
+
+// NewLinux constructs the simulated Linux profile (Debian-style v4.19
+// defaults). The visible Space contains runtime, boot, and compile-time
+// parameters; Effects/CrashRules/MemContrib form the hidden ground truth.
+func NewLinux(opts LinuxOptions) *Model {
+	m := &Model{
+		Name:         "linux",
+		Space:        configspace.NewSpace("linux"),
+		MemBaseMB:    142,
+		MemContribMB: map[string]float64{},
+		BuildSeconds: 110,
+		BootSeconds:  9,
+		Seed:         opts.Seed ^ 0x11b,
+	}
+	r := rng.New(opts.Seed ^ 0x5eed)
+
+	// --- Runtime sysctls ---
+	for _, rp := range linuxRuntimeTable {
+		p := &configspace.Param{
+			Name:    rp.name,
+			Class:   configspace.Runtime,
+			Default: configspace.IntValue(rp.def),
+			Min:     rp.hardMin,
+			Max:     rp.hardMax,
+		}
+		if rp.boolTyped {
+			p.Type = configspace.Bool
+		} else {
+			p.Type = configspace.Int
+		}
+		m.Space.MustAdd(p)
+		m.RuntimeSpecs = append(m.RuntimeSpecs, RuntimeSpec{
+			Path:    "/proc/sys/" + dotsToSlashes(rp.name),
+			Name:    rp.name,
+			Default: rp.def, HardMin: rp.hardMin, HardMax: rp.hardMax,
+			Writable: true,
+		})
+	}
+	m.Space.MustAdd(&configspace.Param{
+		Name: "net.core.default_qdisc", Type: configspace.Enum,
+		Class:   configspace.Runtime,
+		Values:  []string{"pfifo_fast", "fq", "fq_codel"},
+		Default: configspace.EnumValue("pfifo_fast"),
+	})
+
+	// Hidden response surface over the runtime parameters.
+	m.Effects = append(m.Effects,
+		Effect{"net.core.somaxconn", ClassNet, 0.060, Saturating(128, 16, 65536, 2048), nil},
+		Effect{"net.core.rmem_default", ClassNet, 0.035, Unimodal(212992, 4194304, 1.4), nil},
+		Effect{"net.core.wmem_default", ClassNet, 0.025, Unimodal(212992, 1048576, 1.4), nil},
+		Effect{"net.core.netdev_max_backlog", ClassNet, 0.040, Saturating(1000, 10, 100000, 5000), nil},
+		Effect{"net.ipv4.tcp_max_syn_backlog", ClassNet, 0.020, Saturating(512, 64, 65536, 4096), nil},
+		Effect{"net.ipv4.tcp_keepalive_time", ClassNet, 0.030, StepLow(600), nil},
+		Effect{"net.ipv4.tcp_fin_timeout", ClassNet, 0.015, Unimodal(60, 20, 0.5), nil},
+		Effect{"net.core.busy_poll", ClassNet, 0.015, Saturating(0, 0, 500, 100), nil},
+		Effect{Param: "net.core.default_qdisc", Class: ClassNet, Magnitude: 0.015,
+			EnumEffects: map[string]float64{"pfifo_fast": 0, "fq": 1, "fq_codel": 0.5}},
+		Effect{"kernel.printk_level", ClassDebug, 0.080, LinearPenalty(7, 0, 15, 0.15), nil},
+		Effect{"kernel.printk_delay", ClassDebug, 0.120, PowerPenalty(10000, 1.0), nil},
+		Effect{"vm.block_dump", ClassDebug, 0.035, OnPenalty(), nil},
+		Effect{"kernel.sched_schedstats", ClassDebug, 0.010, OnPenalty(), nil},
+		Effect{"vm.stat_interval", ClassDebug, 0.015, Saturating(1, 1, 300, 30), nil},
+		Effect{"vm.dirty_ratio", ClassStorage, 0.040, Unimodal(20, 20, 0.4), nil},
+		Effect{"vm.dirty_background_ratio", ClassStorage, 0.025, Unimodal(10, 10, 0.4), nil},
+		Effect{"vm.dirty_expire_centisecs", ClassStorage, 0.020, Unimodal(3000, 3000, 0.5), nil},
+		Effect{"vm.swappiness", ClassMM, 0.015, Unimodal(60, 10, 0.6), nil},
+		Effect{"vm.nr_hugepages", ClassMM, 0.030, Saturating(0, 0, 8192, 2048), nil},
+		Effect{"kernel.sched_min_granularity_ns", ClassSched, 0.020, Unimodal(3e6, 1e7, 0.6), nil},
+		Effect{"kernel.sched_wakeup_granularity_ns", ClassSched, 0.015, Unimodal(4e6, 1.5e7, 0.6), nil},
+		Effect{"kernel.sched_migration_cost_ns", ClassSched, 0.015, Saturating(5e5, 0, 1e8, 5e6), nil},
+	)
+	m.Interactions = append(m.Interactions,
+		Interaction{A: "net.core.somaxconn", B: "net.core.rmem_default",
+			Class: ClassNet, Magnitude: 0.015, Shape: BothHigh(2048, 1048576)},
+		Interaction{A: "kernel.printk_level", B: "kernel.printk_delay",
+			Class: ClassDebug, Magnitude: 0.05,
+			Shape: BothBad(func(v float64) bool { return v >= 10 }, func(v float64) bool { return v > 100 })},
+	)
+
+	// Hidden crash regions. Zone widths are calibrated so a fully random
+	// configuration fails about a third of the time (§2.2).
+	intBad := func(f func(int64) bool) func(configspace.Value) bool {
+		return func(v configspace.Value) bool { return f(v.I) }
+	}
+	m.CrashRules = append(m.CrashRules,
+		CrashRule{"fs.file-max", StageRun, 0.90, "file table exhausted, benchmark cannot open sockets",
+			intBad(func(v int64) bool { return v < 2048 })},
+		CrashRule{"net.core.rmem_max", StageRun, 0.85, "receive window collapse stalls the benchmark",
+			intBad(func(v int64) bool { return v < 6144 })},
+		CrashRule{"net.core.wmem_max", StageRun, 0.40, "send buffer starvation stalls the benchmark",
+			intBad(func(v int64) bool { return v < 6144 })},
+		CrashRule{"kernel.threads-max", StageRun, 0.90, "thread limit below workload needs",
+			intBad(func(v int64) bool { return v < 40 })},
+		CrashRule{"vm.min_free_kbytes", StageRun, 0.60, "watermark so high the OOM killer fires",
+			intBad(func(v int64) bool { return v > 2097152 })},
+		CrashRule{"vm.overcommit_memory", StageRun, 0.25, "strict overcommit rejects allocations",
+			intBad(func(v int64) bool { return v == 2 })},
+		CrashRule{"vm.max_map_count", StageRun, 0.80, "mmap limit below allocator needs",
+			intBad(func(v int64) bool { return v < 2048 })},
+		CrashRule{"vm.nr_hugepages", StageRun, 0.35, "hugepage reservation leaves no free memory",
+			intBad(func(v int64) bool { return v > 7168 })},
+	)
+
+	// --- Boot-time parameters ---
+	m.Space.MustAdd(&configspace.Param{
+		Name: "boot.mitigations", Type: configspace.Enum, Class: configspace.BootTime,
+		Values:  []string{"auto", "off", "auto,nosmt"},
+		Default: configspace.EnumValue("auto"),
+	})
+	m.Space.MustAdd(&configspace.Param{
+		Name: "boot.loglevel", Type: configspace.Int, Class: configspace.BootTime,
+		Min: 0, Max: 15, Default: configspace.IntValue(7),
+	})
+	m.Space.MustAdd(&configspace.Param{
+		Name: "boot.quiet", Type: configspace.Bool, Class: configspace.BootTime,
+		Default: configspace.BoolValue(false),
+	})
+	m.Space.MustAdd(&configspace.Param{
+		Name: "boot.maxcpus", Type: configspace.Int, Class: configspace.BootTime,
+		Min: 0, Max: 48, Default: configspace.IntValue(48),
+	})
+	m.Space.MustAdd(&configspace.Param{
+		Name: "boot.preempt", Type: configspace.Enum, Class: configspace.BootTime,
+		Values:  []string{"none", "voluntary", "full"},
+		Default: configspace.EnumValue("voluntary"),
+	})
+	m.Effects = append(m.Effects,
+		Effect{Param: "boot.mitigations", Class: ClassSched, Magnitude: 0.020,
+			EnumEffects: map[string]float64{"auto": 0, "off": 1, "auto,nosmt": -0.5}},
+		Effect{"boot.loglevel", ClassDebug, 0.020, LinearPenalty(7, 0, 15, 0.2), nil},
+		Effect{"boot.quiet", ClassDebug, 0.004, OnGain(), nil},
+		Effect{"boot.maxcpus", ClassSched, 0.030, Saturating(48, 1, 48, 12), nil},
+		Effect{Param: "boot.preempt", Class: ClassSched, Magnitude: 0.010,
+			EnumEffects: map[string]float64{"none": 0.3, "voluntary": 0, "full": -0.3}},
+	)
+	m.CrashRules = append(m.CrashRules,
+		CrashRule{"boot.maxcpus", StageBoot, 0.95, "maxcpus=0 leaves no boot CPU",
+			intBad(func(v int64) bool { return v == 0 })},
+	)
+
+	// --- Compile-time parameters (performance-relevant core set) ---
+	compileBools := []struct {
+		name    string
+		def     bool
+		penalty float64 // OnPenalty magnitude (0 = no perf effect)
+		memMB   float64
+	}{
+		{"CONFIG_PREEMPT", false, 0.010, 0.4},
+		{"CONFIG_DEBUG_LOCKDEP", false, 0.060, 2.5},
+		{"CONFIG_DEBUG_KMEMLEAK", false, 0.080, 12},
+		{"CONFIG_KASAN", false, 0.350, 30},
+		{"CONFIG_FTRACE", true, 0.015, 6},
+		{"CONFIG_SLUB_DEBUG", true, 0.020, 3},
+		{"CONFIG_PROFILING", true, 0.006, 1.5},
+		{"CONFIG_DEBUG_PAGEALLOC", false, 0.120, 8},
+	}
+	for _, cb := range compileBools {
+		m.Space.MustAdd(&configspace.Param{
+			Name: cb.name, Type: configspace.Bool, Class: configspace.CompileTime,
+			Default: configspace.BoolValue(cb.def),
+		})
+		if cb.penalty > 0 {
+			// Default-off options penalize when enabled; default-on options
+			// reward when disabled.
+			shape := OnPenalty()
+			if cb.def {
+				shape = OffGain()
+			}
+			m.Effects = append(m.Effects, Effect{cb.name, ClassDebug, cb.penalty, shape, nil})
+		}
+		m.MemContribMB[cb.name] = cb.memMB
+	}
+	m.Space.MustAdd(&configspace.Param{
+		Name: "CONFIG_HZ", Type: configspace.Enum, Class: configspace.CompileTime,
+		Values: []string{"100", "250", "1000"}, Default: configspace.EnumValue("250"),
+	})
+	m.Effects = append(m.Effects, Effect{Param: "CONFIG_HZ", Class: ClassCompile,
+		Magnitude: 0.020, EnumEffects: map[string]float64{"100": -0.5, "250": 0, "1000": 0.5}})
+	m.Space.MustAdd(&configspace.Param{
+		Name: "CONFIG_LOG_BUF_SHIFT", Type: configspace.Int, Class: configspace.CompileTime,
+		Min: 12, Max: 25, Default: configspace.IntValue(17),
+	})
+	m.MemContribMB["CONFIG_LOG_BUF_SHIFT"] = 0.5 // per doubling
+
+	// Essential boot set: disabling any of these prevents boot.
+	essentials := []string{
+		"CONFIG_VIRTIO", "CONFIG_VIRTIO_NET", "CONFIG_VIRTIO_BLK",
+		"CONFIG_SERIAL_8250_CONSOLE", "CONFIG_EXT4_FS",
+	}
+	for _, name := range essentials {
+		m.Space.MustAdd(&configspace.Param{
+			Name: name, Type: configspace.Bool, Class: configspace.CompileTime,
+			Default: configspace.BoolValue(true),
+		})
+		m.MemContribMB[name] = 1.2
+		name := name
+		m.CrashRules = append(m.CrashRules, CrashRule{
+			Param: name, Stage: StageBoot, Prob: 0.97,
+			Reason: name + " disabled: kernel cannot reach userspace",
+			Bad:    func(v configspace.Value) bool { return v.I == 0 },
+		})
+	}
+	m.ComboRules = append(m.ComboRules, ComboCrashRule{
+		Stage: StageBuild, Prob: 0.95,
+		Reason: "CONFIG_KASAN conflicts with CONFIG_DEBUG_PAGEALLOC instrumentation",
+		Bad: func(c *configspace.Config) bool {
+			return c.GetInt("CONFIG_KASAN", 0) == 1 && c.GetInt("CONFIG_DEBUG_PAGEALLOC", 0) == 1
+		},
+	})
+
+	// --- Fillers ---
+	addLinuxFillers(m, opts, r)
+	m.finalize()
+	return m
+}
+
+// addLinuxFillers pads the space with realistic but inert parameters.
+func addLinuxFillers(m *Model, opts LinuxOptions, r *rng.RNG) {
+	prefixes := []string{
+		"net.ipv4.conf.all", "net.ipv4.conf.default", "net.ipv6.conf.all",
+		"kernel", "vm", "fs", "net.netfilter", "dev.raid",
+	}
+	for i := 0; i < opts.FillerRuntime; i++ {
+		prefix := prefixes[i%len(prefixes)]
+		name := fmt.Sprintf("%s.tunable_%03d", prefix, i)
+		var p *configspace.Param
+		switch {
+		case r.Chance(0.45): // boolean toggles
+			p = &configspace.Param{Name: name, Type: configspace.Bool,
+				Class: configspace.Runtime, Default: configspace.BoolValue(r.Chance(0.3))}
+		default:
+			def := int64(1) << uint(r.Intn(16))
+			p = &configspace.Param{Name: name, Type: configspace.Int,
+				Class: configspace.Runtime, Min: 0, Max: def * 1024,
+				Default: configspace.IntValue(def)}
+		}
+		m.Space.MustAdd(p)
+		m.RuntimeSpecs = append(m.RuntimeSpecs, RuntimeSpec{
+			Path: "/proc/sys/" + dotsToSlashes(name), Name: name,
+			Default: p.Default.I, HardMin: p.Min, HardMax: p.Max, Writable: true,
+		})
+	}
+	for i := 0; i < opts.FillerBoot; i++ {
+		name := fmt.Sprintf("boot.option_%03d", i)
+		m.Space.MustAdd(&configspace.Param{Name: name, Type: configspace.Bool,
+			Class: configspace.BootTime, Default: configspace.BoolValue(false)})
+	}
+	for i := 0; i < opts.FillerCompile; i++ {
+		name := fmt.Sprintf("CONFIG_DRIVER_%03d", i)
+		def := r.Chance(0.4)
+		typ := configspace.Bool
+		defVal := configspace.BoolValue(def)
+		if r.Chance(0.5) {
+			typ = configspace.Tristate
+			switch {
+			case def:
+				defVal = configspace.TriValue(configspace.TriYes)
+			case r.Chance(0.3):
+				defVal = configspace.TriValue(configspace.TriModule)
+			default:
+				defVal = configspace.TriValue(configspace.TriNo)
+			}
+		}
+		m.Space.MustAdd(&configspace.Param{Name: name, Type: typ,
+			Class: configspace.CompileTime, Default: defVal})
+		m.MemContribMB[name] = 0.05 + r.Float64()*0.55
+	}
+}
+
+func dotsToSlashes(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			out[i] = '/'
+		} else {
+			out[i] = s[i]
+		}
+	}
+	return string(out)
+}
+
+// LinuxCensusCounts reports the paper's Table 1 counts for boot-time and
+// runtime options of Linux 6.0 (compile-time counts come from the kconfig
+// package's v6.0 tree).
+type LinuxCensusCounts struct {
+	Boot    int
+	Runtime int
+}
+
+// Table1Counts returns the boot/runtime option counts of the paper's
+// Table 1.
+func Table1Counts() LinuxCensusCounts { return LinuxCensusCounts{Boot: 231, Runtime: 13328} }
+
+// NewLinuxCensus builds a census-scale model whose boot and runtime
+// parameter counts match Table 1 exactly. It is used by the Table 1
+// experiment; searches use NewLinux.
+func NewLinuxCensus(seed uint64) *Model {
+	counts := Table1Counts()
+	opts := LinuxOptions{
+		FillerRuntime: counts.Runtime - 29, // named runtime params: 28 table + qdisc
+		FillerBoot:    counts.Boot - 5,     // named boot params
+		FillerCompile: 0,
+		Seed:          seed,
+	}
+	return NewLinux(opts)
+}

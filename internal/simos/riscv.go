@@ -1,0 +1,141 @@
+package simos
+
+import (
+	"fmt"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+)
+
+// RiscvOptions sizes the RISC-V memory-footprint profile (§4.4, Fig 10).
+type RiscvOptions struct {
+	// DriverOptions is the number of compile-time driver/feature options
+	// carrying memory contributions.
+	DriverOptions int
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultRiscvOptions matches the Fig 10 experiment scale.
+func DefaultRiscvOptions() RiscvOptions {
+	return RiscvOptions{DriverOptions: 200, Seed: 1}
+}
+
+// NewRiscv constructs the RISC-V Linux profile used for memory-footprint
+// minimization: the space is dominated by compile-time options whose only
+// observable effect is the booted image's memory consumption. The default
+// configuration boots at ≈210 MB (the paper's default footprint); turning
+// off every non-essential default-on option reaches the mid-180s, with the
+// essential boot set guarded by crash rules — the hazard the search has to
+// learn.
+func NewRiscv(opts RiscvOptions) *Model {
+	m := &Model{
+		Name:         "linux-riscv",
+		Space:        configspace.NewSpace("linux-riscv"),
+		MemBaseMB:    152,
+		MemContribMB: map[string]float64{},
+		BuildSeconds: 95,
+		BootSeconds:  14, // QEMU emulation boots slowly
+		Seed:         opts.Seed ^ 0x415c,
+	}
+	r := rng.New(opts.Seed ^ 0x7a57e)
+
+	essentials := []string{
+		"CONFIG_RISCV_SBI", "CONFIG_SERIAL_SIFIVE_CONSOLE", "CONFIG_VIRTIO_MMIO",
+		"CONFIG_VIRTIO_BLK", "CONFIG_EXT4_FS",
+	}
+	for _, name := range essentials {
+		m.Space.MustAdd(&configspace.Param{Name: name, Type: configspace.Bool,
+			Class: configspace.CompileTime, Default: configspace.BoolValue(true)})
+		m.MemContribMB[name] = 0.8 + r.Float64()*0.8
+		name := name
+		m.CrashRules = append(m.CrashRules, CrashRule{
+			Param: name, Stage: StageBoot, Prob: 0.97,
+			Reason: name + " disabled: board cannot boot",
+			Bad:    func(v configspace.Value) bool { return v.I == 0 },
+		})
+	}
+
+	// Big-ticket default-on subsystems: the headroom lives here.
+	bigOptions := []struct {
+		name  string
+		memMB float64
+	}{
+		{"CONFIG_DEBUG_INFO", 6.5},
+		{"CONFIG_FTRACE", 4.8},
+		{"CONFIG_KALLSYMS_ALL", 3.6},
+		{"CONFIG_MODULES", 2.4},
+		{"CONFIG_NETFILTER", 3.1},
+		{"CONFIG_SOUND", 2.7},
+		{"CONFIG_USB_SUPPORT", 2.2},
+		{"CONFIG_WIRELESS", 2.9},
+		{"CONFIG_BT", 2.0},
+		{"CONFIG_PROFILING", 1.4},
+	}
+	for _, b := range bigOptions {
+		m.Space.MustAdd(&configspace.Param{Name: b.name, Type: configspace.Bool,
+			Class: configspace.CompileTime, Default: configspace.BoolValue(true)})
+		m.MemContribMB[b.name] = b.memMB
+	}
+
+	// Log buffer: numeric contribution per doubling.
+	m.Space.MustAdd(&configspace.Param{Name: "CONFIG_LOG_BUF_SHIFT", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 12, Max: 25, Default: configspace.IntValue(17)})
+	m.MemContribMB["CONFIG_LOG_BUF_SHIFT"] = 0.6
+
+	// Driver/feature options with assorted footprints; about 55% are on by
+	// default (a distro-style config carries plenty of fat).
+	for i := 0; i < opts.DriverOptions; i++ {
+		name := fmt.Sprintf("CONFIG_RV_DRIVER_%03d", i)
+		on := r.Chance(0.55)
+		if i == 10 || i == 11 {
+			// Referenced by the shared-infrastructure combo rule below:
+			// keep them on by default so the hazard is a *removal* hazard.
+			on = true
+		}
+		typ := configspace.Bool
+		def := configspace.BoolValue(on)
+		if (i != 10 && i != 11) && r.Chance(0.4) {
+			typ = configspace.Tristate
+			switch {
+			case on && r.Chance(0.5):
+				def = configspace.TriValue(configspace.TriYes)
+			case on:
+				def = configspace.TriValue(configspace.TriModule)
+			default:
+				def = configspace.TriValue(configspace.TriNo)
+			}
+		}
+		m.Space.MustAdd(&configspace.Param{Name: name, Type: typ,
+			Class: configspace.CompileTime, Default: def})
+		m.MemContribMB[name] = 0.04 + r.Float64()*0.35
+	}
+
+	// A couple of latent dependency hazards beyond the essentials: options
+	// that crash the boot when removed together (shared infrastructure).
+	m.ComboRules = append(m.ComboRules,
+		ComboCrashRule{Stage: StageBoot, Prob: 0.85,
+			Reason: "block and filesystem layers removed together",
+			Bad: func(c *configspace.Config) bool {
+				return c.GetInt("CONFIG_RV_DRIVER_010", 1) == 0 &&
+					c.GetInt("CONFIG_RV_DRIVER_011", 1) == 0
+			}},
+		ComboCrashRule{Stage: StageBuild, Prob: 0.90,
+			Reason: "CONFIG_DEBUG_INFO requires CONFIG_KALLSYMS_ALL in this tree",
+			Bad: func(c *configspace.Config) bool {
+				return c.GetInt("CONFIG_DEBUG_INFO", 1) == 1 &&
+					c.GetInt("CONFIG_KALLSYMS_ALL", 1) == 0
+			}},
+	)
+
+	// A small runtime section so the profile still boots and serves.
+	m.Space.MustAdd(&configspace.Param{Name: "vm.min_free_kbytes", Type: configspace.Int,
+		Class: configspace.Runtime, Min: 1024, Max: 262144, Default: configspace.IntValue(8192)})
+	m.RuntimeSpecs = append(m.RuntimeSpecs, RuntimeSpec{
+		Path: "/proc/sys/vm/min_free_kbytes", Name: "vm.min_free_kbytes",
+		Default: 8192, HardMin: 1024, HardMax: 262144, Writable: true,
+	})
+
+	m.finalize()
+	return m
+}

@@ -1,0 +1,523 @@
+// Package simos simulates the operating systems Wayfinder specializes.
+//
+// The real evaluation substrate (Linux/Unikraft kernels built and booted
+// under QEMU/KVM on a Xeon testbed) is not available offline, so simos
+// provides the substitution described in DESIGN.md: each OS profile owns a
+// *hidden* ground-truth model — a performance response surface over its
+// configuration parameters (sparse high-impact parameters with saturating,
+// unimodal, step, and penalty shapes plus pairwise interactions), a crash
+// model that makes roughly a third of random configurations fail (§2.2),
+// and a memory-footprint model over compile-time options.
+//
+// Search algorithms never see the model; they observe only
+// (configuration) → (metric value, crashed?), exactly as Wayfinder's
+// pipeline observes a real kernel. Every behaviour the paper measures —
+// who converges faster, crash-rate learning, transfer between related
+// applications — emerges from the interaction of the search algorithm with
+// this surface, not from anything hard-coded about the searchers.
+package simos
+
+import (
+	"math"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+)
+
+// EffectClass buckets parameters by the subsystem they influence. An
+// application's sensitivity vector over classes (apps package) scales each
+// parameter's effect, which is what makes Nginx/Redis/SQLite respond to
+// similar parameters while NPB responds to different ones (Fig 5).
+type EffectClass int
+
+const (
+	// ClassNet covers network-stack parameters.
+	ClassNet EffectClass = iota
+	// ClassStorage covers block/FS/writeback parameters.
+	ClassStorage
+	// ClassMM covers memory-management parameters.
+	ClassMM
+	// ClassSched covers scheduler parameters.
+	ClassSched
+	// ClassDebug covers logging/tracing/debug overhead parameters.
+	ClassDebug
+	// ClassCompile covers compile-time kernel structure choices.
+	ClassCompile
+	// ClassApp covers application-level parameters (Unikraft jobs tune
+	// these alongside OS options — Fig 9).
+	ClassApp
+	numClasses
+)
+
+// String names the class.
+func (c EffectClass) String() string {
+	switch c {
+	case ClassNet:
+		return "net"
+	case ClassStorage:
+		return "storage"
+	case ClassMM:
+		return "mm"
+	case ClassSched:
+		return "sched"
+	case ClassDebug:
+		return "debug"
+	case ClassCompile:
+		return "compile"
+	case ClassApp:
+		return "app"
+	default:
+		return "unknown"
+	}
+}
+
+// App describes an application under test: its benchmark metric and its
+// sensitivity to each effect class. Constructors for the paper's four
+// applications live in the apps package.
+type App struct {
+	// Name identifies the application ("nginx", "redis", ...).
+	Name string
+	// BenchTool names the benchmark driver ("wrk", "redis-benchmark", ...).
+	BenchTool string
+	// Unit is the metric unit ("req/s", "us/op", "Mop/s").
+	Unit string
+	// Maximize reports whether larger metric values are better.
+	Maximize bool
+	// Base is the metric value under the default configuration.
+	Base float64
+	// NoiseStd is the relative run-to-run noise (lognormal sigma).
+	NoiseStd float64
+	// Sensitivity scales class effects for this application.
+	Sensitivity [numClasses]float64
+	// Cores is the number of cores the app uses (1 for Redis/SQLite, 16
+	// for Nginx/NPB in the paper's setup).
+	Cores int
+	// BenchSeconds is the virtual duration of one benchmark run.
+	BenchSeconds float64
+}
+
+// Sens returns the application's sensitivity to a class.
+func (a *App) Sens(c EffectClass) float64 { return a.Sensitivity[c] }
+
+// Shape maps a parameter's raw value to a signed effect in [-1, 1] with 0
+// at the default value: positive values improve performance (before class
+// sensitivity and magnitude scaling), negative degrade it.
+type Shape func(v float64) float64
+
+// Effect attaches a response shape to one parameter.
+type Effect struct {
+	// Param is the parameter name.
+	Param string
+	// Class selects the sensitivity bucket.
+	Class EffectClass
+	// Magnitude is the maximum fractional performance swing at full
+	// sensitivity (0.05 = ±5%).
+	Magnitude float64
+	// Shape is the response curve.
+	Shape Shape
+	// EnumEffects overrides Shape for Enum parameters: effect per value.
+	EnumEffects map[string]float64
+}
+
+// Interaction is a pairwise effect between two parameters.
+type Interaction struct {
+	A, B      string
+	Class     EffectClass
+	Magnitude float64
+	// Shape maps the two raw values to a signed joint effect in [-1, 1].
+	Shape func(va, vb float64) float64
+}
+
+// Stage is where in the pipeline a configuration fails.
+type Stage int
+
+const (
+	// StageOK means no failure.
+	StageOK Stage = iota
+	// StageBuild is a compile failure.
+	StageBuild
+	// StageBoot is a kernel that does not boot.
+	StageBoot
+	// StageRun is a runtime crash or benchmark failure.
+	StageRun
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageBuild:
+		return "build"
+	case StageBoot:
+		return "boot"
+	case StageRun:
+		return "run"
+	default:
+		return "ok"
+	}
+}
+
+// CrashRule marks a dangerous region of one parameter's domain.
+type CrashRule struct {
+	// Param is the parameter name.
+	Param string
+	// Stage is where the failure manifests.
+	Stage Stage
+	// Prob is the failure probability when the rule fires.
+	Prob float64
+	// Reason documents the failure mode.
+	Reason string
+	// Bad reports whether a value is in the dangerous region.
+	Bad func(v configspace.Value) bool
+}
+
+// ComboCrashRule fires on a combination of parameter values.
+type ComboCrashRule struct {
+	Stage  Stage
+	Prob   float64
+	Reason string
+	Bad    func(c *configspace.Config) bool
+}
+
+// RuntimeSpec describes one runtime pseudo-file (sysctl) as the *kernel*
+// knows it: the probing heuristic of §3.4 discovers an approximation of
+// this through the vm package.
+type RuntimeSpec struct {
+	// Path is the pseudo-file path (e.g. "/proc/sys/net/core/somaxconn").
+	Path string
+	// Name is the dotted sysctl name.
+	Name string
+	// Default is the value after boot.
+	Default int64
+	// HardMin and HardMax bound what writes the kernel accepts.
+	HardMin, HardMax int64
+	// Writable reports whether the file accepts writes at all.
+	Writable bool
+}
+
+// Model is one OS profile's hidden ground truth plus its visible
+// configuration space.
+type Model struct {
+	// Name identifies the profile ("linux", "unikraft", "linux-riscv").
+	Name string
+	// Space is the visible configuration space handed to the search.
+	Space *configspace.Space
+	// Effects is the hidden response surface.
+	Effects []Effect
+	// Interactions are the hidden pairwise effects.
+	Interactions []Interaction
+	// CrashRules are the hidden single-parameter failure regions.
+	CrashRules []CrashRule
+	// ComboRules are the hidden multi-parameter failure regions.
+	ComboRules []ComboCrashRule
+	// MemBaseMB is the boot memory footprint with all contributions off.
+	MemBaseMB float64
+	// MemContribMB is the per-parameter footprint when enabled
+	// (bool y=full, tristate m=40%).
+	MemContribMB map[string]float64
+	// RuntimeSpecs lists the kernel's runtime pseudo-files (for probing).
+	RuntimeSpecs []RuntimeSpec
+	// BuildSeconds is the virtual cost of a full image build.
+	BuildSeconds float64
+	// BootSeconds is the virtual cost of booting the image.
+	BootSeconds float64
+	// Seed decorrelates the model's deterministic crash draws.
+	Seed uint64
+
+	effectIdx map[string]int
+}
+
+// finalize indexes effects by parameter name. Profiles call it after
+// construction.
+func (m *Model) finalize() {
+	m.effectIdx = make(map[string]int, len(m.Effects))
+	for i, e := range m.Effects {
+		m.effectIdx[e.Param] = i
+	}
+}
+
+// rawValue extracts a float from a config value for shape evaluation.
+func rawValue(p *configspace.Param, v configspace.Value) float64 {
+	if p.Type == configspace.Enum {
+		return 0 // enums use EnumEffects
+	}
+	return float64(v.I)
+}
+
+// PerfMultiplier evaluates the hidden response surface for an application:
+// the product over effects of (1 + sens·magnitude·shape(v)), times
+// interaction terms. The default configuration maps to exactly 1.
+func (m *Model) PerfMultiplier(c *configspace.Config, app *App) float64 {
+	mult := 1.0
+	for _, e := range m.Effects {
+		sens := app.Sens(e.Class)
+		if sens == 0 {
+			continue
+		}
+		p, idx := m.Space.Lookup(e.Param)
+		if p == nil {
+			continue
+		}
+		var f float64
+		if p.Type == configspace.Enum {
+			f = e.EnumEffects[c.Value(idx).S]
+		} else {
+			f = e.Shape(rawValue(p, c.Value(idx)))
+		}
+		contrib := 1 + sens*e.Magnitude*f
+		if contrib < 0.05 {
+			contrib = 0.05
+		}
+		mult *= contrib
+	}
+	for _, in := range m.Interactions {
+		sens := app.Sens(in.Class)
+		if sens == 0 {
+			continue
+		}
+		pa, ia := m.Space.Lookup(in.A)
+		pb, ib := m.Space.Lookup(in.B)
+		if pa == nil || pb == nil {
+			continue
+		}
+		f := in.Shape(rawValue(pa, c.Value(ia)), rawValue(pb, c.Value(ib)))
+		contrib := 1 + sens*in.Magnitude*f
+		if contrib < 0.05 {
+			contrib = 0.05
+		}
+		mult *= contrib
+	}
+	return mult
+}
+
+// Performance returns the application metric for a configuration, with
+// run-to-run noise drawn from noiseRng. For Maximize metrics it is
+// base·multiplier; for minimize metrics (latency) base/multiplier, so a
+// better configuration always moves the metric in the good direction.
+func (m *Model) Performance(c *configspace.Config, app *App, noiseRng *rng.RNG) float64 {
+	mult := m.PerfMultiplier(c, app)
+	noise := math.Exp(noiseRng.Normal(0, app.NoiseStd))
+	if app.Maximize {
+		return app.Base * mult * noise
+	}
+	return app.Base / mult * noise
+}
+
+// MemoryMB returns the boot memory footprint of the configuration.
+func (m *Model) MemoryMB(c *configspace.Config, noiseRng *rng.RNG) float64 {
+	total := m.MemBaseMB
+	for name, contrib := range m.MemContribMB {
+		p, idx := m.Space.Lookup(name)
+		if p == nil {
+			continue
+		}
+		v := c.Value(idx)
+		switch p.Type {
+		case configspace.Bool:
+			if v.I != 0 {
+				total += contrib
+			}
+		case configspace.Tristate:
+			switch configspace.TristateValue(v.I) {
+			case configspace.TriYes:
+				total += contrib
+			case configspace.TriModule:
+				total += contrib * 0.4
+			}
+		case configspace.Int, configspace.Hex:
+			// Numeric contributions scale with log2 of the value relative
+			// to the default (e.g. log buffer sizes).
+			if v.I > 0 && p.Default.I > 0 {
+				total += contrib * math.Log2(float64(v.I)/float64(p.Default.I))
+			}
+		}
+	}
+	if total < 8 {
+		total = 8
+	}
+	return total * math.Exp(noiseRng.Normal(0, 0.002))
+}
+
+// CrashOutcome evaluates the hidden crash model: it returns the earliest
+// failing stage and the reason, or StageOK. The draw is deterministic per
+// (model, configuration) — a configuration that crashes, crashes again —
+// which is what makes crash avoidance learnable (§3.2).
+func (m *Model) CrashOutcome(c *configspace.Config) (Stage, string) {
+	draw := rng.New(c.Hash() ^ m.Seed ^ 0x9e3779b97f4a7c15)
+	worst := StageOK
+	reason := ""
+	consider := func(st Stage, p float64, why string) {
+		if p <= 0 {
+			return
+		}
+		if draw.Float64() < p {
+			if worst == StageOK || st < worst {
+				worst = st
+				reason = why
+			}
+		}
+	}
+	for _, r := range m.CrashRules {
+		p, idx := m.Space.Lookup(r.Param)
+		if p == nil {
+			continue
+		}
+		if r.Bad(c.Value(idx)) {
+			consider(r.Stage, r.Prob, r.Reason)
+		}
+	}
+	for _, r := range m.ComboRules {
+		if r.Bad(c) {
+			consider(r.Stage, r.Prob, r.Reason)
+		}
+	}
+	return worst, reason
+}
+
+// CrashProbability returns the analytic failure probability of a
+// configuration — used by tests and the crash-rate calibration, never by
+// searchers.
+func (m *Model) CrashProbability(c *configspace.Config) float64 {
+	ok := 1.0
+	for _, r := range m.CrashRules {
+		p, idx := m.Space.Lookup(r.Param)
+		if p == nil {
+			continue
+		}
+		if r.Bad(c.Value(idx)) {
+			ok *= 1 - r.Prob
+		}
+	}
+	for _, r := range m.ComboRules {
+		if r.Bad(c) {
+			ok *= 1 - r.Prob
+		}
+	}
+	return 1 - ok
+}
+
+// ---- Shape constructors ----
+
+// Saturating returns a shape that grows with v and saturates at scale
+// vstar, normalized so the default maps to 0 and the domain maps into
+// [-1, 1]. Models "bigger backlog/buffer helps, with diminishing returns".
+func Saturating(def, lo, hi, vstar float64) Shape {
+	g := func(v float64) float64 { return 1 - math.Exp(-v/vstar) }
+	gd := g(def)
+	span := math.Max(math.Abs(g(hi)-gd), math.Abs(g(lo)-gd))
+	if span == 0 {
+		span = 1
+	}
+	return func(v float64) float64 { return (g(v) - gd) / span }
+}
+
+// Unimodal returns a log-space bell curve peaking at peak with width w
+// decades, normalized so the default maps to 0. Models "sweet spot" buffer
+// sizes.
+func Unimodal(def, peak, w float64) Shape {
+	g := func(v float64) float64 {
+		if v <= 0 {
+			return 0
+		}
+		d := math.Log10(v/peak) / w
+		return math.Exp(-d * d / 2)
+	}
+	gd := g(def)
+	span := math.Max(gd, 1-gd)
+	if span == 0 {
+		span = 1
+	}
+	return func(v float64) float64 { return (g(v) - gd) / span }
+}
+
+// StepLow returns a shape that is 0 at or above threshold and −1 below it.
+// Models "values below X break the workload's performance".
+func StepLow(threshold float64) Shape {
+	return func(v float64) float64 {
+		if v < threshold {
+			return -1
+		}
+		return 0
+	}
+}
+
+// LinearPenalty returns a shape that improves (up to gainFrac) as v drops
+// below the default and degrades linearly (to −1) as it rises above.
+// Models verbosity levels: quieter than default helps a little, louder
+// hurts a lot.
+func LinearPenalty(def, lo, hi, gainFrac float64) Shape {
+	return func(v float64) float64 {
+		if v <= def {
+			if def == lo {
+				return 0
+			}
+			return gainFrac * (def - v) / (def - lo)
+		}
+		if hi == def {
+			return 0
+		}
+		return -(v - def) / (hi - def)
+	}
+}
+
+// PowerPenalty returns a shape of −(v/hi)^exp for v>0 and 0 at v=0.
+// Models printk_delay: any non-zero delay hurts, badly.
+func PowerPenalty(hi, exp float64) Shape {
+	return func(v float64) float64 {
+		if v <= 0 {
+			return 0
+		}
+		return -math.Pow(v/hi, exp)
+	}
+}
+
+// OnPenalty returns −1 when a boolean is on, 0 when off.
+func OnPenalty() Shape {
+	return func(v float64) float64 {
+		if v != 0 {
+			return -1
+		}
+		return 0
+	}
+}
+
+// OnGain returns +1 when a boolean is on, 0 when off.
+func OnGain() Shape {
+	return func(v float64) float64 {
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// OffGain returns +1 when a boolean is off, 0 when on — for default-on
+// options whose removal improves performance.
+func OffGain() Shape {
+	return func(v float64) float64 {
+		if v == 0 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// BothHigh returns a pairwise shape that is positive only when both values
+// exceed their thresholds — the synergy interaction.
+func BothHigh(ta, tb float64) func(va, vb float64) float64 {
+	return func(va, vb float64) float64 {
+		if va >= ta && vb >= tb {
+			return 1
+		}
+		return 0
+	}
+}
+
+// BothBad returns a pairwise shape that is −1 when both predicates hold.
+func BothBad(aBad, bBad func(float64) bool) func(va, vb float64) float64 {
+	return func(va, vb float64) float64 {
+		if aBad(va) && bBad(vb) {
+			return -1
+		}
+		return 0
+	}
+}

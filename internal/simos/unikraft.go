@@ -1,0 +1,171 @@
+package simos
+
+import "wayfinder/internal/configspace"
+
+// NewUnikraft constructs the Unikraft unikernel profile of §4.4/Fig 9: a
+// compact space of 23 OS parameters plus 10 Nginx application parameters
+// (≈3.7×10¹³ permutations). Compared to Linux the achievable headroom is
+// much larger — the paper attributes this to the unikernel's low-latency
+// user/kernel transitions amplifying the benefit of the right
+// configuration — so the hidden surface has magnitudes several times
+// Linux's, with strong interactions between application concurrency and
+// the network stack.
+func NewUnikraft(seed uint64) *Model {
+	m := &Model{
+		Name:         "unikraft",
+		Space:        configspace.NewSpace("unikraft-nginx"),
+		MemBaseMB:    18,
+		MemContribMB: map[string]float64{},
+		BuildSeconds: 35, // unikernels build fast
+		BootSeconds:  1,
+		Seed:         seed ^ 0x1717,
+	}
+	add := m.Space.MustAdd
+
+	// --- 23 Unikraft OS parameters (compile-time: unikernels are
+	// configured at build time) ---
+	add(&configspace.Param{Name: "CONFIG_LIBUKALLOC_ALLOCATOR", Type: configspace.Enum,
+		Class: configspace.CompileTime, Values: []string{"buddy", "tlsf", "region"},
+		Default: configspace.EnumValue("buddy")})
+	add(&configspace.Param{Name: "CONFIG_UKALLOC_HEAP_MB", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 16, Max: 1024, Default: configspace.IntValue(64)})
+	add(&configspace.Param{Name: "CONFIG_LWIP_POOLS", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_LWIP_TCP_SND_BUF", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 2048, Max: 1048576, Default: configspace.IntValue(8192)})
+	add(&configspace.Param{Name: "CONFIG_LWIP_TCP_WND", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 2048, Max: 1048576, Default: configspace.IntValue(16384)})
+	add(&configspace.Param{Name: "CONFIG_LWIP_NUM_TCPCON", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 16, Max: 4096, Default: configspace.IntValue(64)})
+	add(&configspace.Param{Name: "CONFIG_LWIP_STATS", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(true)})
+	add(&configspace.Param{Name: "CONFIG_LWIP_DEBUG", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKNETDEV_DISPATCHERTHREADS", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 1, Max: 16, Default: configspace.IntValue(1)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKNETDEV_STATS", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKSCHED_PREEMPTIVE", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKDEBUG_PRINTK", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(true)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKDEBUG_ASSERTIONS", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(true)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKALLOC_IFSTATS", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_OPTIMIZE_LTO", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_OPTIMIZE_O3", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_HZ", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 10, Max: 1000, Default: configspace.IntValue(100)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKBOOT_INITRD", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKLOCK_SPIN", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_LIBVFSCORE_PIPE_SIZE_ORDER", Type: configspace.Int,
+		Class: configspace.CompileTime, Min: 10, Max: 20, Default: configspace.IntValue(12)})
+	add(&configspace.Param{Name: "CONFIG_LIBUK9P", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(true)})
+	add(&configspace.Param{Name: "CONFIG_PAGING_5LEVEL", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "CONFIG_LIBUKSIGNAL", Type: configspace.Bool,
+		Class: configspace.CompileTime, Default: configspace.BoolValue(true)})
+
+	// --- 10 Nginx application parameters ---
+	add(&configspace.Param{Name: "nginx.worker_processes", Type: configspace.Int,
+		Class: configspace.Runtime, Min: 1, Max: 16, Default: configspace.IntValue(1)})
+	add(&configspace.Param{Name: "nginx.worker_connections", Type: configspace.Int,
+		Class: configspace.Runtime, Min: 64, Max: 65536, Default: configspace.IntValue(512)})
+	add(&configspace.Param{Name: "nginx.keepalive_requests", Type: configspace.Int,
+		Class: configspace.Runtime, Min: 10, Max: 100000, Default: configspace.IntValue(100)})
+	add(&configspace.Param{Name: "nginx.sendfile", Type: configspace.Bool,
+		Class: configspace.Runtime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "nginx.tcp_nopush", Type: configspace.Bool,
+		Class: configspace.Runtime, Default: configspace.BoolValue(false)})
+	add(&configspace.Param{Name: "nginx.access_log", Type: configspace.Bool,
+		Class: configspace.Runtime, Default: configspace.BoolValue(true)})
+	add(&configspace.Param{Name: "nginx.gzip", Type: configspace.Bool,
+		Class: configspace.Runtime, Default: configspace.BoolValue(true)})
+	add(&configspace.Param{Name: "nginx.open_file_cache", Type: configspace.Int,
+		Class: configspace.Runtime, Min: 0, Max: 10000, Default: configspace.IntValue(0)})
+	add(&configspace.Param{Name: "nginx.worker_rlimit_nofile", Type: configspace.Int,
+		Class: configspace.Runtime, Min: 512, Max: 100000, Default: configspace.IntValue(1024)})
+	add(&configspace.Param{Name: "nginx.multi_accept", Type: configspace.Bool,
+		Class: configspace.Runtime, Default: configspace.BoolValue(false)})
+
+	// Hidden surface: roughly 5× total headroom, concentrated in a few
+	// coordinated parameters (concurrency × buffers), giving the distinct
+	// explore → exploit → explore phases of Fig 9.
+	m.Effects = append(m.Effects,
+		Effect{Param: "CONFIG_LIBUKALLOC_ALLOCATOR", Class: ClassCompile, Magnitude: 0.10,
+			EnumEffects: map[string]float64{"buddy": 0, "tlsf": 1, "region": 0.3}},
+		Effect{"CONFIG_UKALLOC_HEAP_MB", ClassMM, 0.05, Saturating(64, 16, 1024, 128), nil},
+		Effect{"CONFIG_LWIP_POOLS", ClassNet, 0.08, OnGain(), nil},
+		Effect{"CONFIG_LWIP_TCP_SND_BUF", ClassNet, 0.13, Saturating(8192, 2048, 1048576, 65536), nil},
+		Effect{"CONFIG_LWIP_TCP_WND", ClassNet, 0.13, Saturating(16384, 2048, 1048576, 131072), nil},
+		Effect{"CONFIG_LWIP_NUM_TCPCON", ClassNet, 0.08, Saturating(64, 16, 4096, 512), nil},
+		Effect{"CONFIG_LWIP_STATS", ClassDebug, 0.03, OffGain(), nil},
+		Effect{"CONFIG_LWIP_DEBUG", ClassDebug, 0.15, OnPenalty(), nil},
+		Effect{"CONFIG_LIBUKNETDEV_DISPATCHERTHREADS", ClassSched, 0.08, Unimodal(1, 4, 0.4), nil},
+		Effect{"CONFIG_LIBUKNETDEV_STATS", ClassDebug, 0.02, OnPenalty(), nil},
+		Effect{"CONFIG_LIBUKSCHED_PREEMPTIVE", ClassSched, 0.04, OnGain(), nil},
+		Effect{"CONFIG_LIBUKDEBUG_PRINTK", ClassDebug, 0.05, OffGain(), nil},
+		Effect{"CONFIG_LIBUKDEBUG_ASSERTIONS", ClassDebug, 0.04, OffGain(), nil},
+		Effect{"CONFIG_LIBUKALLOC_IFSTATS", ClassDebug, 0.025, OnPenalty(), nil},
+		Effect{"CONFIG_OPTIMIZE_LTO", ClassCompile, 0.06, OnGain(), nil},
+		Effect{"CONFIG_OPTIMIZE_O3", ClassCompile, 0.04, OnGain(), nil},
+		Effect{"CONFIG_HZ", ClassSched, 0.02, Unimodal(100, 100, 0.5), nil},
+		Effect{"CONFIG_LIBUKLOCK_SPIN", ClassSched, 0.02, OnGain(), nil},
+		Effect{"nginx.worker_processes", ClassApp, 0.20, Saturating(1, 1, 16, 4), nil},
+		Effect{"nginx.worker_connections", ClassApp, 0.10, Saturating(512, 64, 65536, 4096), nil},
+		Effect{"nginx.keepalive_requests", ClassApp, 0.13, Saturating(100, 10, 100000, 10000), nil},
+		Effect{"nginx.sendfile", ClassApp, 0.05, OnGain(), nil},
+		Effect{"nginx.tcp_nopush", ClassApp, 0.025, OnGain(), nil},
+		Effect{"nginx.access_log", ClassApp, 0.08, OffGain(), nil},
+		Effect{"nginx.gzip", ClassApp, 0.025, OffGain(), nil},
+		Effect{"nginx.open_file_cache", ClassApp, 0.04, Saturating(0, 0, 10000, 1000), nil},
+		Effect{"nginx.multi_accept", ClassApp, 0.02, OnGain(), nil},
+	)
+	m.Interactions = append(m.Interactions,
+		Interaction{A: "nginx.worker_processes", B: "nginx.worker_connections",
+			Class: ClassApp, Magnitude: 0.10, Shape: BothHigh(4, 2048)},
+		Interaction{A: "CONFIG_LWIP_TCP_SND_BUF", B: "CONFIG_LWIP_TCP_WND",
+			Class: ClassNet, Magnitude: 0.08, Shape: BothHigh(65536, 131072)},
+		Interaction{A: "nginx.worker_processes", B: "CONFIG_LIBUKNETDEV_DISPATCHERTHREADS",
+			Class: ClassSched, Magnitude: 0.06, Shape: BothHigh(4, 2)},
+	)
+
+	intBad := func(f func(int64) bool) func(configspace.Value) bool {
+		return func(v configspace.Value) bool { return f(v.I) }
+	}
+	m.CrashRules = append(m.CrashRules,
+		CrashRule{"CONFIG_UKALLOC_HEAP_MB", StageBoot, 0.85, "heap too small for image",
+			intBad(func(v int64) bool { return v < 24 })},
+		CrashRule{"CONFIG_LIBUKNETDEV_DISPATCHERTHREADS", StageRun, 0.60, "dispatcher oversubscription deadlock",
+			intBad(func(v int64) bool { return v > 12 })},
+		CrashRule{"nginx.worker_rlimit_nofile", StageRun, 0.70, "fd limit below connection load",
+			intBad(func(v int64) bool { return v < 768 })},
+	)
+	m.ComboRules = append(m.ComboRules,
+		ComboCrashRule{Stage: StageRun, Prob: 0.75,
+			Reason: "connection table too small for worker concurrency",
+			Bad: func(c *configspace.Config) bool {
+				return c.GetInt("nginx.worker_processes", 1) >= 8 &&
+					c.GetInt("CONFIG_LWIP_NUM_TCPCON", 64) < 64
+			}},
+		ComboCrashRule{Stage: StageBoot, Prob: 0.80,
+			Reason: "region allocator cannot satisfy large TCP pools",
+			Bad: func(c *configspace.Config) bool {
+				return c.GetString("CONFIG_LIBUKALLOC_ALLOCATOR", "buddy") == "region" &&
+					c.GetInt("CONFIG_LWIP_TCP_SND_BUF", 8192) > 262144
+			}},
+	)
+	for _, p := range m.Space.Params() {
+		if p.Class == configspace.CompileTime {
+			m.MemContribMB[p.Name] = 0.2
+		}
+	}
+	m.finalize()
+	return m
+}

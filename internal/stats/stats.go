@@ -1,0 +1,416 @@
+// Package stats provides the small numerical toolkit shared by Wayfinder's
+// search algorithms, simulator, and reporting layers: normalization,
+// smoothing, running moments, error metrics, and dense matrix helpers.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// MinMaxNorm returns the min-max normalization of xs onto [0,1] — the
+// mXNorm(·) function used by the paper's throughput–memory score (Eq. 4).
+// Constant input maps to all zeros.
+func MinMaxNorm(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	lo, hi := Min(xs), Max(xs)
+	span := hi - lo
+	if span == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / span
+	}
+	return out
+}
+
+// MAE returns the mean absolute error between predictions and targets.
+func MAE(pred, target []float64) float64 {
+	if len(pred) != len(target) || len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - target[i])
+	}
+	return sum / float64(len(pred))
+}
+
+// NormalizedMAE returns MAE divided by the target range, the normalized MAE
+// reported in the paper's Table 3. A zero range yields 0.
+func NormalizedMAE(pred, target []float64) float64 {
+	if len(target) == 0 {
+		return 0
+	}
+	span := Max(target) - Min(target)
+	if span == 0 {
+		return 0
+	}
+	return MAE(pred, target) / span
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// EWMA returns the exponentially-weighted moving average of xs with
+// smoothing factor alpha in (0,1]; the first element seeds the average.
+// It is the smoothing applied to the paper's figure time series.
+func EWMA(xs []float64, alpha float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = alpha*xs[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// MovingRate returns, for each position, the fraction of true values in the
+// trailing window — used for the dashed crash-rate curves in Figs 6, 11.
+func MovingRate(events []bool, window int) []float64 {
+	out := make([]float64, len(events))
+	if window <= 0 {
+		window = 1
+	}
+	count := 0
+	for i := range events {
+		if events[i] {
+			count++
+		}
+		if i >= window && events[i-window] {
+			count--
+		}
+		n := window
+		if i+1 < window {
+			n = i + 1
+		}
+		out[i] = float64(count) / float64(n)
+	}
+	return out
+}
+
+// Running tracks streaming mean and variance (Welford's algorithm).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// RestoreRunning reconstructs a Running accumulator from summary
+// statistics (used when deserializing trained models).
+func RestoreRunning(n int, mean, variance float64) Running {
+	return Running{n: n, mean: mean, m2: variance * float64(n)}
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// ZScorer normalizes feature vectors to zero mean and unit variance, the
+// preprocessing the DTM's RBF layers assume (γ=0.1 on z-scored inputs).
+type ZScorer struct {
+	mean []float64
+	std  []float64
+}
+
+// NewZScorerFromStats reconstructs a scorer from serialized statistics.
+func NewZScorerFromStats(mean, std []float64) *ZScorer {
+	return &ZScorer{mean: append([]float64(nil), mean...), std: append([]float64(nil), std...)}
+}
+
+// Stats returns the scorer's per-dimension mean and std (empty for an
+// unfitted scorer).
+func (z *ZScorer) Stats() (mean, std []float64) { return z.mean, z.std }
+
+// FitZScorer computes per-dimension mean/std from a sample of vectors.
+// Dimensions with zero variance are given unit std so they pass through.
+func FitZScorer(samples [][]float64) *ZScorer {
+	if len(samples) == 0 {
+		return &ZScorer{}
+	}
+	dim := len(samples[0])
+	z := &ZScorer{mean: make([]float64, dim), std: make([]float64, dim)}
+	for d := 0; d < dim; d++ {
+		var run Running
+		for _, s := range samples {
+			run.Add(s[d])
+		}
+		z.mean[d] = run.Mean()
+		sd := run.StdDev()
+		if sd < 1e-12 {
+			sd = 1
+		}
+		z.std[d] = sd
+	}
+	return z
+}
+
+// Transform returns the z-scored copy of v.
+func (z *ZScorer) Transform(v []float64) []float64 {
+	if len(z.mean) == 0 {
+		return append([]float64(nil), v...)
+	}
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = (v[i] - z.mean[i]) / z.std[i]
+	}
+	return out
+}
+
+// Euclidean returns the L2 distance between two equal-length vectors.
+func Euclidean(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// SquaredDistance returns the squared L2 distance between two vectors.
+func SquaredDistance(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) positive definite.
+var ErrNotPositiveDefinite = errors.New("stats: matrix not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ.
+// A must be square and symmetric positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("stats: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, j, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A, via
+// forward then backward substitution.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x
+}
+
+// PearsonCorrelation returns the Pearson correlation coefficient between xs
+// and ys, or 0 when either side has zero variance.
+func PearsonCorrelation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// ArgMax returns the index of the maximum element (first on ties), or -1
+// for an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum element (first on ties), or -1
+// for an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,365 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wayfinder/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if sd := StdDev(xs); sd != 2 {
+		t.Fatalf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty slice moments should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestMinMaxNorm(t *testing.T) {
+	out := MinMaxNorm([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("MinMaxNorm = %v", out)
+		}
+	}
+}
+
+func TestMinMaxNormConstant(t *testing.T) {
+	out := MinMaxNorm([]float64{7, 7, 7})
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("constant input should normalize to zeros, got %v", out)
+		}
+	}
+}
+
+func TestMinMaxNormPropertyBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 3+r.Intn(20))
+		for i := range xs {
+			xs[i] = r.Normal(0, 100)
+		}
+		for _, v := range MinMaxNorm(xs) {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got := MAE([]float64{1, 2, 3}, []float64{2, 2, 5})
+	if !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+}
+
+func TestNormalizedMAE(t *testing.T) {
+	got := NormalizedMAE([]float64{1, 2}, []float64{0, 10})
+	// MAE = (1+8)/2 = 4.5, range = 10 → 0.45
+	if !almostEqual(got, 0.45, 1e-12) {
+		t.Fatalf("NormalizedMAE = %v, want 0.45", got)
+	}
+	if NormalizedMAE([]float64{1}, []float64{3}) != 0 {
+		t.Fatal("zero-range targets should give 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("median = %v, want 3", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v, want 1", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v, want 5", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("p25 = %v, want 2", p)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	out := EWMA([]float64{1, 1, 1}, 0.5)
+	for _, v := range out {
+		if v != 1 {
+			t.Fatalf("EWMA of constant should be constant: %v", out)
+		}
+	}
+	out = EWMA([]float64{0, 1}, 0.5)
+	if out[1] != 0.5 {
+		t.Fatalf("EWMA step = %v, want 0.5", out[1])
+	}
+}
+
+func TestEWMAStaysInRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		lo, hi := Min(xs), Max(xs)
+		for _, v := range EWMA(xs, 0.3) {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingRate(t *testing.T) {
+	events := []bool{true, false, true, true}
+	out := MovingRate(events, 2)
+	want := []float64{1, 0.5, 0.5, 1}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("MovingRate = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	r := rng.New(31)
+	xs := make([]float64, 500)
+	var run Running
+	for i := range xs {
+		xs[i] = r.Normal(3, 7)
+		run.Add(xs[i])
+	}
+	if !almostEqual(run.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("running mean %v vs batch %v", run.Mean(), Mean(xs))
+	}
+	if !almostEqual(run.Variance(), Variance(xs), 1e-6) {
+		t.Fatalf("running var %v vs batch %v", run.Variance(), Variance(xs))
+	}
+	if run.N() != 500 {
+		t.Fatalf("N = %d", run.N())
+	}
+}
+
+func TestZScorer(t *testing.T) {
+	samples := [][]float64{{0, 10}, {2, 10}, {4, 10}}
+	z := FitZScorer(samples)
+	out := z.Transform([]float64{2, 10})
+	if !almostEqual(out[0], 0, 1e-12) {
+		t.Fatalf("centered value should be 0, got %v", out[0])
+	}
+	// zero-variance dimension passes through centered.
+	if !almostEqual(out[1], 0, 1e-12) {
+		t.Fatalf("constant dim should map to 0, got %v", out[1])
+	}
+	hi := z.Transform([]float64{4, 10})
+	if hi[0] <= 0 {
+		t.Fatalf("above-mean value should be positive, got %v", hi[0])
+	}
+}
+
+func TestZScorerEmpty(t *testing.T) {
+	z := FitZScorer(nil)
+	out := z.Transform([]float64{1, 2})
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatal("empty scorer should pass through")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a, b := []float64{0, 0}, []float64{3, 4}
+	if Euclidean(a, b) != 5 {
+		t.Fatalf("Euclidean = %v", Euclidean(a, b))
+	}
+	if SquaredDistance(a, b) != 25 {
+		t.Fatalf("SquaredDistance = %v", SquaredDistance(a, b))
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	// A = L0 L0ᵀ for a known lower-triangular L0.
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{4, 2, 2}, {2, 5, 3}, {2, 3, 6}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify L Lᵀ == A.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			sum := 0.0
+			for k := 0; k < 3; k++ {
+				sum += l.At(i, k) * l.At(j, k)
+			}
+			if !almostEqual(sum, a.At(i, j), 1e-9) {
+				t.Fatalf("LLᵀ(%d,%d) = %v, want %v", i, j, sum, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1)
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := SolveCholesky(l, []float64{10, 8})
+	// Verify A x == b.
+	b0 := 4*x[0] + 2*x[1]
+	b1 := 2*x[0] + 3*x[1]
+	if !almostEqual(b0, 10, 1e-9) || !almostEqual(b1, 8, 1e-9) {
+		t.Fatalf("solve wrong: x=%v", x)
+	}
+}
+
+func TestSolveCholeskyProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		// Build A = M Mᵀ + n·I which is always SPD.
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = r.Normal(0, 1)
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k < n; k++ {
+					sum += m.At(i, k) * m.At(j, k)
+				}
+				if i == j {
+					sum += float64(n)
+				}
+				a.Set(i, j, sum)
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Normal(0, 5)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := SolveCholesky(l, b)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a.At(i, j) * x[j]
+			}
+			if !almostEqual(sum, b[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if c := PearsonCorrelation(xs, ys); !almostEqual(c, 1, 1e-12) {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := PearsonCorrelation(xs, neg); !almostEqual(c, -1, 1e-12) {
+		t.Fatalf("perfect anticorrelation = %v", c)
+	}
+	if c := PearsonCorrelation(xs, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("zero-variance correlation = %v", c)
+	}
+}
+
+func TestArgMaxMin(t *testing.T) {
+	xs := []float64{3, 9, 1, 9}
+	if ArgMax(xs) != 1 {
+		t.Fatalf("ArgMax = %d", ArgMax(xs))
+	}
+	if ArgMin(xs) != 2 {
+		t.Fatalf("ArgMin = %d", ArgMin(xs))
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Fatal("empty ArgMax/ArgMin should be -1")
+	}
+}
+
+func BenchmarkCholesky(b *testing.B) {
+	r := rng.New(1)
+	n := 50
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := r.Normal(0, 1)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package vm simulates the QEMU/KVM layer Wayfinder boots OS images on,
+// plus the virtual clock that makes time-budget experiments tractable: all
+// evaluation costs (builds, boots, benchmark runs) are charged to a Clock
+// in virtual seconds, so a "3-hour" search session (Figs 9–11) executes in
+// milliseconds while preserving budget semantics.
+//
+// The VM exposes the runtime pseudo-filesystems (/proc/sys, /sys) of the
+// booted kernel, which is what the §3.4 probing heuristic walks to derive
+// the runtime configuration space without documentation: list writable
+// files, read defaults, infer types, and scale values by powers of ten to
+// find accepted ranges.
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/simos"
+)
+
+// Clock is a virtual clock measured in seconds.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward; negative advances are ignored.
+func (c *Clock) Advance(seconds float64) {
+	if seconds > 0 {
+		c.now += seconds
+	}
+}
+
+// VM is one booted (simulated) virtual machine.
+type VM struct {
+	model  *simos.Model
+	config *configspace.Config
+	booted bool
+
+	// sysctl state: current values by name.
+	values map[string]int64
+	specs  map[string]simos.RuntimeSpec
+}
+
+// New creates a VM for a model/configuration pair; call Boot before using
+// the pseudo-filesystem.
+func New(model *simos.Model, config *configspace.Config) *VM {
+	v := &VM{
+		model:  model,
+		config: config,
+		values: map[string]int64{},
+		specs:  map[string]simos.RuntimeSpec{},
+	}
+	for _, s := range model.RuntimeSpecs {
+		v.specs[s.Name] = s
+	}
+	return v
+}
+
+// Boot starts the VM. It fails when the configuration's hidden crash
+// outcome is a build or boot failure.
+func (v *VM) Boot() error {
+	stage, reason := v.model.CrashOutcome(v.config)
+	if stage == simos.StageBuild || stage == simos.StageBoot {
+		return fmt.Errorf("vm: %s failure: %s", stage, reason)
+	}
+	// Runtime pseudo-files start at the kernel defaults, then the
+	// configuration's runtime assignments are applied as Wayfinder's test
+	// task would (sysctl -w for each parameter).
+	for _, s := range v.model.RuntimeSpecs {
+		v.values[s.Name] = s.Default
+	}
+	for i, p := range v.config.Space().Params() {
+		if p.Class != configspace.Runtime {
+			continue
+		}
+		if _, ok := v.specs[p.Name]; ok {
+			v.values[p.Name] = v.config.Value(i).I
+		}
+	}
+	v.booted = true
+	return nil
+}
+
+// Booted reports whether Boot succeeded.
+func (v *VM) Booted() bool { return v.booted }
+
+// ListWritable returns the writable pseudo-file paths under /proc/sys and
+// /sys, sorted — step one of the probing heuristic.
+func (v *VM) ListWritable() []string {
+	var out []string
+	for _, s := range v.model.RuntimeSpecs {
+		if s.Writable {
+			out = append(out, s.Path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadFile reads a pseudo-file's current value.
+func (v *VM) ReadFile(path string) (string, error) {
+	if !v.booted {
+		return "", fmt.Errorf("vm: not booted")
+	}
+	name, err := v.nameForPath(path)
+	if err != nil {
+		return "", err
+	}
+	return strconv.FormatInt(v.values[name], 10), nil
+}
+
+// WriteFile writes a pseudo-file, enforcing the kernel's hidden accepted
+// range: out-of-range writes fail with EINVAL, as real sysctls do.
+func (v *VM) WriteFile(path, value string) error {
+	if !v.booted {
+		return fmt.Errorf("vm: not booted")
+	}
+	name, err := v.nameForPath(path)
+	if err != nil {
+		return err
+	}
+	spec := v.specs[name]
+	iv, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+	if err != nil {
+		return fmt.Errorf("vm: %s: invalid value %q", path, value)
+	}
+	if iv < spec.HardMin || iv > spec.HardMax {
+		return fmt.Errorf("vm: %s: EINVAL (value %d outside accepted range)", path, iv)
+	}
+	v.values[name] = iv
+	return nil
+}
+
+func (v *VM) nameForPath(path string) (string, error) {
+	for _, s := range v.model.RuntimeSpecs {
+		if s.Path == path {
+			return s.Name, nil
+		}
+	}
+	return "", fmt.Errorf("vm: no such pseudo-file %q", path)
+}
+
+// ProbeOptions tunes the §3.4 space-derivation heuristic.
+type ProbeOptions struct {
+	// ScaleFactor is the multiplicative probe step ("scaling up and down
+	// the default value several times by a high factor (10)").
+	ScaleFactor int64
+	// MaxSteps bounds how many scalings are attempted in each direction.
+	MaxSteps int
+	// SecondsPerWrite is the virtual cost charged per probe write.
+	SecondsPerWrite float64
+}
+
+// DefaultProbeOptions matches the paper's description.
+func DefaultProbeOptions() ProbeOptions {
+	return ProbeOptions{ScaleFactor: 10, MaxSteps: 6, SecondsPerWrite: 0.05}
+}
+
+// ProbeSpace implements the heuristic of §3.4 against a booted VM: for
+// every writable pseudo-file, read the default; treat 0/1 defaults as
+// boolean and other numbers as arbitrary integers; then scale the default
+// up and down by the factor, writing each candidate — values the write
+// accepts (without crashing the VM) are considered in range. The result is
+// a runtime-parameter Space (an approximation of the kernel's true limits,
+// intentionally coarse: refining values is the search's job).
+func (v *VM) ProbeSpace(name string, opts ProbeOptions, clock *Clock) (*configspace.Space, error) {
+	if !v.booted {
+		return nil, fmt.Errorf("vm: not booted")
+	}
+	space := configspace.NewSpace(name)
+	for _, path := range v.ListWritable() {
+		raw, err := v.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		def, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			continue // non-numeric runtime parameters are skipped (§3.4)
+		}
+		pname, _ := v.nameForPath(path)
+		if def == 0 || def == 1 {
+			space.MustAdd(&configspace.Param{
+				Name: pname, Type: configspace.Bool, Class: configspace.Runtime,
+				Default: configspace.BoolValue(def == 1),
+			})
+			continue
+		}
+		lo, hi := def, def
+		// Scale up.
+		val := def
+		for step := 0; step < opts.MaxSteps; step++ {
+			val *= opts.ScaleFactor
+			clock.Advance(opts.SecondsPerWrite)
+			if err := v.WriteFile(path, strconv.FormatInt(val, 10)); err != nil {
+				break
+			}
+			hi = val
+		}
+		// Scale down.
+		val = def
+		for step := 0; step < opts.MaxSteps; step++ {
+			val /= opts.ScaleFactor
+			if val == 0 {
+				break
+			}
+			clock.Advance(opts.SecondsPerWrite)
+			if err := v.WriteFile(path, strconv.FormatInt(val, 10)); err != nil {
+				break
+			}
+			lo = val
+		}
+		// Restore the default.
+		clock.Advance(opts.SecondsPerWrite)
+		if err := v.WriteFile(path, raw); err != nil {
+			return nil, fmt.Errorf("vm: restoring %s: %w", path, err)
+		}
+		space.MustAdd(&configspace.Param{
+			Name: pname, Type: configspace.Int, Class: configspace.Runtime,
+			Min: lo, Max: hi, Default: configspace.IntValue(def),
+		})
+	}
+	return space, nil
+}

@@ -1,0 +1,192 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/simos"
+)
+
+func newLinuxVM(t *testing.T) (*simos.Model, *VM) {
+	t.Helper()
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 10, Seed: 1})
+	v := New(m, m.Space.Default())
+	if err := v.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return m, v
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock should be at 0")
+	}
+	c.Advance(5)
+	c.Advance(2.5)
+	c.Advance(-100) // ignored
+	if c.Now() != 7.5 {
+		t.Fatalf("clock = %v, want 7.5", c.Now())
+	}
+}
+
+func TestBootAppliesRuntimeConfig(t *testing.T) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 0, Seed: 1})
+	c := m.Space.Default()
+	c.MustSet("net.core.somaxconn", configspace.IntValue(4096))
+	v := New(m, c)
+	if err := v.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.ReadFile("/proc/sys/net/core/somaxconn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "4096" {
+		t.Fatalf("somaxconn after boot = %s", got)
+	}
+}
+
+func TestBootFailsOnBrokenConfig(t *testing.T) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 0, Seed: 1})
+	c := m.Space.Default()
+	c.MustSet("CONFIG_VIRTIO", configspace.BoolValue(false))
+	v := New(m, c)
+	err := v.Boot()
+	if err == nil {
+		t.Fatal("boot should fail with essentials disabled")
+	}
+	if !strings.Contains(err.Error(), "boot failure") && !strings.Contains(err.Error(), "build failure") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if v.Booted() {
+		t.Fatal("failed VM should not report booted")
+	}
+}
+
+func TestReadWriteRange(t *testing.T) {
+	_, v := newLinuxVM(t)
+	path := "/proc/sys/net/core/somaxconn"
+	if err := v.WriteFile(path, "1024"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.ReadFile(path)
+	if got != "1024" {
+		t.Fatalf("read back %s", got)
+	}
+	// The hidden accepted range is [16, 65536]; out-of-range writes fail.
+	if err := v.WriteFile(path, "8"); err == nil {
+		t.Fatal("below-min write should fail")
+	}
+	if err := v.WriteFile(path, "1000000"); err == nil {
+		t.Fatal("above-max write should fail")
+	}
+	if err := v.WriteFile(path, "banana"); err == nil {
+		t.Fatal("non-numeric write should fail")
+	}
+	// Failed writes must not change the value.
+	got, _ = v.ReadFile(path)
+	if got != "1024" {
+		t.Fatalf("failed write changed value to %s", got)
+	}
+}
+
+func TestPseudoFileErrors(t *testing.T) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 0, Seed: 1})
+	v := New(m, m.Space.Default())
+	if _, err := v.ReadFile("/proc/sys/net/core/somaxconn"); err == nil {
+		t.Fatal("read before boot should fail")
+	}
+	if err := v.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadFile("/proc/sys/no/such/file"); err == nil {
+		t.Fatal("unknown file should fail")
+	}
+}
+
+func TestListWritableSorted(t *testing.T) {
+	_, v := newLinuxVM(t)
+	files := v.ListWritable()
+	if len(files) == 0 {
+		t.Fatal("no writable files")
+	}
+	for i := 1; i < len(files); i++ {
+		if files[i-1] >= files[i] {
+			t.Fatal("files not sorted")
+		}
+	}
+}
+
+func TestProbeSpaceDerivesRanges(t *testing.T) {
+	// §3.4: scale the default by 10 up/down; accepted writes define the
+	// range.
+	_, v := newLinuxVM(t)
+	var clock Clock
+	space, err := v.ProbeSpace("probed", DefaultProbeOptions(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := space.Lookup("net.core.somaxconn")
+	if p == nil {
+		t.Fatal("somaxconn not probed")
+	}
+	// Default 128, hard range [16, 65536]: probing finds 12.8 rejected →
+	// low stays 128? No: 128/10=12 rejected, so lo=128; hi: 1280, 12800
+	// accepted, 128000 rejected → hi=12800.
+	if p.Min != 128 || p.Max != 12800 {
+		t.Fatalf("probed range [%d, %d], want [128, 12800]", p.Min, p.Max)
+	}
+	if p.Default.I != 128 {
+		t.Fatalf("probed default = %d", p.Default.I)
+	}
+	if clock.Now() <= 0 {
+		t.Fatal("probing should consume virtual time")
+	}
+}
+
+func TestProbeSpaceBooleanInference(t *testing.T) {
+	// Defaults of 0/1 are inferred boolean (§3.4).
+	_, v := newLinuxVM(t)
+	var clock Clock
+	space, err := v.ProbeSpace("probed", DefaultProbeOptions(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := space.Lookup("vm.block_dump")
+	if p == nil || p.Type != configspace.Bool {
+		t.Fatalf("block_dump should probe as bool, got %+v", p)
+	}
+	// vm.stat_interval defaults to 1 → also inferred boolean, even though
+	// the kernel accepts larger values: the documented coarseness of the
+	// heuristic.
+	si, _ := space.Lookup("vm.stat_interval")
+	if si == nil || si.Type != configspace.Bool {
+		t.Fatalf("stat_interval should be (coarsely) inferred bool, got %+v", si)
+	}
+}
+
+func TestProbeRestoresDefaults(t *testing.T) {
+	_, v := newLinuxVM(t)
+	var clock Clock
+	if _, err := v.ProbeSpace("probed", DefaultProbeOptions(), &clock); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.ReadFile("/proc/sys/net/core/somaxconn")
+	if got != "128" {
+		t.Fatalf("probe left somaxconn at %s", got)
+	}
+}
+
+func TestProbeSpaceAllParamsProbed(t *testing.T) {
+	m, v := newLinuxVM(t)
+	var clock Clock
+	space, err := v.ProbeSpace("probed", DefaultProbeOptions(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Len() != len(m.RuntimeSpecs) {
+		t.Fatalf("probed %d params, kernel exposes %d", space.Len(), len(m.RuntimeSpecs))
+	}
+}

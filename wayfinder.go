@@ -1,0 +1,187 @@
+// Package wayfinder is the public API of the Wayfinder OS-specialization
+// framework — a from-scratch Go reproduction of "Wayfinder: Automated
+// Operating System Specialization" (EuroSys 2026).
+//
+// Wayfinder specializes an operating system's configuration (compile-time,
+// boot-time, and runtime parameters) for a target application, workload,
+// and metric, fully automatically. The framework couples an automated
+// benchmarking pipeline (configure → build → boot → benchmark, with
+// virtual-time accounting) with pluggable search algorithms, of which
+// DeepTune — a multitask neural network predicting configuration
+// performance, crash probability, and uncertainty — is the paper's
+// contribution.
+//
+// # Quick start
+//
+//	model := wayfinder.NewLinuxModel()                  // simulated kernel
+//	model.Space.Favor(wayfinder.CompileTime, 0)         // runtime search
+//	app := wayfinder.AppNginx()
+//	searcher := wayfinder.NewDeepTuneSearcher(model.Space, true, wayfinder.DefaultDeepTuneConfig())
+//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{Iterations: 250})
+//
+// The report carries the best configuration found, the full history, and
+// the crash-rate/performance series the paper's figures plot. See the
+// examples/ directory for runnable end-to-end programs and cmd/wfbench for
+// the reproduction of every table and figure in the paper's evaluation.
+package wayfinder
+
+import (
+	"wayfinder/internal/apps"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/core"
+	"wayfinder/internal/cozart"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/search"
+	"wayfinder/internal/simos"
+	"wayfinder/internal/vm"
+)
+
+// Re-exported configuration-space types.
+type (
+	// Space is an ordered collection of typed OS configuration parameters.
+	Space = configspace.Space
+	// Param is one configuration parameter.
+	Param = configspace.Param
+	// Config is a concrete assignment over a Space (a "permutation").
+	Config = configspace.Config
+	// Value is a parameter value.
+	Value = configspace.Value
+	// Job is a parsed YAML job file (§3.1/§3.4).
+	Job = configspace.Job
+)
+
+// Parameter classes (when in the OS lifecycle a parameter applies).
+const (
+	CompileTime = configspace.CompileTime
+	BootTime    = configspace.BootTime
+	Runtime     = configspace.Runtime
+)
+
+// Re-exported simulator types.
+type (
+	// Model is a simulated OS profile (visible space + hidden ground truth).
+	Model = simos.Model
+	// App is an application workload under test.
+	App = simos.App
+)
+
+// Re-exported engine types.
+type (
+	// SessionOptions configures a search session.
+	SessionOptions = core.Options
+	// Report summarizes a session.
+	Report = core.Report
+	// EvalResult is one evaluated configuration.
+	EvalResult = core.Result
+	// Metric maps a configuration evaluation to the optimization target.
+	Metric = core.Metric
+	// PerfMetric optimizes the application's benchmark metric.
+	PerfMetric = core.PerfMetric
+	// MemoryMetric minimizes the booted image's footprint.
+	MemoryMetric = core.MemoryMetric
+	// ScoreMetric co-optimizes throughput and memory (Eq. 4).
+	ScoreMetric = core.ScoreMetric
+	// ParamImpact is a learned parameter-importance estimate.
+	ParamImpact = core.ParamImpact
+)
+
+// Searcher decides which configuration to evaluate next (§3.1's pluggable
+// search-algorithm API).
+type Searcher = search.Searcher
+
+// DeepTuneConfig holds the DTM hyperparameters.
+type DeepTuneConfig = deeptune.Config
+
+// Clock is the virtual clock evaluation costs are charged to.
+type Clock = vm.Clock
+
+// NewLinuxModel returns the simulated Linux kernel profile at the
+// experiment scale used throughout the paper's §4.1.
+func NewLinuxModel() *Model { return simos.NewLinux(simos.DefaultLinuxOptions()) }
+
+// NewUnikraftModel returns the simulated Unikraft unikernel profile
+// (§4.4, Fig 9).
+func NewUnikraftModel() *Model { return simos.NewUnikraft(1) }
+
+// NewRiscvModel returns the RISC-V Linux profile used for memory-footprint
+// minimization (§4.4, Fig 10).
+func NewRiscvModel() *Model { return simos.NewRiscv(simos.DefaultRiscvOptions()) }
+
+// AppNginx returns the Nginx/wrk workload.
+func AppNginx() *App { return apps.Nginx() }
+
+// AppRedis returns the Redis/redis-benchmark workload.
+func AppRedis() *App { return apps.Redis() }
+
+// AppSQLite returns the SQLite/db_bench workload.
+func AppSQLite() *App { return apps.SQLite() }
+
+// AppNPB returns the NAS Parallel Benchmarks workload.
+func AppNPB() *App { return apps.NPB() }
+
+// AppByName resolves an application by name ("nginx", "redis", "sqlite",
+// "npb").
+func AppByName(name string) (*App, error) { return apps.ByName(name) }
+
+// DefaultDeepTuneConfig returns the DTM hyperparameters used in the
+// paper's experiments.
+func DefaultDeepTuneConfig() DeepTuneConfig { return deeptune.DefaultConfig() }
+
+// NewDeepTuneSearcher returns the DeepTune search strategy (§3.2).
+func NewDeepTuneSearcher(space *Space, maximize bool, cfg DeepTuneConfig) *search.DeepTune {
+	return search.NewDeepTune(space, maximize, cfg)
+}
+
+// NewRandomSearcher returns the random-search baseline.
+func NewRandomSearcher(space *Space, seed uint64) *search.Random {
+	return search.NewRandom(space, seed)
+}
+
+// NewRandomMutateSearcher returns the mutation-based random baseline used
+// for compile-time exploration.
+func NewRandomMutateSearcher(space *Space, k int, seed uint64) *search.RandomMutate {
+	return search.NewRandomMutate(space, k, seed)
+}
+
+// NewGridSearcher returns the grid-search strategy.
+func NewGridSearcher(space *Space) *search.Grid { return search.NewGrid(space) }
+
+// NewBayesianSearcher returns the Bayesian-optimization baseline.
+func NewBayesianSearcher(space *Space, maximize bool, seed uint64) *search.Bayesian {
+	return search.NewBayesian(space, maximize, seed)
+}
+
+// NewUnicornSearcher returns the causal-inference comparator (Fig 7).
+func NewUnicornSearcher(space *Space, maximize bool, seed uint64) *search.Unicorn {
+	return search.NewUnicorn(space, maximize, seed)
+}
+
+// ParseJob parses a YAML job file (§3.1, §3.4).
+func ParseJob(src string) (*Job, error) { return configspace.ParseJobYAML(src) }
+
+// Specialize runs one search session with the application's own benchmark
+// metric, on a fresh virtual clock, and returns the report.
+func Specialize(model *Model, app *App, s Searcher, opts SessionOptions) (*Report, error) {
+	return SpecializeMetric(model, app, &core.PerfMetric{App: app}, s, opts)
+}
+
+// SpecializeMetric is Specialize with an explicit optimization metric
+// (memory footprint, throughput–memory score, ...).
+func SpecializeMetric(model *Model, app *App, metric Metric, s Searcher, opts SessionOptions) (*Report, error) {
+	var clock vm.Clock
+	eng := core.NewEngine(model, app, metric, s, &clock, opts.Seed)
+	return eng.Run(opts)
+}
+
+// CozartDebloat applies the Cozart-style compile-time debloater to a
+// model: it traces the workload, derives a reduced baseline configuration,
+// rebases the space defaults onto it, and returns the baseline (§4.4).
+func CozartDebloat(model *Model, app *App, seed uint64) (*Config, error) {
+	return cozart.Apply(model, app, seed)
+}
+
+// HighImpactParams queries a trained DeepTune searcher for the parameters
+// it learned to be most performance-impactful (§4.1).
+func HighImpactParams(s *search.DeepTune, model *Model, ref *Config, maximize bool) []ParamImpact {
+	return core.HighImpactParams(s.Selector().Model(), s.Selector().Encoder(), model.Space, ref, maximize)
+}
