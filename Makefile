@@ -1,0 +1,33 @@
+# Wayfinder build/test entry points. CI (.github/workflows/ci.yml) runs
+# exactly these targets, so a green `make ci` locally means a green build.
+
+GO ?= go
+
+.PHONY: all build test race fmt vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fmt fails (listing the offenders) when any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# bench is a smoke pass: one iteration per benchmark, no tests.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+ci: fmt vet build race bench

@@ -30,6 +30,7 @@ func benchScale() experiments.Scale {
 	s.PerAppConfigs = 250
 	s.TimeBudgetSec = 1800
 	s.SynthIters = 40
+	s.Workers = 8
 	return s
 }
 
@@ -71,6 +72,33 @@ func BenchmarkFig9Unikraft(b *testing.B)         { runExp(b, "fig9", 0, "", "") 
 func BenchmarkFig10MemoryFootprint(b *testing.B) { runExp(b, "fig10", 0, "best MB", "best-mb") }
 func BenchmarkFig11CozartSynergy(b *testing.B)   { runExp(b, "fig11", 0, "best score", "best-score") }
 func BenchmarkTable4TopScores(b *testing.B)      { runExp(b, "table4", 0, "", "") }
+
+// BenchmarkScalingWorkers runs the worker-scaling study, reporting the
+// 1-worker wall-clock (row 0) as the headline metric; the experiment's own
+// table carries the speedup curve.
+func BenchmarkScalingWorkers(b *testing.B) { runExp(b, "scaling", 0, "wall s", "seq-wall-s") }
+
+// BenchmarkParallelSession measures the real (host) cost of one 8-worker
+// session against the sequential baseline at an equal iteration budget.
+func BenchmarkParallelSession(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				app := apps.Nginx()
+				m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1})
+				m.Space.Favor(configspace.CompileTime, 0)
+				s := search.NewRandom(m.Space, 1)
+				var clock vm.Clock
+				eng := core.NewEngine(m, app, &core.PerfMetric{App: app}, s, &clock, 1)
+				rep, err := eng.Run(core.Options{Iterations: 160, Seed: 1, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.ElapsedSec, "virtual-wall-s")
+			}
+		})
+	}
+}
 
 // BenchmarkFig6SearchNginx runs the Fig 6a protocol (random vs DeepTune vs
 // DeepTune+TL) for Nginx only, reporting DeepTune's best-found throughput.

@@ -7,8 +7,10 @@
 //	wfbench -exp all -scale paper     # the full reproduction
 //	wfbench -exp table2 -json         # machine-readable output
 //
+//	wfbench -exp scaling -workers 16  # worker-pool scaling study
+//
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
-// table3, fig9, fig10, fig11, table4.
+// table3, fig9, fig10, fig11, table4, scaling.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	workers := flag.Int("workers", 0, "override the scaling experiment's maximum worker-pool size")
 	asJSON := flag.Bool("json", false, "emit JSON instead of rendered tables")
 	flag.Parse()
 
@@ -37,6 +40,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "wfbench: unknown scale %q (quick|paper)\n", *scaleName)
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		scale.Workers = *workers
 	}
 
 	ids := []string{*exp}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	wfctl create job.yaml                # validate and summarize a job
-//	wfctl start -s deeptune job.yaml     # run the search session
+//	wfctl create job.yaml                   # validate and summarize a job
+//	wfctl start -s deeptune job.yaml        # run the search session
+//	wfctl start -s random -workers 8 job.yaml
 //	wfctl start -s random -json job.yaml
 //
 // The target OS named in the job file selects the simulated model
@@ -81,6 +82,7 @@ func cmdStart(args []string) {
 	strategy := fs.String("s", "deeptune", "search strategy: random, grid, bayesian, deeptune, unicorn")
 	iters := fs.Int("l", 0, "iteration budget override")
 	seed := fs.Uint64("seed", 1, "session seed")
+	workers := fs.Int("workers", 1, "concurrent evaluation workers")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -166,6 +168,7 @@ func cmdStart(args []string) {
 		Iterations:    job.Iterations,
 		TimeBudgetSec: job.TimeBudgetSec,
 		Seed:          *seed,
+		Workers:       *workers,
 	}
 	if *iters > 0 {
 		opts.Iterations = *iters
@@ -189,6 +192,10 @@ func cmdStart(args []string) {
 	}
 	fmt.Printf("session complete: %d iterations, %.1f virtual minutes, %d crashes (%.1f%%)\n",
 		len(report.History), report.ElapsedSec/60, report.Crashes, 100*report.CrashRate())
+	if report.Workers > 1 {
+		fmt.Printf("workers: %d (aggregate compute %.1f virtual minutes)\n",
+			report.Workers, report.ComputeSec/60)
+	}
 	if report.Best != nil {
 		fmt.Printf("best %s: %.2f %s (found after %.0f virtual seconds)\n",
 			report.Metric, report.Best.Metric, report.Unit, report.BestTimeSec)

@@ -1,0 +1,3 @@
+module wayfinder
+
+go 1.24

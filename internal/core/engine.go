@@ -26,6 +26,13 @@ type Options struct {
 	// (off by default: the paper kickstarts every search with a random
 	// configuration).
 	WarmStart bool
+	// Workers is the number of concurrent evaluators (§3.1's parallel
+	// worker VMs). 0 or 1 preserves the sequential engine exactly; W > 1
+	// evaluates W configurations concurrently per round, with per-worker
+	// virtual clocks merged into a wall-clock (max over workers) and
+	// deterministic per-worker noise streams, so a session is reproducible
+	// for a fixed (Seed, Workers) pair.
+	Workers int
 }
 
 // Result is one evaluated configuration.
@@ -47,9 +54,12 @@ type Result struct {
 	// BuildSkipped reports the §3.1 optimization: the previous image was
 	// reused because only runtime/boot parameters changed.
 	BuildSkipped bool `json:"build_skipped"`
-	// StartSec/EndSec are virtual timestamps.
+	// StartSec/EndSec are virtual timestamps on the evaluating worker's
+	// clock (in a sequential session, the session clock).
 	StartSec float64 `json:"start_sec"`
 	EndSec   float64 `json:"end_sec"`
+	// Worker is the evaluating worker's index (always 0 sequentially).
+	Worker int `json:"worker"`
 	// DecisionCost is the real time the searcher spent deciding.
 	DecisionCost time.Duration `json:"decision_cost_ns"`
 }
@@ -72,8 +82,15 @@ type Report struct {
 	BestTimeSec float64 `json:"best_time_sec"`
 	// Crashes is the total crash count.
 	Crashes int `json:"crashes"`
-	// ElapsedSec is the session's virtual duration.
+	// ElapsedSec is the session's virtual wall-clock duration: with
+	// parallel workers, the maximum over per-worker clocks.
 	ElapsedSec float64 `json:"elapsed_sec"`
+	// ComputeSec is the aggregate virtual compute time summed over
+	// workers — the cost-accounting figure. Equals the session's clock
+	// advance for a sequential run.
+	ComputeSec float64 `json:"compute_sec"`
+	// Workers is the worker count the session ran with.
+	Workers int `json:"workers"`
 	// Builds counts actual image builds (vs skipped).
 	Builds int `json:"builds"`
 }
@@ -141,6 +158,10 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 	return json.Marshal((*alias)(r))
 }
 
+// noiseSalt decorrelates the engine's measurement-noise stream from other
+// consumers of the session seed.
+const noiseSalt = 0xe7617e
+
 // Engine runs search sessions against a simulated OS model.
 type Engine struct {
 	Model    *simos.Model
@@ -151,6 +172,7 @@ type Engine struct {
 
 	enc   *configspace.Encoder
 	noise *rng.RNG
+	seed  uint64
 }
 
 // NewEngine assembles an engine. The clock may be shared across engines
@@ -163,25 +185,46 @@ func NewEngine(model *simos.Model, app *simos.App, metric Metric, s search.Searc
 		Searcher: s,
 		Clock:    clock,
 		enc:      configspace.NewEncoder(model.Space),
-		noise:    rng.New(seed ^ 0xe7617e),
+		noise:    rng.New(seed ^ noiseSalt),
+		seed:     seed,
 	}
+}
+
+// evalState is the state one evaluator (worker) threads through its
+// evaluations: its virtual clock, its private noise stream, the build and
+// boot caches the §3.1 skip optimizations key off, and its build count.
+// Each worker owns one exclusively, so evaluations on distinct workers
+// never share mutable state.
+type evalState struct {
+	worker     int
+	clock      *vm.Clock
+	noise      *rng.RNG
+	prevBuilt  *configspace.Config // configuration of the last built image
+	prevBooted *configspace.Config
+	builds     int
 }
 
 // Run executes the core loop of §3.1: 1) build and boot an image for the
 // proposed configuration, 2) benchmark the application, 3) ask the search
 // algorithm for the next configuration — until the budget is exhausted.
+// With Options.Workers > 1 the loop is executed by the parallel
+// worker-pool scheduler instead.
 func (e *Engine) Run(opts Options) (*Report, error) {
 	if opts.Iterations <= 0 && opts.TimeBudgetSec <= 0 {
 		return nil, fmt.Errorf("core: no budget given (iterations or virtual time)")
 	}
-	report := &Report{
-		Searcher: e.Searcher.Name(),
-		Metric:   e.Metric.Name(),
-		Unit:     e.Metric.Unit(),
-		Maximize: e.Metric.Maximize(),
+	if opts.Workers > 1 {
+		return e.runParallel(opts)
 	}
-	var prevBuilt *configspace.Config // configuration of the last built image
-	var prevBooted *configspace.Config
+	return e.runSequential(opts)
+}
+
+// runSequential is the single-evaluator loop, bit-for-bit the engine's
+// historical behavior.
+func (e *Engine) runSequential(opts Options) (*Report, error) {
+	report := e.newReport(1)
+	st := &evalState{clock: e.Clock, noise: e.noise}
+	base := e.Clock.Now()
 
 	for iter := 0; ; iter++ {
 		if opts.Iterations > 0 && iter >= opts.Iterations {
@@ -196,63 +239,93 @@ func (e *Engine) Run(opts Options) (*Report, error) {
 		} else {
 			cfg = e.Searcher.Propose()
 		}
-		res := e.evaluate(iter, cfg, &prevBuilt, &prevBooted, report)
-		report.History = append(report.History, res)
-		if res.Crashed {
-			report.Crashes++
-		} else if report.Best == nil ||
-			(report.Maximize && res.Metric > report.Best.Metric) ||
-			(!report.Maximize && res.Metric < report.Best.Metric) {
-			best := res
-			report.Best = &best
-			report.BestTimeSec = res.EndSec
+		res := e.evaluate(iter, cfg, st)
+		if !res.Crashed {
+			res.Metric = e.Metric.Measure(e.Model, e.App, cfg, st.noise)
 		}
-		e.Searcher.Observe(search.Observation{
-			Config:  cfg,
-			X:       e.enc.Encode(cfg),
-			Metric:  res.Metric,
-			Crashed: res.Crashed,
-			Stage:   res.Stage,
-		})
-		report.History[len(report.History)-1].DecisionCost = e.Searcher.DecisionCost()
-		// Grid adopts improvements as its sweep base.
-		if g, ok := e.Searcher.(*search.Grid); ok && report.Best != nil {
-			g.AdoptBase(report.Best.Config)
-		}
+		e.record(report, res, e.Searcher)
 	}
 	report.ElapsedSec = e.Clock.Now()
+	report.ComputeSec = e.Clock.Now() - base
+	report.Builds = st.builds
 	return report, nil
 }
 
-// evaluate charges the virtual costs of building, booting, and
-// benchmarking one configuration, honoring the §3.1 build-skip
-// optimization, and returns the result.
-func (e *Engine) evaluate(iter int, cfg *configspace.Config, prevBuilt, prevBooted **configspace.Config, report *Report) Result {
+// newReport initializes a report's session-constant fields.
+func (e *Engine) newReport(workers int) *Report {
+	return &Report{
+		Searcher: e.Searcher.Name(),
+		Metric:   e.Metric.Name(),
+		Unit:     e.Metric.Unit(),
+		Maximize: e.Metric.Maximize(),
+		Workers:  workers,
+	}
+}
+
+// record appends one result to the report, maintains best/crash
+// accounting, and reports the observation back to the searcher. The
+// searcher argument carries the batch adapter in parallel sessions (so
+// pending-set bookkeeping sees the observation and decision costs are
+// read with the adapter's batch semantics) and e.Searcher itself in
+// sequential ones.
+func (e *Engine) record(report *Report, res Result, s search.Searcher) {
+	report.History = append(report.History, res)
+	if res.Crashed {
+		report.Crashes++
+	} else if report.Best == nil ||
+		(report.Maximize && res.Metric > report.Best.Metric) ||
+		(!report.Maximize && res.Metric < report.Best.Metric) {
+		best := res
+		report.Best = &best
+		report.BestTimeSec = res.EndSec
+	}
+	s.Observe(search.Observation{
+		Config:  res.Config,
+		X:       e.enc.Encode(res.Config),
+		Metric:  res.Metric,
+		Crashed: res.Crashed,
+		Stage:   res.Stage,
+	})
+	report.History[len(report.History)-1].DecisionCost = s.DecisionCost()
+	// Grid adopts improvements as its sweep base.
+	if g, ok := e.Searcher.(*search.Grid); ok && report.Best != nil {
+		g.AdoptBase(report.Best.Config)
+	}
+}
+
+// evaluate charges the virtual costs of building, booting, and running
+// the benchmark for one configuration against the worker state, honoring
+// the §3.1 build-skip optimization, and returns the result. Measurement
+// itself (Metric.Measure) is the caller's job: the engine defers it so
+// parallel sessions can measure in canonical iteration order, keeping
+// stateful metrics deterministic.
+func (e *Engine) evaluate(iter int, cfg *configspace.Config, st *evalState) Result {
 	res := Result{
 		Iteration:    iter,
 		Config:       cfg,
 		ConfigString: cfg.String(),
 		Stage:        "ok",
-		StartSec:     e.Clock.Now(),
+		StartSec:     st.clock.Now(),
+		Worker:       st.worker,
 	}
 	jitter := func(base, frac float64) float64 {
-		return base * (1 + frac*(e.noise.Float64()-0.5))
+		return base * (1 + frac*(st.noise.Float64()-0.5))
 	}
 	stage, reason := e.Model.CrashOutcome(cfg)
 
 	// Build task: skipped when the configuration differs from the last
 	// built image only in boot/runtime parameters (§3.1).
-	needBuild := *prevBuilt == nil || !cfg.OnlyBootOrRuntimeDiff(*prevBuilt)
+	needBuild := st.prevBuilt == nil || !cfg.OnlyBootOrRuntimeDiff(st.prevBuilt)
 	if needBuild {
-		e.Clock.Advance(jitter(e.Model.BuildSeconds, 0.3))
-		report.Builds++
+		st.clock.Advance(jitter(e.Model.BuildSeconds, 0.3))
+		st.builds++
 		if stage == simos.StageBuild {
 			res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-			res.EndSec = e.Clock.Now()
+			res.EndSec = st.clock.Now()
 			return res
 		}
-		*prevBuilt = cfg.Clone()
-		*prevBooted = nil // new image must boot
+		st.prevBuilt = cfg.Clone()
+		st.prevBooted = nil // new image must boot
 	} else {
 		res.BuildSkipped = true
 		if stage == simos.StageBuild {
@@ -260,7 +333,7 @@ func (e *Engine) evaluate(iter int, cfg *configspace.Config, prevBuilt, prevBoot
 			// build outcome keys off compile parameters only, so a skipped
 			// build cannot fail. Guard anyway.
 			res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-			res.EndSec = e.Clock.Now()
+			res.EndSec = st.clock.Now()
 			return res
 		}
 	}
@@ -268,19 +341,19 @@ func (e *Engine) evaluate(iter int, cfg *configspace.Config, prevBuilt, prevBoot
 	// Boot task: a reboot is needed unless only runtime parameters differ
 	// from the currently-running instance; runtime deltas are applied live
 	// (a few seconds of sysctl writes).
-	needBoot := *prevBooted == nil || !cfg.OnlyRuntimeDiff(*prevBooted)
+	needBoot := st.prevBooted == nil || !cfg.OnlyRuntimeDiff(st.prevBooted)
 	if needBoot {
-		e.Clock.Advance(jitter(e.Model.BootSeconds, 0.3))
+		st.clock.Advance(jitter(e.Model.BootSeconds, 0.3))
 	} else {
-		e.Clock.Advance(jitter(2, 0.5))
+		st.clock.Advance(jitter(2, 0.5))
 	}
 	if stage == simos.StageBoot {
 		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-		res.EndSec = e.Clock.Now()
-		*prevBooted = nil
+		res.EndSec = st.clock.Now()
+		st.prevBooted = nil
 		return res
 	}
-	*prevBooted = cfg.Clone()
+	st.prevBooted = cfg.Clone()
 
 	// Test task: run the benchmark.
 	benchTime := e.App.BenchSeconds
@@ -289,14 +362,13 @@ func (e *Engine) evaluate(iter int, cfg *configspace.Config, prevBuilt, prevBoot
 	}
 	if stage == simos.StageRun {
 		// Crashes surface partway through the benchmark.
-		e.Clock.Advance(jitter(benchTime*0.4, 0.5))
+		st.clock.Advance(jitter(benchTime*0.4, 0.5))
 		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-		res.EndSec = e.Clock.Now()
-		*prevBooted = nil // crashed instance must be replaced
+		res.EndSec = st.clock.Now()
+		st.prevBooted = nil // crashed instance must be replaced
 		return res
 	}
-	e.Clock.Advance(jitter(benchTime, 0.25))
-	res.Metric = e.Metric.Measure(e.Model, e.App, cfg, e.noise)
-	res.EndSec = e.Clock.Now()
+	st.clock.Advance(jitter(benchTime, 0.25))
+	res.EndSec = st.clock.Now()
 	return res
 }

@@ -1,0 +1,112 @@
+// Parallel evaluation engine: the §3.1 platform evaluates configurations
+// on many worker VMs concurrently, scaling near-linearly with the worker
+// count (the paper's Fig 7-style study). This file implements that as a
+// round-based worker pool over the simulated substrate.
+//
+// Determinism is the design constraint: a session must be reproducible
+// for a fixed (Seed, Workers) pair regardless of goroutine scheduling.
+// Three rules make that hold:
+//
+//  1. Static placement — iteration i always runs on worker i mod W, so
+//     which configurations share a worker's noise stream, virtual clock,
+//     and build/boot caches is a pure function of the iteration index.
+//  2. Private worker state — each worker owns its clock (merged by
+//     vm.WallClock), its rng stream (rng.WorkerSeed derivation; worker 0
+//     reproduces the sequential stream), and its §3.1 skip caches. Worker
+//     goroutines touch nothing else.
+//  3. Canonical merge — the searcher and the metric live on the
+//     coordinator. Proposals are drawn for a whole round up front
+//     (search.AsBatch pending-set protocol), and after the round's
+//     barrier, measurement and Observe happen in iteration order. The
+//     searcher therefore sees the exact same observation sequence on
+//     every run, and stateful metrics (ScoreMetric's running
+//     normalization) stay deterministic too.
+package core
+
+import (
+	"sync"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/search"
+	"wayfinder/internal/vm"
+)
+
+// runParallel executes the session on opts.Workers concurrent evaluators.
+func (e *Engine) runParallel(opts Options) (*Report, error) {
+	w := opts.Workers
+	report := e.newReport(w)
+	base := e.Clock.Now()
+	wall := vm.NewWallClock(w, base)
+	workers := make([]*evalState, w)
+	for i := range workers {
+		workers[i] = &evalState{
+			worker: i,
+			clock:  wall.Worker(i),
+			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
+		}
+	}
+	batcher := search.AsBatch(e.Searcher)
+
+	for iter := 0; ; {
+		if opts.Iterations > 0 && iter >= opts.Iterations {
+			break
+		}
+		if opts.TimeBudgetSec > 0 && wall.Now() >= opts.TimeBudgetSec {
+			break
+		}
+		// One round: up to W configurations, one per worker. A round's
+		// iterations are consecutive, so they map to distinct workers mod
+		// W even when the iteration budget — or a native BatchSearcher
+		// returning fewer proposals than asked — shortens the round.
+		n := w
+		if opts.Iterations > 0 && opts.Iterations-iter < n {
+			n = opts.Iterations - iter
+		}
+		cfgs := make([]*configspace.Config, 0, n)
+		if opts.WarmStart && iter == 0 {
+			cfgs = append(cfgs, e.Model.Space.Default())
+		}
+		if want := n - len(cfgs); want > 0 {
+			cfgs = append(cfgs, batcher.ProposeBatch(want)...)
+		}
+		n = len(cfgs)
+		if n == 0 {
+			// The strategy produced nothing at all; treat the session as
+			// exhausted rather than spinning.
+			break
+		}
+
+		results := make([]Result, n)
+		var wg sync.WaitGroup
+		for k := 0; k < n; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				results[k] = e.evaluate(iter+k, cfgs[k], workers[(iter+k)%w])
+			}(k)
+		}
+		wg.Wait()
+
+		// Canonical merge in iteration order: measure on the evaluating
+		// worker's noise stream (the barrier guarantees the stream is
+		// exactly past that worker's stage jitters), then record/observe.
+		for k := 0; k < n; k++ {
+			res := results[k]
+			if !res.Crashed {
+				res.Metric = e.Metric.Measure(e.Model, e.App, cfgs[k], workers[(iter+k)%w].noise)
+			}
+			e.record(report, res, batcher)
+		}
+		iter += n
+	}
+	report.ElapsedSec = wall.Now()
+	report.ComputeSec = wall.ComputeSec()
+	for _, st := range workers {
+		report.Builds += st.builds
+	}
+	// Fold the session back onto the engine clock so engines sharing a
+	// clock (sequential experiment chains) stay consistent.
+	e.Clock.Advance(wall.Now() - base)
+	return report, nil
+}

@@ -35,6 +35,9 @@ type Scale struct {
 	TimeBudgetSec float64
 	// SynthIters is Fig 7's iteration count (paper: 300).
 	SynthIters int
+	// Workers is the largest worker-pool size the scaling experiment
+	// sweeps to (paper: the platform's worker-VM fleet).
+	Workers int
 	// Linux sizes the simulated Linux profile.
 	Linux simos.LinuxOptions
 }
@@ -48,6 +51,7 @@ func PaperScale() Scale {
 		PerAppConfigs: 2000,
 		TimeBudgetSec: 3 * 3600,
 		SynthIters:    300,
+		Workers:       16,
 		Linux:         simos.DefaultLinuxOptions(),
 	}
 }
@@ -62,6 +66,7 @@ func QuickScale() Scale {
 		PerAppConfigs: 400,
 		TimeBudgetSec: 6000,
 		SynthIters:    60,
+		Workers:       8,
 		Linux:         simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1},
 	}
 }
@@ -176,7 +181,7 @@ func dashes(widths []int) []string {
 func IDs() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig5", "fig6", "table2", "fig7", "fig8",
-		"table3", "fig9", "fig10", "fig11", "table4",
+		"table3", "fig9", "fig10", "fig11", "table4", "scaling",
 	}
 }
 
@@ -209,6 +214,8 @@ func Run(id string, scale Scale) (*Result, error) {
 		return Fig11(scale)
 	case "table4":
 		return Table4(scale)
+	case "scaling":
+		return Scaling(scale)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))

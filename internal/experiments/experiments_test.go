@@ -301,3 +301,44 @@ func TestResampleToGrid(t *testing.T) {
 		}
 	}
 }
+
+func TestScalingSpeedup(t *testing.T) {
+	scale := tinyScale()
+	scale.Iterations = 160
+	scale.Workers = 8
+	res, err := Scaling(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if got := cell(t, tab, 0, "workers"); got != "1" {
+		t.Fatalf("first row workers = %s, want 1", got)
+	}
+	last := len(tab.Rows) - 1
+	if got := cell(t, tab, last, "workers"); got != "8" {
+		t.Fatalf("last row workers = %s, want 8", got)
+	}
+	// Acceptance bar: ≥4x wall-clock speedup at 8 workers for an equal
+	// iteration budget.
+	if sp := cellF(t, tab, last, "speedup"); sp < 4 {
+		t.Fatalf("8-worker speedup %.2fx, want ≥4x\n%s", sp, res.Render())
+	}
+	// Wall-clock must fall monotonically as workers double.
+	series := map[string]Series{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	wall := series["wall-clock-s"].Y
+	for i := 1; i < len(wall); i++ {
+		if wall[i] >= wall[i-1] {
+			t.Fatalf("wall-clock not monotone: %v", wall)
+		}
+	}
+	// Aggregate compute stays in the sequential ballpark (per-worker
+	// builds are the only systematic overhead).
+	seq := cellF(t, tab, 0, "compute s")
+	par := cellF(t, tab, last, "compute s")
+	if par > 1.5*seq {
+		t.Fatalf("8-worker compute %.0fs far above sequential %.0fs", par, seq)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wayfinder/internal/apps"
+	"wayfinder/internal/core"
+	"wayfinder/internal/search"
+	"wayfinder/internal/vm"
+)
+
+// Scaling reproduces the Fig 7-style worker-scaling study on the parallel
+// evaluation engine: the same search session (equal iteration budget,
+// same seed, random search so every worker count explores comparably) run
+// at 1, 2, 4, ... workers up to Scale.Workers. The platform evaluates
+// configurations on worker VMs concurrently, so the virtual wall-clock
+// should fall near-linearly with the pool size while the aggregate
+// compute time — what the fleet actually burns — stays flat, up to the
+// per-worker image builds and end-of-session stragglers.
+func Scaling(scale Scale) (*Result, error) {
+	res := &Result{ID: "scaling", Title: "Parallel evaluation: virtual wall-clock vs worker count"}
+	maxW := scale.Workers
+	if maxW < 1 {
+		maxW = 1
+	}
+	var counts []int
+	for w := 1; w <= maxW; w *= 2 {
+		counts = append(counts, w)
+	}
+	if last := counts[len(counts)-1]; last != maxW {
+		counts = append(counts, maxW)
+	}
+
+	app := apps.Nginx()
+	t := Table{
+		Title:   "Worker scaling at an equal iteration budget",
+		Columns: []string{"workers", "wall s", "compute s", "speedup", "efficiency"},
+	}
+	var xs, wall, speedup []float64
+	baseWall := 0.0
+	for _, w := range counts {
+		m := newLinuxRuntimeFavored(scale, 1)
+		s := search.NewRandom(m.Space, 1)
+		var clock vm.Clock
+		eng := core.NewEngine(m, app, &core.PerfMetric{App: app}, s, &clock, 1)
+		rep, err := eng.Run(core.Options{Iterations: scale.Iterations, Seed: 1, Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.History) != scale.Iterations {
+			return nil, fmt.Errorf("scaling: W=%d ran %d iterations, want %d", w, len(rep.History), scale.Iterations)
+		}
+		if w == 1 {
+			baseWall = rep.ElapsedSec
+		}
+		sp := baseWall / rep.ElapsedSec
+		xs = append(xs, float64(w))
+		wall = append(wall, rep.ElapsedSec)
+		speedup = append(speedup, sp)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmtF(rep.ElapsedSec, 0),
+			fmtF(rep.ComputeSec, 0),
+			fmtF(sp, 2) + "x",
+			fmtF(100*sp/float64(w), 0) + "%",
+		})
+	}
+	res.Tables = append(res.Tables, t)
+	res.Series = append(res.Series,
+		Series{Name: "wall-clock-s", X: xs, Y: wall},
+		Series{Name: "speedup", X: xs, Y: speedup},
+	)
+	res.Notes = append(res.Notes,
+		"paper shape: wall-clock falls near-linearly with workers; losses are per-worker image builds and straggler rounds")
+	return res, nil
+}

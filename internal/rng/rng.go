@@ -39,6 +39,21 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// WorkerSeed derives the seed for a parallel worker's private stream from
+// the session seed. Worker 0 returns the session seed unchanged, so a
+// one-worker pool reproduces the sequential stream bit-for-bit; higher
+// workers apply a splitmix64 finalizer to seed^workerID so adjacent worker
+// IDs still yield decorrelated streams.
+func WorkerSeed(seed uint64, worker int) uint64 {
+	if worker <= 0 {
+		return seed
+	}
+	z := seed ^ (uint64(worker) * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Split derives an independent child generator. The parent advances, so
 // successive Split calls yield distinct children.
 func (r *RNG) Split() *RNG {

@@ -275,3 +275,32 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+func TestWorkerSeedZeroIsIdentity(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		if got := WorkerSeed(seed, 0); got != seed {
+			t.Fatalf("WorkerSeed(%d, 0) = %d: worker 0 must keep the session seed", seed, got)
+		}
+	}
+}
+
+func TestWorkerSeedStreamsDecorrelated(t *testing.T) {
+	// Distinct workers must get distinct seeds and decorrelated streams,
+	// deterministically.
+	seen := map[uint64]int{}
+	for w := 0; w < 64; w++ {
+		s := WorkerSeed(7, w)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("workers %d and %d collide on seed %d", prev, w, s)
+		}
+		seen[s] = w
+		if again := WorkerSeed(7, w); again != s {
+			t.Fatal("WorkerSeed is not deterministic")
+		}
+	}
+	// Adjacent workers' first draws should differ (splitmix64 finalizer).
+	a, b := New(WorkerSeed(7, 1)), New(WorkerSeed(7, 2))
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("adjacent worker streams start identically")
+	}
+}

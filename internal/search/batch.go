@@ -1,0 +1,108 @@
+package search
+
+import (
+	"time"
+
+	"wayfinder/internal/configspace"
+)
+
+// BatchSearcher extends Searcher with the batch protocol the parallel
+// evaluation engine speaks: the platform asks for up to n configurations
+// at once, hands them to concurrent workers, and reports results back
+// through Observe as evaluations finish. A configuration that has been
+// proposed but not yet observed is "pending"; ProposeBatch avoids pending
+// configurations so two workers don't evaluate the same candidate —
+// falling back to a duplicate only when the strategy cannot produce
+// enough distinct proposals (a duplicate evaluation beats a deadlock).
+type BatchSearcher interface {
+	Searcher
+	// ProposeBatch returns up to n configurations to evaluate, avoiding
+	// pending ones on a best-effort basis. Implementations may return
+	// fewer than n (but at least one for n >= 1) when the strategy
+	// cannot produce n distinct candidates.
+	ProposeBatch(n int) []*configspace.Config
+}
+
+// AsBatch adapts a Searcher to the batch protocol. Searchers that already
+// implement BatchSearcher are returned unchanged; everything else — the
+// single-proposal DeepTune, Random, Grid, Bayesian, and Unicorn strategies
+// — is wrapped in a pending-set adapter, so they keep working with the
+// parallel engine without modification.
+func AsBatch(s Searcher) BatchSearcher {
+	if b, ok := s.(BatchSearcher); ok {
+		return b
+	}
+	return &batchAdapter{Searcher: s, pending: map[uint64]int{}}
+}
+
+// batchAdapter lifts a single-proposal Searcher to BatchSearcher. It
+// tracks pending configurations by hash and re-asks the underlying
+// strategy when a proposal collides with the pending set; after
+// proposeAttempts tries it accepts the duplicate rather than spinning on
+// a strategy that keeps proposing the same candidate (the same
+// accept-after-bounded-attempts policy the searchers apply to their own
+// history dedup).
+//
+// The adapter is not itself goroutine-safe: the engine calls ProposeBatch
+// and Observe from its coordinator only, and workers never touch the
+// searcher — that is what makes parallel sessions deterministic.
+type batchAdapter struct {
+	Searcher
+	pending map[uint64]int
+	cost    time.Duration
+}
+
+// proposeAttempts bounds how often the adapter re-asks the wrapped
+// strategy for a candidate that collides with the pending set.
+const proposeAttempts = 16
+
+// ProposeBatch implements BatchSearcher.
+func (b *batchAdapter) ProposeBatch(n int) []*configspace.Config {
+	out := make([]*configspace.Config, 0, n)
+	for len(out) < n {
+		c := b.Searcher.Propose()
+		b.cost += b.Searcher.DecisionCost()
+		for attempt := 1; attempt < proposeAttempts && b.pending[c.Hash()] > 0; attempt++ {
+			c = b.Searcher.Propose()
+			b.cost += b.Searcher.DecisionCost()
+		}
+		b.pending[c.Hash()]++
+		out = append(out, c)
+	}
+	return out
+}
+
+// Observe implements Searcher, clearing the configuration from the
+// pending set before forwarding to the wrapped strategy.
+func (b *batchAdapter) Observe(o Observation) {
+	if o.Config != nil {
+		if h := o.Config.Hash(); b.pending[h] > 0 {
+			b.pending[h]--
+		}
+	}
+	start := time.Now()
+	b.Searcher.Observe(o)
+	b.cost += time.Since(start)
+}
+
+// DecisionCost implements Searcher with batch semantics: it returns the
+// searcher time consumed since the previous DecisionCost call and resets
+// the accumulator. Proposals are drawn for a whole round up front, so the
+// engine's per-iteration stamps attribute the round's proposal cost to
+// the round's first iteration and each observation's cost to its own —
+// summing to the round's true total.
+func (b *batchAdapter) DecisionCost() time.Duration {
+	c := b.cost
+	b.cost = 0
+	return c
+}
+
+// Pending returns the number of proposed-but-unobserved configurations
+// (counting duplicates), exposed for tests and diagnostics.
+func (b *batchAdapter) Pending() int {
+	total := 0
+	for _, c := range b.pending {
+		total += c
+	}
+	return total
+}

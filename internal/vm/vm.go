@@ -26,6 +26,10 @@ type Clock struct {
 	now float64
 }
 
+// NewClockAt returns a clock whose current time is the given number of
+// virtual seconds — used to start per-worker clocks at a shared baseline.
+func NewClockAt(seconds float64) *Clock { return &Clock{now: seconds} }
+
 // Now returns the current virtual time in seconds.
 func (c *Clock) Now() float64 { return c.now }
 
@@ -34,6 +38,59 @@ func (c *Clock) Advance(seconds float64) {
 	if seconds > 0 {
 		c.now += seconds
 	}
+}
+
+// WallClock merges the per-worker virtual clocks of a parallel evaluation
+// session into a shared wall-clock notion: workers evaluate configurations
+// concurrently, so the session's virtual wall time is the maximum over the
+// worker clocks, while the aggregate compute time — what a cloud bill or
+// the paper's CPU-hour accounting would charge — is the sum of per-worker
+// advances past the common baseline.
+//
+// Each worker owns its clock exclusively, so worker goroutines advance
+// their clocks without synchronization; Now and ComputeSec are meant to be
+// read from the coordinator between rounds (or after the workers join).
+type WallClock struct {
+	base   float64
+	clocks []*Clock
+}
+
+// NewWallClock returns a wall clock over n worker clocks, all starting at
+// the baseline virtual time.
+func NewWallClock(n int, base float64) *WallClock {
+	w := &WallClock{base: base, clocks: make([]*Clock, n)}
+	for i := range w.clocks {
+		w.clocks[i] = NewClockAt(base)
+	}
+	return w
+}
+
+// Workers returns the number of worker clocks.
+func (w *WallClock) Workers() int { return len(w.clocks) }
+
+// Worker returns worker i's private clock.
+func (w *WallClock) Worker(i int) *Clock { return w.clocks[i] }
+
+// Now returns the virtual wall time: the maximum over worker clocks (the
+// baseline when there are no workers).
+func (w *WallClock) Now() float64 {
+	now := w.base
+	for _, c := range w.clocks {
+		if c.now > now {
+			now = c.now
+		}
+	}
+	return now
+}
+
+// ComputeSec returns the aggregate compute time: the sum over workers of
+// the virtual time each advanced past the baseline.
+func (w *WallClock) ComputeSec() float64 {
+	total := 0.0
+	for _, c := range w.clocks {
+		total += c.now - w.base
+	}
+	return total
 }
 
 // VM is one booted (simulated) virtual machine.

@@ -190,3 +190,41 @@ func TestProbeSpaceAllParamsProbed(t *testing.T) {
 		t.Fatalf("probed %d params, kernel exposes %d", space.Len(), len(m.RuntimeSpecs))
 	}
 }
+
+func TestWallClockMergesWorkers(t *testing.T) {
+	w := NewWallClock(3, 100)
+	if w.Workers() != 3 {
+		t.Fatalf("workers = %d, want 3", w.Workers())
+	}
+	if w.Now() != 100 {
+		t.Fatalf("fresh wall clock at %v, want the 100s baseline", w.Now())
+	}
+	if w.ComputeSec() != 0 {
+		t.Fatalf("fresh compute = %v, want 0", w.ComputeSec())
+	}
+	w.Worker(0).Advance(10)
+	w.Worker(1).Advance(25)
+	w.Worker(2).Advance(5)
+	if w.Now() != 125 {
+		t.Fatalf("wall = %v, want max worker clock 125", w.Now())
+	}
+	if w.ComputeSec() != 40 {
+		t.Fatalf("compute = %v, want sum of advances 40", w.ComputeSec())
+	}
+	// Worker clocks are ordinary clocks: negative advances ignored.
+	w.Worker(1).Advance(-50)
+	if w.Now() != 125 {
+		t.Fatalf("negative advance moved the wall clock to %v", w.Now())
+	}
+}
+
+func TestNewClockAt(t *testing.T) {
+	c := NewClockAt(42)
+	if c.Now() != 42 {
+		t.Fatalf("clock at %v, want 42", c.Now())
+	}
+	c.Advance(8)
+	if c.Now() != 50 {
+		t.Fatalf("clock at %v after advance, want 50", c.Now())
+	}
+}

@@ -19,6 +19,14 @@
 //	searcher := wayfinder.NewDeepTuneSearcher(model.Space, true, wayfinder.DefaultDeepTuneConfig())
 //	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{Iterations: 250})
 //
+// Sessions parallelize across simulated worker VMs, as the paper's
+// platform does, by setting SessionOptions.Workers: W > 1 evaluates W
+// configurations concurrently with deterministic per-worker noise streams
+// and per-worker virtual clocks merged into a wall-clock (the session
+// stays reproducible for a fixed seed and worker count):
+//
+//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{Iterations: 250, Workers: 8})
+//
 // The report carries the best configuration found, the full history, and
 // the crash-rate/performance series the paper's figures plot. See the
 // examples/ directory for runnable end-to-end programs and cmd/wfbench for
@@ -88,6 +96,11 @@ type (
 // Searcher decides which configuration to evaluate next (§3.1's pluggable
 // search-algorithm API).
 type Searcher = search.Searcher
+
+// BatchSearcher is the concurrency-safe batch protocol parallel sessions
+// speak; single-proposal searchers are adapted automatically, so custom
+// strategies only implement it when they can propose smarter batches.
+type BatchSearcher = search.BatchSearcher
 
 // DeepTuneConfig holds the DTM hyperparameters.
 type DeepTuneConfig = deeptune.Config
