@@ -26,8 +26,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# bench is a smoke pass: one iteration per benchmark, no tests.
+# bench is a smoke pass: one iteration per benchmark, no tests. The
+# scheduler benchmarks (worker pool, async event queue, straggler study)
+# additionally run under the race detector, so the concurrent dispatch
+# paths are raced on every push without paying race overhead on the
+# heavyweight model-training benchmarks.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -race -bench='Parallel|Straggler|Scaling' -benchtime=1x -run='^$$' .
 
 ci: fmt vet build race bench

@@ -78,26 +78,47 @@ func BenchmarkTable4TopScores(b *testing.B)      { runExp(b, "table4", 0, "", ""
 // table carries the speedup curve.
 func BenchmarkScalingWorkers(b *testing.B) { runExp(b, "scaling", 0, "wall s", "seq-wall-s") }
 
+// BenchmarkStragglerRecovery runs the straggler study (sync barrier vs
+// async bounded-staleness scheduler under a 4x-slow worker), reporting the
+// recovered wall-clock fraction.
+func BenchmarkStragglerRecovery(b *testing.B) { runExp(b, "straggler", 1, "recovery", "recovery-pct") }
+
 // BenchmarkParallelSession measures the real (host) cost of one 8-worker
-// session against the sequential baseline at an equal iteration budget.
+// session against the sequential baseline at an equal iteration budget —
+// for both schedulers, so the CI bench smoke (which runs under the race
+// detector) exercises the async event-queue path on every push. Note the
+// async rows are not a host-speedup comparison: past the initial fill the
+// event-driven scheduler dispatches one evaluation per observation (a
+// data dependency), so its host execution is nearly serial by design.
 func BenchmarkParallelSession(b *testing.B) {
+	run := func(b *testing.B, opts core.Options) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			app := apps.Nginx()
+			m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1})
+			m.Space.Favor(configspace.CompileTime, 0)
+			s := search.NewRandom(m.Space, 1)
+			var clock vm.Clock
+			eng := core.NewEngine(m, app, &core.PerfMetric{App: app}, s, &clock, 1)
+			rep, err := eng.Run(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.ElapsedSec, "virtual-wall-s")
+			b.ReportMetric(100*rep.Utilization, "utilization-pct")
+		}
+	}
 	for _, workers := range []int{1, 8} {
 		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				app := apps.Nginx()
-				m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1})
-				m.Space.Favor(configspace.CompileTime, 0)
-				s := search.NewRandom(m.Space, 1)
-				var clock vm.Clock
-				eng := core.NewEngine(m, app, &core.PerfMetric{App: app}, s, &clock, 1)
-				rep, err := eng.Run(core.Options{Iterations: 160, Seed: 1, Workers: workers})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(rep.ElapsedSec, "virtual-wall-s")
-			}
+			run(b, core.Options{Iterations: 160, Seed: 1, Workers: workers})
 		})
 	}
+	b.Run("workers=8/async", func(b *testing.B) {
+		run(b, core.Options{Iterations: 160, Seed: 1, Workers: 8, Async: true, Staleness: -1})
+	})
+	b.Run("workers=8/async/staleness=2", func(b *testing.B) {
+		run(b, core.Options{Iterations: 160, Seed: 1, Workers: 8, Async: true, Staleness: 2})
+	})
 }
 
 // BenchmarkFig6SearchNginx runs the Fig 6a protocol (random vs DeepTune vs

@@ -8,9 +8,10 @@
 //	wfbench -exp table2 -json         # machine-readable output
 //
 //	wfbench -exp scaling -workers 16  # worker-pool scaling study
+//	wfbench -exp straggler -straggler 8
 //
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
-// table3, fig9, fig10, fig11, table4, scaling.
+// table3, fig9, fig10, fig11, table4, scaling, straggler.
 package main
 
 import (
@@ -27,7 +28,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
-	workers := flag.Int("workers", 0, "override the scaling experiment's maximum worker-pool size")
+	workers := flag.Int("workers", 0, "override the scaling/straggler experiments' worker-pool size")
+	straggler := flag.Float64("straggler", 0, "override the straggler experiment's slowdown factor")
 	asJSON := flag.Bool("json", false, "emit JSON instead of rendered tables")
 	flag.Parse()
 
@@ -43,6 +45,9 @@ func main() {
 	}
 	if *workers > 0 {
 		scale.Workers = *workers
+	}
+	if *straggler > 0 {
+		scale.Straggler = *straggler
 	}
 
 	ids := []string{*exp}

@@ -7,6 +7,8 @@
 //	wfctl create job.yaml                   # validate and summarize a job
 //	wfctl start -s deeptune job.yaml        # run the search session
 //	wfctl start -s random -workers 8 job.yaml
+//	wfctl start -s random -workers 8 -async job.yaml
+//	wfctl start -s random -workers 8 -async -staleness 2 -straggler 4 job.yaml
 //	wfctl start -s random -json job.yaml
 //
 // The target OS named in the job file selects the simulated model
@@ -83,6 +85,9 @@ func cmdStart(args []string) {
 	iters := fs.Int("l", 0, "iteration budget override")
 	seed := fs.Uint64("seed", 1, "session seed")
 	workers := fs.Int("workers", 1, "concurrent evaluation workers")
+	async := fs.Bool("async", false, "use the event-driven asynchronous scheduler (no round barrier)")
+	staleness := fs.Int("staleness", -1, "async staleness bound: max unobserved in-flight evaluations a proposal may lag behind (0 = synchronous rounds, <0 = unbounded)")
+	straggler := fs.Float64("straggler", 1, "slow the last worker by this factor (models a straggler machine)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -169,6 +174,14 @@ func cmdStart(args []string) {
 		TimeBudgetSec: job.TimeBudgetSec,
 		Seed:          *seed,
 		Workers:       *workers,
+		Async:         *async,
+		Staleness:     *staleness,
+	}
+	if *workers <= 1 && (*async || *straggler > 1) {
+		fmt.Fprintln(os.Stderr, "wfctl: -async/-staleness/-straggler need -workers > 1; running sequentially")
+	}
+	if *straggler > 1 && *workers > 1 {
+		opts.WorkerSpeedFactors = core.StragglerFleet(*workers, *straggler)
 	}
 	if *iters > 0 {
 		opts.Iterations = *iters
@@ -193,8 +206,12 @@ func cmdStart(args []string) {
 	fmt.Printf("session complete: %d iterations, %.1f virtual minutes, %d crashes (%.1f%%)\n",
 		len(report.History), report.ElapsedSec/60, report.Crashes, 100*report.CrashRate())
 	if report.Workers > 1 {
-		fmt.Printf("workers: %d (aggregate compute %.1f virtual minutes)\n",
-			report.Workers, report.ComputeSec/60)
+		scheduler := "round-barrier"
+		if report.Async {
+			scheduler = fmt.Sprintf("async, staleness %d", report.Staleness)
+		}
+		fmt.Printf("workers: %d (%s; compute %.1f virtual minutes, idle %.1f, utilization %.0f%%)\n",
+			report.Workers, scheduler, report.ComputeSec/60, report.IdleSec/60, 100*report.Utilization)
 	}
 	if report.Best != nil {
 		fmt.Printf("best %s: %.2f %s (found after %.0f virtual seconds)\n",

@@ -1,0 +1,201 @@
+// Asynchronous bounded-staleness scheduler: the round-barrier worker pool
+// of parallel.go stalls all W workers on the round's slowest evaluation,
+// so one straggling build wastes W-1 workers' virtual time. This file
+// removes that barrier with an event-driven scheduler over the simulated
+// substrate: a virtual event queue ordered by (finish-time, worker-index)
+// hands the next proposal to a worker the moment its previous evaluation
+// completes.
+//
+// Determinism is preserved by the same discipline as the synchronous
+// scheduler, with one replacement rule:
+//
+//  1. Private worker state — each worker owns its clock (merged by
+//     vm.WallClock), its rng stream (rng.WorkerSeed derivation), its speed
+//     factor, and its §3.1 skip caches. Worker goroutines touch nothing
+//     else.
+//  2. Virtual-time dispatch — placement is dynamic (the next proposal
+//     goes to whichever worker frees first in *virtual* time), but the
+//     completion order is a pure function of virtual finish times with
+//     worker index as the tie-break, never of goroutine scheduling. The
+//     coordinator pops exactly one completion event at a time, measures
+//     and Observes it, and refills workers through the same
+//     search.BatchSearcher pending-set protocol the round scheduler uses.
+//  3. Bounded staleness — Options.Staleness caps how many unobserved
+//     in-flight evaluations may exist when a proposal batch is drawn, so
+//     no proposal conditions on a history more than S evaluations behind
+//     the frontier. S=0 is the full barrier (handled by runParallel);
+//     S ≥ W-1 (or negative) is full asynchrony, since one evaluation per
+//     worker bounds in-flight work at W anyway.
+//
+// A session is therefore byte-reproducible for a fixed (Seed, Workers,
+// Staleness) triple, and the report's history is ordered by virtual
+// completion time — the order the searcher actually observed.
+//
+// Host-side concurrency note: evaluations within one dispatch batch run
+// on goroutines, but in the unbounded steady state a batch refills a
+// single worker, so the host executes the session nearly serially — a
+// consequence of the data dependency (each refill's proposal conditions
+// on the observation that freed the worker), not of the implementation.
+// Evaluation here is microseconds of host time; the concurrency being
+// scheduled is virtual. The goroutines exist for protocol fidelity (the
+// race detector patrols the worker-state handoff), not host speedup.
+package core
+
+import (
+	"sync"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/search"
+	"wayfinder/internal/vm"
+)
+
+// asyncEval is one dispatched evaluation: the virtual event the scheduler
+// orders by finish time once the evaluating goroutine fills in res.
+type asyncEval struct {
+	iter int
+	cfg  *configspace.Config
+	res  Result
+}
+
+// runAsync executes the session on opts.Workers concurrent evaluators
+// without a round barrier.
+func (e *Engine) runAsync(opts Options) (*Report, error) {
+	w := opts.Workers
+	bound := opts.Staleness
+	if bound < 0 || bound > w-1 {
+		bound = w - 1
+	}
+	report := e.newReport(w)
+	report.Async = true
+	report.Staleness = bound
+	base := e.Clock.Now()
+	wall := vm.NewWallClock(w, base)
+	workers := make([]*evalState, w)
+	for i := range workers {
+		workers[i] = &evalState{
+			worker: i,
+			clock:  wall.Worker(i),
+			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
+			speed:  opts.workerSpeed(i),
+		}
+	}
+	batcher := search.AsBatch(e.Searcher)
+
+	inflight := make([]*asyncEval, w) // per worker; nil = idle
+	busy := 0                         // dispatched-but-unobserved evaluations
+	next := 0                         // next iteration index to dispatch
+	exhausted := false                // the strategy stopped producing
+	// frontier is the virtual time of the latest observation — the moment
+	// the current dispatch decision became possible. A refilled worker
+	// whose clock lags it (it sat out waiting for the staleness bound)
+	// stalls forward to the frontier, so no evaluation starts before the
+	// observation that admitted it and the wait is charged as idle time.
+	frontier := base
+
+	// dispatch refills every idle worker that still has budget, provided
+	// the staleness bound admits a new proposal batch: drawing now means
+	// each proposal lags exactly `busy` unobserved evaluations. Workers
+	// evaluate concurrently (their state is private), and the coordinator
+	// joins them before touching any clock or result.
+	dispatch := func() {
+		if exhausted || busy > bound {
+			return
+		}
+		idle := make([]int, 0, w)
+		for i, ev := range inflight {
+			if ev != nil {
+				continue
+			}
+			// A refilled worker starts no earlier than max(own clock,
+			// frontier) — the budget check uses that effective start.
+			start := workers[i].clock.Now()
+			if start < frontier {
+				start = frontier
+			}
+			if opts.TimeBudgetSec > 0 && start >= opts.TimeBudgetSec {
+				continue
+			}
+			idle = append(idle, i)
+		}
+		n := len(idle)
+		if opts.Iterations > 0 && opts.Iterations-next < n {
+			n = opts.Iterations - next
+		}
+		if n <= 0 {
+			return
+		}
+		cfgs := make([]*configspace.Config, 0, n)
+		if opts.WarmStart && next == 0 {
+			cfgs = append(cfgs, e.Model.Space.Default())
+		}
+		if want := n - len(cfgs); want > 0 {
+			cfgs = append(cfgs, batcher.ProposeBatch(want)...)
+		}
+		if len(cfgs) == 0 {
+			exhausted = true
+			return
+		}
+		var wg sync.WaitGroup
+		for k, cfg := range cfgs {
+			worker := idle[k]
+			wall.Stall(worker, frontier)
+			ev := &asyncEval{iter: next, cfg: cfg}
+			inflight[worker] = ev
+			busy++
+			next++
+			wg.Add(1)
+			go func(worker int, ev *asyncEval) {
+				defer wg.Done()
+				ev.res = e.evaluate(ev.iter, ev.cfg, workers[worker])
+			}(worker, ev)
+		}
+		wg.Wait()
+	}
+
+	for {
+		dispatch()
+		if busy == 0 {
+			break
+		}
+		// Pop the earliest completion event: minimum virtual finish time,
+		// lowest worker index on ties. Strict < keeps the first (lowest
+		// index) candidate on equal finish times.
+		sel := -1
+		for i, ev := range inflight {
+			if ev == nil {
+				continue
+			}
+			if sel < 0 || ev.res.EndSec < inflight[sel].res.EndSec {
+				sel = i
+			}
+		}
+		ev := inflight[sel]
+		inflight[sel] = nil
+		busy--
+		res := ev.res
+		if res.EndSec > frontier {
+			frontier = res.EndSec
+		}
+		if !res.Crashed {
+			// The worker is quiescent between completion and observation,
+			// so its noise stream sits exactly past this evaluation's
+			// stage jitters — the same position the round scheduler
+			// measures from.
+			res.Metric = e.Metric.Measure(e.Model, e.App, ev.cfg, workers[sel].noise)
+		}
+		e.record(report, res, batcher)
+	}
+
+	report.ElapsedSec = wall.Now()
+	report.ComputeSec = wall.ComputeSec()
+	report.IdleSec = wall.IdleSec()
+	report.Utilization = utilization(report.ComputeSec, report.IdleSec)
+	for _, st := range workers {
+		report.Builds += st.builds
+	}
+	// Fold the session back onto the engine clock so engines sharing a
+	// clock (sequential experiment chains) stay consistent.
+	e.Clock.Advance(wall.Now() - base)
+	return report, nil
+}

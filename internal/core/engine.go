@@ -33,6 +33,52 @@ type Options struct {
 	// deterministic per-worker noise streams, so a session is reproducible
 	// for a fixed (Seed, Workers) pair.
 	Workers int
+	// Async replaces the round-barrier worker pool with the event-driven
+	// asynchronous scheduler: a virtual event queue ordered by
+	// (finish-time, worker-index) refills each worker the moment its
+	// previous evaluation completes, so one slow build no longer stalls
+	// the whole pool. Dispatch order is a pure function of virtual finish
+	// times, never goroutine scheduling, so sessions stay byte-reproducible
+	// for a fixed (Seed, Workers, Staleness) triple. Only meaningful with
+	// Workers > 1.
+	Async bool
+	// Staleness bounds the asynchrony: a proposal may be drawn only while
+	// at most Staleness already-dispatched evaluations remain unobserved,
+	// so no proposal conditions on a history more than Staleness
+	// evaluations behind the frontier. 0 degenerates to the synchronous
+	// round scheduler (every proposal batch sees a fully-observed
+	// history); negative (or ≥ Workers-1) means unbounded — full
+	// asynchrony. Ignored unless Async is set.
+	Staleness int
+	// WorkerSpeedFactors models heterogeneous worker hardware: the virtual
+	// duration of every task (build, boot, benchmark) on worker i is
+	// multiplied by WorkerSpeedFactors[i]. 1 (or a missing entry) is
+	// nominal speed; 4 models a four-times-slower straggler. The factor
+	// scales durations only — noise streams draw identically — so
+	// sessions remain deterministic.
+	WorkerSpeedFactors []float64
+}
+
+// workerSpeed returns worker i's virtual-duration multiplier (1 = nominal).
+func (o *Options) workerSpeed(i int) float64 {
+	if i < len(o.WorkerSpeedFactors) && o.WorkerSpeedFactors[i] > 0 {
+		return o.WorkerSpeedFactors[i]
+	}
+	return 1
+}
+
+// StragglerFleet returns WorkerSpeedFactors for a fleet of nominal workers
+// with the last one slowed by the given factor — the canonical straggler
+// scenario the wfctl -straggler knob and the straggler experiment share.
+func StragglerFleet(workers int, slow float64) []float64 {
+	factors := make([]float64, workers)
+	for i := range factors {
+		factors[i] = 1
+	}
+	if workers > 0 {
+		factors[workers-1] = slow
+	}
+	return factors
 }
 
 // Result is one evaluated configuration.
@@ -89,10 +135,32 @@ type Report struct {
 	// workers — the cost-accounting figure. Equals the session's clock
 	// advance for a sequential run.
 	ComputeSec float64 `json:"compute_sec"`
+	// IdleSec is the aggregate virtual idle time summed over workers: the
+	// wall-clock wasted waiting (round barriers behind a straggler, the
+	// end-of-session drain) rather than evaluating. Always 0 sequentially.
+	IdleSec float64 `json:"idle_sec"`
+	// Utilization is ComputeSec / (ComputeSec + IdleSec) — the fraction of
+	// worker-time spent evaluating.
+	Utilization float64 `json:"utilization"`
 	// Workers is the worker count the session ran with.
 	Workers int `json:"workers"`
+	// Async reports whether the event-driven asynchronous scheduler ran
+	// the session (false for sequential and round-barrier sessions).
+	Async bool `json:"async,omitempty"`
+	// Staleness is the effective staleness bound of an async session: the
+	// maximum number of unobserved in-flight evaluations a proposal may
+	// lag behind (at most Workers-1, the one-evaluation-per-worker cap).
+	Staleness int `json:"staleness,omitempty"`
 	// Builds counts actual image builds (vs skipped).
 	Builds int `json:"builds"`
+}
+
+// utilization is the shared ComputeSec/(ComputeSec+IdleSec) helper.
+func utilization(computeSec, idleSec float64) float64 {
+	if computeSec+idleSec <= 0 {
+		return 0
+	}
+	return computeSec / (computeSec + idleSec)
 }
 
 // CrashRate returns the overall crash fraction.
@@ -192,28 +260,45 @@ func NewEngine(model *simos.Model, app *simos.App, metric Metric, s search.Searc
 
 // evalState is the state one evaluator (worker) threads through its
 // evaluations: its virtual clock, its private noise stream, the build and
-// boot caches the §3.1 skip optimizations key off, and its build count.
-// Each worker owns one exclusively, so evaluations on distinct workers
-// never share mutable state.
+// boot caches the §3.1 skip optimizations key off, its build count, and
+// its speed factor. Each worker owns one exclusively, so evaluations on
+// distinct workers never share mutable state.
 type evalState struct {
 	worker     int
 	clock      *vm.Clock
 	noise      *rng.RNG
+	speed      float64             // virtual-duration multiplier; 0 reads as nominal 1
 	prevBuilt  *configspace.Config // configuration of the last built image
 	prevBooted *configspace.Config
 	builds     int
 }
 
+// advance charges a virtual duration to the worker's clock, scaled by its
+// speed factor. The scaling happens after every noise draw, so slow and
+// nominal workers consume their streams identically.
+func (st *evalState) advance(seconds float64) {
+	if st.speed > 0 {
+		seconds *= st.speed
+	}
+	st.clock.Advance(seconds)
+}
+
 // Run executes the core loop of §3.1: 1) build and boot an image for the
 // proposed configuration, 2) benchmark the application, 3) ask the search
 // algorithm for the next configuration — until the budget is exhausted.
-// With Options.Workers > 1 the loop is executed by the parallel
-// worker-pool scheduler instead.
+// With Options.Workers > 1 the loop is executed by the round-barrier
+// worker-pool scheduler, or — with Options.Async and a non-zero staleness
+// bound — by the event-driven asynchronous scheduler.
 func (e *Engine) Run(opts Options) (*Report, error) {
 	if opts.Iterations <= 0 && opts.TimeBudgetSec <= 0 {
 		return nil, fmt.Errorf("core: no budget given (iterations or virtual time)")
 	}
 	if opts.Workers > 1 {
+		if opts.Async && opts.Staleness != 0 {
+			return e.runAsync(opts)
+		}
+		// Staleness 0 means every proposal batch must see a fully-observed
+		// history — exactly the synchronous round scheduler.
 		return e.runParallel(opts)
 	}
 	return e.runSequential(opts)
@@ -223,7 +308,7 @@ func (e *Engine) Run(opts Options) (*Report, error) {
 // historical behavior.
 func (e *Engine) runSequential(opts Options) (*Report, error) {
 	report := e.newReport(1)
-	st := &evalState{clock: e.Clock, noise: e.noise}
+	st := &evalState{clock: e.Clock, noise: e.noise, speed: opts.workerSpeed(0)}
 	base := e.Clock.Now()
 
 	for iter := 0; ; iter++ {
@@ -247,6 +332,7 @@ func (e *Engine) runSequential(opts Options) (*Report, error) {
 	}
 	report.ElapsedSec = e.Clock.Now()
 	report.ComputeSec = e.Clock.Now() - base
+	report.Utilization = utilization(report.ComputeSec, 0)
 	report.Builds = st.builds
 	return report, nil
 }
@@ -317,7 +403,7 @@ func (e *Engine) evaluate(iter int, cfg *configspace.Config, st *evalState) Resu
 	// built image only in boot/runtime parameters (§3.1).
 	needBuild := st.prevBuilt == nil || !cfg.OnlyBootOrRuntimeDiff(st.prevBuilt)
 	if needBuild {
-		st.clock.Advance(jitter(e.Model.BuildSeconds, 0.3))
+		st.advance(jitter(e.Model.BuildSeconds, 0.3))
 		st.builds++
 		if stage == simos.StageBuild {
 			res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
@@ -343,9 +429,9 @@ func (e *Engine) evaluate(iter int, cfg *configspace.Config, st *evalState) Resu
 	// (a few seconds of sysctl writes).
 	needBoot := st.prevBooted == nil || !cfg.OnlyRuntimeDiff(st.prevBooted)
 	if needBoot {
-		st.clock.Advance(jitter(e.Model.BootSeconds, 0.3))
+		st.advance(jitter(e.Model.BootSeconds, 0.3))
 	} else {
-		st.clock.Advance(jitter(2, 0.5))
+		st.advance(jitter(2, 0.5))
 	}
 	if stage == simos.StageBoot {
 		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
@@ -362,13 +448,13 @@ func (e *Engine) evaluate(iter int, cfg *configspace.Config, st *evalState) Resu
 	}
 	if stage == simos.StageRun {
 		// Crashes surface partway through the benchmark.
-		st.clock.Advance(jitter(benchTime*0.4, 0.5))
+		st.advance(jitter(benchTime*0.4, 0.5))
 		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
 		res.EndSec = st.clock.Now()
 		st.prevBooted = nil // crashed instance must be replaced
 		return res
 	}
-	st.clock.Advance(jitter(benchTime, 0.25))
+	st.advance(jitter(benchTime, 0.25))
 	res.EndSec = st.clock.Now()
 	return res
 }

@@ -44,6 +44,7 @@ func (e *Engine) runParallel(opts Options) (*Report, error) {
 			worker: i,
 			clock:  wall.Worker(i),
 			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
+			speed:  opts.workerSpeed(i),
 		}
 	}
 	batcher := search.AsBatch(e.Searcher)
@@ -88,6 +89,16 @@ func (e *Engine) runParallel(opts Options) (*Report, error) {
 		}
 		wg.Wait()
 
+		// The barrier: every worker waits for the round's slowest
+		// evaluation before the next round starts. Stalling the clocks to
+		// the round maximum charges that wait to the wall-clock as idle
+		// time, so the next round's start times are causally consistent
+		// and the barrier's cost shows up in ElapsedSec/IdleSec.
+		roundMax := wall.Now()
+		for i := 0; i < w; i++ {
+			wall.Stall(i, roundMax)
+		}
+
 		// Canonical merge in iteration order: measure on the evaluating
 		// worker's noise stream (the barrier guarantees the stream is
 		// exactly past that worker's stage jitters), then record/observe.
@@ -102,6 +113,8 @@ func (e *Engine) runParallel(opts Options) (*Report, error) {
 	}
 	report.ElapsedSec = wall.Now()
 	report.ComputeSec = wall.ComputeSec()
+	report.IdleSec = wall.IdleSec()
+	report.Utilization = utilization(report.ComputeSec, report.IdleSec)
 	for _, st := range workers {
 		report.Builds += st.builds
 	}

@@ -38,6 +38,9 @@ type Scale struct {
 	// Workers is the largest worker-pool size the scaling experiment
 	// sweeps to (paper: the platform's worker-VM fleet).
 	Workers int
+	// Straggler is the slowdown factor of the straggler experiment's slow
+	// worker (4 = one worker evaluates four times slower).
+	Straggler float64
 	// Linux sizes the simulated Linux profile.
 	Linux simos.LinuxOptions
 }
@@ -52,6 +55,7 @@ func PaperScale() Scale {
 		TimeBudgetSec: 3 * 3600,
 		SynthIters:    300,
 		Workers:       16,
+		Straggler:     4,
 		Linux:         simos.DefaultLinuxOptions(),
 	}
 }
@@ -67,6 +71,7 @@ func QuickScale() Scale {
 		TimeBudgetSec: 6000,
 		SynthIters:    60,
 		Workers:       8,
+		Straggler:     4,
 		Linux:         simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1},
 	}
 }
@@ -181,7 +186,7 @@ func dashes(widths []int) []string {
 func IDs() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig5", "fig6", "table2", "fig7", "fig8",
-		"table3", "fig9", "fig10", "fig11", "table4", "scaling",
+		"table3", "fig9", "fig10", "fig11", "table4", "scaling", "straggler",
 	}
 }
 
@@ -216,6 +221,8 @@ func Run(id string, scale Scale) (*Result, error) {
 		return Table4(scale)
 	case "scaling":
 		return Scaling(scale)
+	case "straggler":
+		return Straggler(scale)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))

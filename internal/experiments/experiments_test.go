@@ -302,6 +302,38 @@ func TestResampleToGrid(t *testing.T) {
 	}
 }
 
+func TestStragglerRecovery(t *testing.T) {
+	scale := tinyScale()
+	scale.Iterations = 120
+	scale.Workers = 8
+	scale.Straggler = 4
+	res, err := Straggler(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// Rows: sync/no-straggler, sync/straggler, async/straggler.
+	ref := cellF(t, tab, 0, "wall s")
+	syncWall := cellF(t, tab, 1, "wall s")
+	asyncWall := cellF(t, tab, 2, "wall s")
+	if syncWall < 2*ref {
+		t.Fatalf("4x straggler barely hurt the sync barrier (%.0fs vs %.0fs)\n%s", syncWall, ref, res.Render())
+	}
+	if asyncWall >= syncWall {
+		t.Fatalf("async (%.0fs) did not beat the sync barrier (%.0fs)\n%s", asyncWall, syncWall, res.Render())
+	}
+	// Acceptance bar: async recovers ≥80% of the straggler-lost wall-clock.
+	if rec := cellF(t, res.Tables[1], 0, "recovery"); rec < 80 {
+		t.Fatalf("recovery %.0f%%, want ≥80%%\n%s", rec, res.Render())
+	}
+	// The async scheduler should also keep the fleet busier.
+	syncUtil := cellF(t, tab, 1, "utilization")
+	asyncUtil := cellF(t, tab, 2, "utilization")
+	if asyncUtil <= syncUtil {
+		t.Fatalf("async utilization %.0f%% not above sync %.0f%%\n%s", asyncUtil, syncUtil, res.Render())
+	}
+}
+
 func TestScalingSpeedup(t *testing.T) {
 	scale := tinyScale()
 	scale.Iterations = 160

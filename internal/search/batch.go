@@ -46,25 +46,46 @@ func AsBatch(s Searcher) BatchSearcher {
 // The adapter is not itself goroutine-safe: the engine calls ProposeBatch
 // and Observe from its coordinator only, and workers never touch the
 // searcher — that is what makes parallel sessions deterministic.
+//
+// Cost accounting reuses the wrapped searcher's own measurements instead
+// of re-timing calls with a second stopwatch: every strategy resets its
+// accumulator in Propose and accrues into it in Observe, so the adapter
+// pulls the full value after each Propose and only the delta after each
+// Observe. Each self-reported interval is therefore counted exactly once
+// — re-measuring Observe externally while later also pulling the wrapped
+// accumulator would double-count the model-update time that dominates
+// the Fig 8 numbers for Bayesian/DeepTune/Unicorn.
 type batchAdapter struct {
 	Searcher
 	pending map[uint64]int
 	cost    time.Duration
+	// lastWrapped is the wrapped searcher's DecisionCost at the last pull,
+	// used to extract Observe deltas from its monotone accumulator.
+	lastWrapped time.Duration
 }
 
 // proposeAttempts bounds how often the adapter re-asks the wrapped
 // strategy for a candidate that collides with the pending set.
 const proposeAttempts = 16
 
+// propose asks the wrapped strategy for one candidate and accrues its
+// self-reported proposal cost (Propose resets the wrapped accumulator, so
+// the post-call value is exactly this call's cost).
+func (b *batchAdapter) propose() *configspace.Config {
+	c := b.Searcher.Propose()
+	d := b.Searcher.DecisionCost()
+	b.cost += d
+	b.lastWrapped = d
+	return c
+}
+
 // ProposeBatch implements BatchSearcher.
 func (b *batchAdapter) ProposeBatch(n int) []*configspace.Config {
 	out := make([]*configspace.Config, 0, n)
 	for len(out) < n {
-		c := b.Searcher.Propose()
-		b.cost += b.Searcher.DecisionCost()
+		c := b.propose()
 		for attempt := 1; attempt < proposeAttempts && b.pending[c.Hash()] > 0; attempt++ {
-			c = b.Searcher.Propose()
-			b.cost += b.Searcher.DecisionCost()
+			c = b.propose()
 		}
 		b.pending[c.Hash()]++
 		out = append(out, c)
@@ -73,16 +94,26 @@ func (b *batchAdapter) ProposeBatch(n int) []*configspace.Config {
 }
 
 // Observe implements Searcher, clearing the configuration from the
-// pending set before forwarding to the wrapped strategy.
+// pending set before forwarding to the wrapped strategy. The observation
+// cost is the delta the wrapped searcher accrued into its own accumulator
+// — never an external re-measurement, which would count the same
+// model-update time twice.
 func (b *batchAdapter) Observe(o Observation) {
 	if o.Config != nil {
 		if h := o.Config.Hash(); b.pending[h] > 0 {
 			b.pending[h]--
 		}
 	}
-	start := time.Now()
 	b.Searcher.Observe(o)
-	b.cost += time.Since(start)
+	d := b.Searcher.DecisionCost()
+	if d >= b.lastWrapped {
+		b.cost += d - b.lastWrapped
+	} else {
+		// The wrapped accumulator moved backwards (a strategy that resets
+		// outside Propose): treat the new value as freshly accrued.
+		b.cost += d
+	}
+	b.lastWrapped = d
 }
 
 // DecisionCost implements Searcher with batch semantics: it returns the

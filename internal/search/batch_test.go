@@ -186,6 +186,70 @@ func (s *nativeBatcher) ProposeBatch(n int) []*configspace.Config {
 	return out
 }
 
+// costStub mimics the cost convention every real strategy follows —
+// Propose resets the accumulator, Observe accrues into it — but with
+// synthetic durations, so accounting can be cross-checked exactly.
+type costStub struct {
+	space              *configspace.Space
+	rng                *rng.RNG
+	proposeD, observeD time.Duration
+	cost               time.Duration
+}
+
+func (s *costStub) Name() string { return "cost-stub" }
+func (s *costStub) Propose() *configspace.Config {
+	s.cost = s.proposeD
+	return s.space.Random(s.rng)
+}
+func (s *costStub) Observe(Observation)         { s.cost += s.observeD }
+func (s *costStub) DecisionCost() time.Duration { return s.cost }
+
+func TestBatchCostMatchesSequentialAccounting(t *testing.T) {
+	// Regression: the adapter used to re-time Observe with its own
+	// stopwatch instead of pulling the wrapped searcher's self-reported
+	// delta — so the model-update time the strategies measure themselves
+	// (the Fig 8 "update time") was replaced by an unrelated wall-clock
+	// sample, and any pull of the wrapped accumulator counted it twice.
+	// With synthetic costs the books must balance exactly: n iterations
+	// driven sequentially and in batches account the same total.
+	space := batchSpace(t)
+	const n = 12
+	const proposeD, observeD = 3 * time.Millisecond, 7 * time.Millisecond
+
+	// Sequential protocol: Propose, Observe, read DecisionCost per
+	// iteration (what the sequential engine records).
+	seq := &costStub{space: space, rng: rng.New(1), proposeD: proposeD, observeD: observeD}
+	seqTotal := time.Duration(0)
+	enc := configspace.NewEncoder(space)
+	for i := 0; i < n; i++ {
+		c := seq.Propose()
+		seq.Observe(Observation{Config: c, X: enc.Encode(c), Metric: 1})
+		seqTotal += seq.DecisionCost()
+	}
+
+	// Batch protocol: rounds of 4 through the adapter, draining the
+	// adapter's accumulator after each round (what the parallel engines
+	// record across a round's iterations).
+	stub := &costStub{space: space, rng: rng.New(1), proposeD: proposeD, observeD: observeD}
+	b := AsBatch(stub)
+	batchTotal := time.Duration(0)
+	for round := 0; round < n/4; round++ {
+		cfgs := b.ProposeBatch(4)
+		for _, c := range cfgs {
+			b.Observe(Observation{Config: c, X: enc.Encode(c), Metric: 1})
+			batchTotal += b.DecisionCost()
+		}
+	}
+
+	if want := n * (proposeD + observeD); seqTotal != want {
+		t.Fatalf("sequential accounting %v, want %v", seqTotal, want)
+	}
+	if batchTotal != seqTotal {
+		t.Fatalf("batch accounting %v diverged from sequential %v: decision cost dropped or double-counted",
+			batchTotal, seqTotal)
+	}
+}
+
 func TestBatchDecisionCostDrains(t *testing.T) {
 	// The adapter reports the searcher time consumed since the previous
 	// DecisionCost call, so the engine's per-iteration stamps sum to the

@@ -12,6 +12,7 @@
 package search
 
 import (
+	"math"
 	"time"
 
 	"wayfinder/internal/causal"
@@ -173,14 +174,25 @@ func gridValues(p *configspace.Param) []configspace.Value {
 	default:
 		var out []configspace.Value
 		span := p.Max - p.Min
-		if span <= 8 {
+		if span >= 0 && span <= 8 {
 			for v := p.Min; v <= p.Max; v++ {
 				out = append(out, configspace.IntValue(v))
 			}
 			return out
 		}
-		for v := p.Min; v < p.Max; v = v*4 + 1 {
+		// Geometric ladder from Min toward Max. The step is sign-safe:
+		// negative values shrink toward zero (v*4+1 would diverge to
+		// -inf), and the multiply near MaxInt64 is overflow-guarded.
+		for v := p.Min; v < p.Max; {
 			out = append(out, configspace.IntValue(v))
+			switch {
+			case v < 0:
+				v /= 4
+			case v > (math.MaxInt64-1)/4:
+				v = p.Max
+			default:
+				v = v*4 + 1
+			}
 		}
 		out = append(out, configspace.IntValue(p.Max))
 		return out
@@ -191,9 +203,17 @@ func gridValues(p *configspace.Param) []configspace.Value {
 func (s *Grid) Propose() *configspace.Config {
 	start := time.Now()
 	defer func() { s.cost = time.Since(start) }()
+	wraps := 0
 	for {
 		if s.paramIdx >= s.space.Len() {
-			// Wrapped the whole space: restart.
+			// Wrapped the whole space: restart. A second consecutive wrap
+			// without yielding means nothing is sweepable (every parameter
+			// Fixed or in a zero-weight class) — return the base rather
+			// than spinning forever.
+			wraps++
+			if wraps > 1 || s.space.Len() == 0 {
+				return s.base.Clone()
+			}
 			s.paramIdx, s.valueIdx = 0, 0
 		}
 		p := s.space.Param(s.paramIdx)
@@ -243,11 +263,12 @@ type Bayesian struct {
 	rng      *rng.RNG
 	maximize bool
 
-	poolSize int
-	best     float64
-	haveBest bool
-	worst    float64
-	cost     time.Duration
+	poolSize  int
+	best      float64
+	haveBest  bool
+	worst     float64
+	haveWorst bool
+	cost      time.Duration
 }
 
 // NewBayesian returns a Bayesian-optimization searcher.
@@ -301,18 +322,24 @@ func (s *Bayesian) Propose() *configspace.Config {
 func (s *Bayesian) Observe(o Observation) {
 	start := time.Now()
 	defer func() { s.cost += time.Since(start) }()
-	y := s.signed(o.Metric)
 	if o.Crashed {
-		// Penalize with the worst observed value so far.
-		y = s.worst
+		// Penalize with the worst observed value so far, in the signed
+		// (maximize) direction — so on minimize objectives, where every
+		// signed value is ≤ 0, a crash is never taught as an improvement.
+		// Before the first successful observation there is no scale to
+		// penalize against, so the crash is withheld from the surrogate
+		// (Propose keeps sampling randomly until the model has points).
+		if s.haveWorst {
+			s.model.Add(o.X, s.worst)
+		}
+		return
 	}
-	if !o.Crashed {
-		if y < s.worst || s.model.Len() == 0 {
-			s.worst = y
-		}
-		if !s.haveBest || y > s.best {
-			s.best, s.haveBest = y, true
-		}
+	y := s.signed(o.Metric)
+	if !s.haveWorst || y < s.worst {
+		s.worst, s.haveWorst = y, true
+	}
+	if !s.haveBest || y > s.best {
+		s.best, s.haveBest = y, true
 	}
 	s.model.Add(o.X, y)
 }

@@ -1,7 +1,9 @@
 package search
 
 import (
+	"math"
 	"testing"
+	"time"
 
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/deeptune"
@@ -178,6 +180,146 @@ func TestUnicornImproves(t *testing.T) {
 	}
 	if s.Optimizer().Graphs() != 40 {
 		t.Fatalf("unicorn refit %d times, want 40 (one per observation)", s.Optimizer().Graphs())
+	}
+}
+
+func TestBayesianCrashPenaltyOnMinimize(t *testing.T) {
+	// Regression: on minimize objectives every signed value is ≤ 0, so the
+	// old zero-initialized `worst` taught crashes to the GP as the *best*
+	// value seen, steering BO toward crashing regions. A crash must be
+	// taught at the worst observed signed value instead.
+	space := toySpace()
+	s := NewBayesian(space, false, 1)
+	enc := configspace.NewEncoder(space)
+	r := rng.New(7)
+
+	good := space.Random(r)
+	bad := space.Random(r)
+	crash := space.Random(r)
+	s.Observe(Observation{Config: good, X: enc.Encode(good), Metric: 2})
+	s.Observe(Observation{Config: bad, X: enc.Encode(bad), Metric: 5})
+	if !s.haveWorst || s.worst != -5 {
+		t.Fatalf("worst = %v (have %v), want -5 after observing metrics 2 and 5 on minimize", s.worst, s.haveWorst)
+	}
+	s.Observe(Observation{Config: crash, X: enc.Encode(crash), Crashed: true, Stage: "run"})
+	if s.model.Len() != 3 {
+		t.Fatalf("model has %d points, want 3 (crash taught as worst-case)", s.model.Len())
+	}
+	// The GP interpolates training points closely (tiny noise), so the
+	// posterior mean at the crash point reveals the value it was taught:
+	// the worst signed value (-5), not the old penalty of 0 — which on
+	// minimize would have beaten every real observation.
+	mean, _, err := s.model.Predict(enc.Encode(crash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean > -3 {
+		t.Fatalf("crash taught near %v in signed space — an improvement over real observations; want ≈ -5", mean)
+	}
+}
+
+func TestBayesianFirstObservationCrash(t *testing.T) {
+	// Regression: the old worst-tracking guard (model.Len() == 0) broke
+	// when the session opened with a crash — with no successful
+	// observation there is no penalty scale, so the crash is withheld
+	// from the surrogate instead of being taught as 0.
+	space := toySpace()
+	s := NewBayesian(space, false, 2)
+	enc := configspace.NewEncoder(space)
+	r := rng.New(8)
+	crash := space.Random(r)
+	s.Observe(Observation{Config: crash, X: enc.Encode(crash), Crashed: true, Stage: "build"})
+	if s.model.Len() != 0 {
+		t.Fatalf("model has %d points after an opening crash, want 0", s.model.Len())
+	}
+	if s.haveWorst {
+		t.Fatal("a crash must not establish the worst-observed value")
+	}
+	ok := space.Random(r)
+	s.Observe(Observation{Config: ok, X: enc.Encode(ok), Metric: 3})
+	if !s.haveWorst || s.worst != -3 {
+		t.Fatalf("worst = %v (have %v) after first success, want -3", s.worst, s.haveWorst)
+	}
+	// Crashes are penalizable again now that a scale exists.
+	s.Observe(Observation{Config: crash, X: enc.Encode(crash), Crashed: true, Stage: "build"})
+	if s.model.Len() != 2 {
+		t.Fatalf("model has %d points, want 2", s.model.Len())
+	}
+}
+
+func TestGridTerminatesOnUnsweepableSpace(t *testing.T) {
+	// Regression: Propose spun forever when every parameter was Fixed or
+	// in a zero-weight class — the wrap-around reset never yielded.
+	space := toySpace()
+	space.Favor(configspace.Runtime, 0) // every toy parameter is Runtime
+	s := NewGrid(space)
+	done := make(chan *configspace.Config, 1)
+	go func() { done <- s.Propose() }()
+	select {
+	case c := <-done:
+		if c == nil {
+			t.Fatal("nil proposal")
+		}
+		if len(c.Diff(space.Default())) != 0 {
+			t.Fatal("unsweepable space must fall back to the base configuration")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Grid.Propose hung on a space with no sweepable parameters")
+	}
+	// Same via Fix: pin every parameter individually.
+	space2 := toySpace()
+	for _, p := range space2.Params() {
+		if err := space2.Fix(p.Name, p.Default); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := NewGrid(space2)
+	go func() { done <- s2.Propose() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Grid.Propose hung on an all-Fixed space")
+	}
+}
+
+func TestGridValuesNegativeMin(t *testing.T) {
+	// Regression: the integer ladder v = v*4+1 diverged to -inf for
+	// parameters with Min < 0 (unbounded allocation). The sign-safe
+	// ladder shrinks negatives toward zero and still reaches Max.
+	p := &configspace.Param{Name: "signed", Type: configspace.Int, Class: configspace.Runtime,
+		Min: -100000, Max: 100000, Default: configspace.IntValue(0)}
+	vals := gridValues(p)
+	if len(vals) == 0 || len(vals) > 64 {
+		t.Fatalf("ladder has %d values — diverged or empty", len(vals))
+	}
+	for i, v := range vals {
+		if v.I < p.Min || v.I > p.Max {
+			t.Fatalf("ladder value %d out of range [%d, %d]", v.I, p.Min, p.Max)
+		}
+		if i > 0 && v.I <= vals[i-1].I {
+			t.Fatalf("ladder not strictly increasing: %d after %d", v.I, vals[i-1].I)
+		}
+	}
+	if vals[0].I != p.Min || vals[len(vals)-1].I != p.Max {
+		t.Fatalf("ladder endpoints [%d, %d], want [%d, %d]", vals[0].I, vals[len(vals)-1].I, p.Min, p.Max)
+	}
+}
+
+func TestGridValuesHugeMax(t *testing.T) {
+	// The ladder's multiply is overflow-guarded near MaxInt64.
+	p := &configspace.Param{Name: "huge", Type: configspace.Int, Class: configspace.Runtime,
+		Min: 1, Max: math.MaxInt64, Default: configspace.IntValue(1)}
+	vals := gridValues(p)
+	if len(vals) == 0 || len(vals) > 64 {
+		t.Fatalf("ladder has %d values — overflow loop", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i].I <= vals[i-1].I {
+			t.Fatalf("ladder wrapped: %d after %d", vals[i].I, vals[i-1].I)
+		}
+	}
+	if vals[len(vals)-1].I != math.MaxInt64 {
+		t.Fatalf("ladder top %d, want MaxInt64", vals[len(vals)-1].I)
 	}
 }
 

@@ -13,6 +13,7 @@ package vm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,16 +54,35 @@ func (c *Clock) Advance(seconds float64) {
 type WallClock struct {
 	base   float64
 	clocks []*Clock
+	// stalls is the per-worker idle time the scheduler injected via Stall
+	// (barrier waits, staleness-bound waits) — clock advances that must
+	// count as idle, not compute.
+	stalls []float64
 }
 
 // NewWallClock returns a wall clock over n worker clocks, all starting at
 // the baseline virtual time.
 func NewWallClock(n int, base float64) *WallClock {
-	w := &WallClock{base: base, clocks: make([]*Clock, n)}
+	w := &WallClock{base: base, clocks: make([]*Clock, n), stalls: make([]float64, n)}
 	for i := range w.clocks {
 		w.clocks[i] = NewClockAt(base)
 	}
 	return w
+}
+
+// Stall advances worker i's clock to the given virtual time (a no-op if
+// the clock is already past it), accounting the gap as scheduler-imposed
+// idle time rather than compute. Schedulers call it when a worker must
+// wait — at a round barrier, or for the observation that admits its next
+// dispatch — so evaluation start times stay causally consistent and the
+// wait is charged to the wall-clock.
+func (w *WallClock) Stall(i int, until float64) {
+	gap := until - w.clocks[i].now
+	if gap <= 0 {
+		return
+	}
+	w.clocks[i].Advance(gap)
+	w.stalls[i] += gap
 }
 
 // Workers returns the number of worker clocks.
@@ -84,11 +104,32 @@ func (w *WallClock) Now() float64 {
 }
 
 // ComputeSec returns the aggregate compute time: the sum over workers of
-// the virtual time each advanced past the baseline.
+// the virtual time each advanced past the baseline, excluding
+// scheduler-imposed stalls.
 func (w *WallClock) ComputeSec() float64 {
 	total := 0.0
-	for _, c := range w.clocks {
-		total += c.now - w.base
+	for i, c := range w.clocks {
+		total += c.now - w.base - w.stalls[i]
+	}
+	return total
+}
+
+// WorkerIdleSec returns worker i's idle time: its scheduler-imposed
+// stalls plus the gap between the session wall clock and the worker's own
+// clock (the end-of-session drain).
+func (w *WallClock) WorkerIdleSec(i int) float64 {
+	return w.stalls[i] + w.Now() - w.clocks[i].now
+}
+
+// IdleSec returns the aggregate idle time summed over workers — the
+// wall-clock wasted waiting (round barriers behind a straggler,
+// staleness-bound waits, tail drain) rather than spent evaluating.
+// Utilization of a session is ComputeSec / (ComputeSec + IdleSec).
+func (w *WallClock) IdleSec() float64 {
+	now := w.Now()
+	total := 0.0
+	for i, c := range w.clocks {
+		total += w.stalls[i] + now - c.now
 	}
 	return total
 }
@@ -249,15 +290,28 @@ func (v *VM) ProbeSpace(name string, opts ProbeOptions, clock *Clock) (*configsp
 			continue
 		}
 		lo, hi := def, def
-		// Scale up.
+		// Scale up. The multiply is overflow-checked: runtime defaults can
+		// sit near the top of the int64 range, where another ×ScaleFactor
+		// step would wrap negative and corrupt the derived Min/Max range.
 		val := def
 		for step := 0; step < opts.MaxSteps; step++ {
-			val *= opts.ScaleFactor
+			next, ok := mulInt64(val, opts.ScaleFactor)
+			if !ok {
+				break
+			}
+			val = next
 			clock.Advance(opts.SecondsPerWrite)
 			if err := v.WriteFile(path, strconv.FormatInt(val, 10)); err != nil {
 				break
 			}
-			hi = val
+			// Scaling a negative default "up" moves away from zero downward,
+			// so accepted values extend whichever bound they actually pass.
+			if val > hi {
+				hi = val
+			}
+			if val < lo {
+				lo = val
+			}
 		}
 		// Scale down.
 		val = def
@@ -270,7 +324,12 @@ func (v *VM) ProbeSpace(name string, opts ProbeOptions, clock *Clock) (*configsp
 			if err := v.WriteFile(path, strconv.FormatInt(val, 10)); err != nil {
 				break
 			}
-			lo = val
+			if val < lo {
+				lo = val
+			}
+			if val > hi {
+				hi = val
+			}
 		}
 		// Restore the default.
 		clock.Advance(opts.SecondsPerWrite)
@@ -283,4 +342,28 @@ func (v *VM) ProbeSpace(name string, opts ProbeOptions, clock *Clock) (*configsp
 		})
 	}
 	return space, nil
+}
+
+// mulInt64 multiplies two int64s, reporting false on overflow instead of
+// silently wrapping.
+func mulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// |MinInt64| is not representable; any multiply by a magnitude > 1
+		// overflows, and ×±1 is handled below without division tricks.
+		if b == 1 {
+			return a, true
+		}
+		if a == 1 {
+			return b, true
+		}
+		return 0, false
+	}
+	c := a * b
+	if c/b != a {
+		return 0, false
+	}
+	return c, true
 }

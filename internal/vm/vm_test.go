@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -188,6 +189,136 @@ func TestProbeSpaceAllParamsProbed(t *testing.T) {
 	}
 	if space.Len() != len(m.RuntimeSpecs) {
 		t.Fatalf("probed %d params, kernel exposes %d", space.Len(), len(m.RuntimeSpecs))
+	}
+}
+
+func TestProbeSpaceOverflowGuard(t *testing.T) {
+	// Regression: the scale-up loop multiplied val by ScaleFactor up to
+	// MaxSteps times with no overflow guard, so near-MaxInt64 defaults
+	// wrapped negative; with a permissive hard range the wrapped value was
+	// accepted and corrupted the derived Min/Max.
+	m := &simos.Model{
+		Name:  "toy",
+		Space: configspace.NewSpace("toy"),
+		RuntimeSpecs: []simos.RuntimeSpec{
+			{Path: "/proc/sys/x/huge", Name: "x.huge",
+				Default: math.MaxInt64/2 + 1, HardMin: math.MinInt64, HardMax: math.MaxInt64, Writable: true},
+			{Path: "/proc/sys/x/deep", Name: "x.deep",
+				Default: math.MinInt64/2 - 1, HardMin: math.MinInt64, HardMax: math.MaxInt64, Writable: true},
+		},
+	}
+	v := New(m, m.Space.Default())
+	if err := v.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	var clock Clock
+	space, err := v.ProbeSpace("probed", DefaultProbeOptions(), &clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x.huge", "x.deep"} {
+		p, _ := space.Lookup(name)
+		if p == nil {
+			t.Fatalf("%s not probed", name)
+		}
+		if p.Min > p.Max {
+			t.Fatalf("%s probed an inverted range [%d, %d]", name, p.Min, p.Max)
+		}
+		if p.Default.I < p.Min || p.Default.I > p.Max {
+			t.Fatalf("%s default %d outside probed range [%d, %d]: the scale loop wrapped",
+				name, p.Default.I, p.Min, p.Max)
+		}
+	}
+	// The huge default cannot scale up at all (10x overflows), so its
+	// range top must remain the default; scaling down still works.
+	huge, _ := space.Lookup("x.huge")
+	if huge.Max != math.MaxInt64/2+1 {
+		t.Fatalf("x.huge Max = %d, want the unscalable default %d", huge.Max, int64(math.MaxInt64/2+1))
+	}
+	if huge.Min >= huge.Max {
+		t.Fatalf("x.huge did not scale down: [%d, %d]", huge.Min, huge.Max)
+	}
+}
+
+func TestMulInt64(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int64
+		ok   bool
+	}{
+		{0, 10, 0, true},
+		{5, 10, 50, true},
+		{-5, 10, -50, true},
+		{math.MaxInt64, 2, 0, false},
+		{math.MaxInt64 / 2, 3, 0, false},
+		{math.MinInt64, 1, math.MinInt64, true},
+		{1, math.MinInt64, math.MinInt64, true},
+		{math.MinInt64, -1, 0, false},
+		{math.MinInt64, 10, 0, false},
+		{math.MaxInt64, 1, math.MaxInt64, true},
+	}
+	for _, c := range cases {
+		got, ok := mulInt64(c.a, c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("mulInt64(%d, %d) = (%d, %v), want (%d, %v)", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestWallClockIdleAccounting(t *testing.T) {
+	w := NewWallClock(3, 100)
+	if w.IdleSec() != 0 {
+		t.Fatalf("fresh wall clock idle = %v, want 0", w.IdleSec())
+	}
+	w.Worker(0).Advance(10)
+	w.Worker(1).Advance(25)
+	w.Worker(2).Advance(5)
+	// Wall at 125: worker 0 idles 15, worker 1 idles 0, worker 2 idles 20.
+	if got := w.WorkerIdleSec(0); got != 15 {
+		t.Fatalf("worker 0 idle = %v, want 15", got)
+	}
+	if got := w.WorkerIdleSec(1); got != 0 {
+		t.Fatalf("worker 1 idle = %v, want 0", got)
+	}
+	if got := w.IdleSec(); got != 35 {
+		t.Fatalf("aggregate idle = %v, want 35", got)
+	}
+	// Compute + idle = workers × (wall − base).
+	if total := w.ComputeSec() + w.IdleSec(); total != 3*25 {
+		t.Fatalf("compute+idle = %v, want 75", total)
+	}
+}
+
+func TestWallClockStall(t *testing.T) {
+	w := NewWallClock(2, 0)
+	w.Worker(0).Advance(10)
+	w.Worker(1).Advance(30)
+	// Worker 0 waits at a barrier until worker 1 finishes: its clock must
+	// reach 30 but the 20s gap is idle, not compute.
+	w.Stall(0, 30)
+	if got := w.Worker(0).Now(); got != 30 {
+		t.Fatalf("stalled clock at %v, want 30", got)
+	}
+	if got := w.ComputeSec(); got != 40 {
+		t.Fatalf("compute = %v after stall, want the 40s actually evaluated", got)
+	}
+	if got := w.WorkerIdleSec(0); got != 20 {
+		t.Fatalf("worker 0 idle = %v, want the 20s stall", got)
+	}
+	if got := w.IdleSec(); got != 20 {
+		t.Fatalf("aggregate idle = %v, want 20", got)
+	}
+	// Stalling backwards is a no-op.
+	w.Stall(1, 5)
+	if got := w.Worker(1).Now(); got != 30 {
+		t.Fatalf("backward stall moved the clock to %v", got)
+	}
+	if got := w.IdleSec(); got != 20 {
+		t.Fatalf("backward stall changed idle to %v", got)
+	}
+	// Compute + idle still partitions workers × wall.
+	if total := w.ComputeSec() + w.IdleSec(); total != 2*30 {
+		t.Fatalf("compute+idle = %v, want 60", total)
 	}
 }
 

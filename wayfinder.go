@@ -27,6 +27,15 @@
 //
 //	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{Iterations: 250, Workers: 8})
 //
+// Parallel sessions default to round-based scheduling; SessionOptions.Async
+// enables the event-driven bounded-staleness scheduler, which removes the
+// round barrier (one slow build no longer stalls the pool) while keeping
+// sessions byte-reproducible for a fixed (seed, workers, staleness) triple:
+//
+//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{
+//		Iterations: 250, Workers: 8, Async: true, Staleness: -1,
+//	})
+//
 // The report carries the best configuration found, the full history, and
 // the crash-rate/performance series the paper's figures plot. See the
 // examples/ directory for runnable end-to-end programs and cmd/wfbench for
