@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench ci
+.PHONY: all build test race fmt vet bench bench-cache ci
 
 all: build
 
@@ -35,4 +35,11 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 	$(GO) test -race -bench='Parallel|Straggler|Scaling' -benchtime=1x -run='^$$' .
 
-ci: fmt vet build race bench
+# bench-cache races the artifact-cache and fleet-topology benchmarks: the
+# shared-store dedup (in-flight build tickets, two-wave batch execution,
+# cross-host fetches) is the newest concurrent machinery, so it gets its
+# own race-detector smoke on every push.
+bench-cache:
+	$(GO) test -race -bench='CacheHit|Fleet' -benchtime=1x -run='^$$' .
+
+ci: fmt vet build race bench bench-cache

@@ -83,6 +83,16 @@ func BenchmarkScalingWorkers(b *testing.B) { runExp(b, "scaling", 0, "wall s", "
 // recovered wall-clock fraction.
 func BenchmarkStragglerRecovery(b *testing.B) { runExp(b, "straggler", 1, "recovery", "recovery-pct") }
 
+// BenchmarkCacheHitDedup runs the artifact-cache study (shared
+// content-addressed store vs per-worker build caches at W=8), reporting
+// the duplicate builds the store avoided.
+func BenchmarkCacheHitDedup(b *testing.B) { runExp(b, "cachehit", 1, "avoided", "builds-avoided") }
+
+// BenchmarkFleetTopology runs the multi-host study (one fresh image per
+// round fanned across the fleet), reporting the wall-clock the all-remote
+// topology pays in cross-host transfers.
+func BenchmarkFleetTopology(b *testing.B) { runExp(b, "fleet", 1, "transfer cost s", "transfer-s") }
+
 // BenchmarkParallelSession measures the real (host) cost of one 8-worker
 // session against the sequential baseline at an equal iteration budget —
 // for both schedulers, so the CI bench smoke (which runs under the race
@@ -118,6 +128,14 @@ func BenchmarkParallelSession(b *testing.B) {
 	})
 	b.Run("workers=8/async/staleness=2", func(b *testing.B) {
 		run(b, core.Options{Iterations: 160, Seed: 1, Workers: 8, Async: true, Staleness: 2})
+	})
+	// Multi-host sessions exercise the artifact store's fetch/await paths
+	// (and, under -race, the two-wave ticket handoff) for both schedulers.
+	b.Run("workers=8/hosts=4", func(b *testing.B) {
+		run(b, core.Options{Iterations: 160, Seed: 1, Workers: 8, Hosts: 4})
+	})
+	b.Run("workers=8/hosts=4/async", func(b *testing.B) {
+		run(b, core.Options{Iterations: 160, Seed: 1, Workers: 8, Hosts: 4, Async: true, Staleness: -1})
 	})
 }
 

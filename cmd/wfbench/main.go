@@ -9,9 +9,12 @@
 //
 //	wfbench -exp scaling -workers 16  # worker-pool scaling study
 //	wfbench -exp straggler -straggler 8
+//	wfbench -exp cachehit -hosts 4    # shared artifact store vs per-worker caches
+//	wfbench -exp fleet                # multi-host topology transfer costs
 //
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
-// table3, fig9, fig10, fig11, table4, scaling, straggler.
+// table3, fig9, fig10, fig11, table4, scaling, straggler, cachehit,
+// fleet.
 package main
 
 import (
@@ -28,8 +31,9 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment ID or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
-	workers := flag.Int("workers", 0, "override the scaling/straggler experiments' worker-pool size")
+	workers := flag.Int("workers", 0, "override the scaling/straggler/cachehit/fleet experiments' worker-pool size")
 	straggler := flag.Float64("straggler", 0, "override the straggler experiment's slowdown factor")
+	hosts := flag.Int("hosts", 0, "override the cachehit experiment's multi-host fleet size")
 	asJSON := flag.Bool("json", false, "emit JSON instead of rendered tables")
 	flag.Parse()
 
@@ -48,6 +52,9 @@ func main() {
 	}
 	if *straggler > 0 {
 		scale.Straggler = *straggler
+	}
+	if *hosts > 0 {
+		scale.Hosts = *hosts
 	}
 
 	ids := []string{*exp}

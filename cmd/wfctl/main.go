@@ -9,6 +9,8 @@
 //	wfctl start -s random -workers 8 job.yaml
 //	wfctl start -s random -workers 8 -async job.yaml
 //	wfctl start -s random -workers 8 -async -staleness 2 -straggler 4 job.yaml
+//	wfctl start -s random -workers 8 -hosts 4 job.yaml
+//	wfctl start -s random -workers 8 -no-cache job.yaml
 //	wfctl start -s random -json job.yaml
 //
 // The target OS named in the job file selects the simulated model
@@ -86,13 +88,16 @@ func cmdStart(args []string) {
 	seed := fs.Uint64("seed", 1, "session seed")
 	workers := fs.Int("workers", 1, "concurrent evaluation workers")
 	async := fs.Bool("async", false, "use the event-driven asynchronous scheduler (no round barrier)")
-	staleness := fs.Int("staleness", -1, "async staleness bound: max unobserved in-flight evaluations a proposal may lag behind (0 = synchronous rounds, <0 = unbounded)")
+	staleness := fs.Int("staleness", -1, "async staleness bound: max unobserved in-flight evaluations a proposal may lag behind (0 = synchronous rounds; needs -async; omit for unbounded asynchrony)")
 	straggler := fs.Float64("straggler", 1, "slow the last worker by this factor (models a straggler machine)")
+	hosts := fs.Int("hosts", 1, "split the workers across this many simulated hosts (each with its own artifact-store partition)")
+	noCache := fs.Bool("no-cache", false, "disable the shared content-addressed artifact store (per-worker image reuse only)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *noCache)
 	job := loadJob(fs.Arg(0))
 
 	// Select the OS model. Jobs with their own parameter list search that
@@ -176,6 +181,8 @@ func cmdStart(args []string) {
 		Workers:       *workers,
 		Async:         *async,
 		Staleness:     *staleness,
+		Hosts:         *hosts,
+		DisableCache:  *noCache,
 	}
 	if *workers <= 1 && (*async || *straggler > 1) {
 		fmt.Fprintln(os.Stderr, "wfctl: -async/-staleness/-straggler need -workers > 1; running sequentially")
@@ -210,8 +217,18 @@ func cmdStart(args []string) {
 		if report.Async {
 			scheduler = fmt.Sprintf("async, staleness %d", report.Staleness)
 		}
-		fmt.Printf("workers: %d (%s; compute %.1f virtual minutes, idle %.1f, utilization %.0f%%)\n",
-			report.Workers, scheduler, report.ComputeSec/60, report.IdleSec/60, 100*report.Utilization)
+		fleet := ""
+		if report.Hosts > 1 {
+			fleet = fmt.Sprintf(" on %d hosts", report.Hosts)
+		}
+		fmt.Printf("workers: %d%s (%s; compute %.1f virtual minutes, idle %.1f, utilization %.0f%%)\n",
+			report.Workers, fleet, scheduler, report.ComputeSec/60, report.IdleSec/60, 100*report.Utilization)
+	}
+	// Hits+misses > 0 means the store was consulted; with -no-cache both
+	// stay 0 and no cache statistics are claimed.
+	if report.CacheHits+report.CacheMisses > 0 {
+		fmt.Printf("artifact cache: %d builds, %d hits (%d cross-host), %d misses, %d builds saved\n",
+			report.Builds, report.CacheHits, report.CacheRemoteHits, report.CacheMisses, report.BuildsSaved)
 	}
 	if report.Best != nil {
 		fmt.Printf("best %s: %.2f %s (found after %.0f virtual seconds)\n",
@@ -219,6 +236,38 @@ func cmdStart(args []string) {
 		fmt.Printf("configuration: %s\n", report.Best.ConfigString)
 	} else {
 		fmt.Println("no viable configuration found")
+	}
+}
+
+// validateStartFlags rejects flag combinations that would otherwise run a
+// silently-misconfigured session: a staleness bound without the async
+// scheduler it belongs to, a negative explicit bound (unbounded asynchrony
+// is -async with the flag omitted), host counts outside [1, workers], and
+// a multi-host topology with the store it partitions disabled.
+func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, noCache bool) {
+	stalenessSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "staleness" {
+			stalenessSet = true
+		}
+	})
+	if stalenessSet && !async {
+		fatal(fmt.Errorf("-staleness only applies to the async scheduler; add -async"))
+	}
+	if stalenessSet && staleness < 0 {
+		fatal(fmt.Errorf("-staleness must be ≥ 0 (omit the flag for unbounded asynchrony)"))
+	}
+	if workers < 1 {
+		fatal(fmt.Errorf("-workers must be ≥ 1 (got %d)", workers))
+	}
+	if hosts < 1 {
+		fatal(fmt.Errorf("-hosts must be ≥ 1 (got %d)", hosts))
+	}
+	if hosts > workers {
+		fatal(fmt.Errorf("-hosts %d exceeds -workers %d: a host without workers contributes nothing", hosts, workers))
+	}
+	if noCache && hosts > 1 {
+		fatal(fmt.Errorf("-hosts only shapes artifact-cache locality, which -no-cache disables; drop one of the two"))
 	}
 }
 

@@ -1,0 +1,120 @@
+package artifact
+
+import "testing"
+
+func TestLookupMissThenLocalHit(t *testing.T) {
+	s := NewStore(2, 0)
+	if _, loc := s.Lookup(0, 42); loc != Miss {
+		t.Fatalf("empty store lookup = %v, want miss", loc)
+	}
+	s.Put(Artifact{Key: 42, Host: 0, Builder: 3, ReadySec: 100})
+	a, loc := s.Lookup(0, 42)
+	if loc != LocalHit {
+		t.Fatalf("lookup = %v, want local hit", loc)
+	}
+	if a.Builder != 3 || a.ReadySec != 100 {
+		t.Fatalf("artifact metadata lost: %+v", a)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.RemoteHits != 0 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRemoteHitPrefersOwnPartition(t *testing.T) {
+	s := NewStore(3, 0)
+	s.Put(Artifact{Key: 7, Host: 2})
+	if _, loc := s.Lookup(0, 7); loc != RemoteHit {
+		t.Fatalf("cross-host lookup = %v, want remote hit", loc)
+	}
+	// Once the requesting host also holds it, the local copy wins.
+	s.Put(Artifact{Key: 7, Host: 0, Builder: 1})
+	a, loc := s.Lookup(0, 7)
+	if loc != LocalHit || a.Host != 0 {
+		t.Fatalf("lookup after replication = %v host %d, want local hit on host 0", loc, a.Host)
+	}
+	if st := s.Stats(); st.RemoteHits != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRemoteLookupAscendingHostOrder(t *testing.T) {
+	// When several hosts hold the artifact, the lowest host index serves it
+	// — the deterministic tie-break.
+	s := NewStore(4, 0)
+	s.Put(Artifact{Key: 9, Host: 3, Builder: 30})
+	s.Put(Artifact{Key: 9, Host: 1, Builder: 10})
+	a, loc := s.Lookup(0, 9)
+	if loc != RemoteHit || a.Host != 1 {
+		t.Fatalf("lookup = %v host %d, want remote hit from host 1", loc, a.Host)
+	}
+}
+
+func TestLRUEvictionPerPartition(t *testing.T) {
+	s := NewStore(2, 2)
+	s.Put(Artifact{Key: 1, Host: 0})
+	s.Put(Artifact{Key: 2, Host: 0})
+	s.Lookup(0, 1) // refresh 1: now 2 is the LRU entry
+	s.Put(Artifact{Key: 3, Host: 0})
+	if s.Len(0) != 2 {
+		t.Fatalf("partition length %d, want capacity 2", s.Len(0))
+	}
+	if _, loc := s.Lookup(0, 2); loc != Miss {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	for _, key := range []uint64{1, 3} {
+		if _, loc := s.Lookup(0, key); loc != LocalHit {
+			t.Fatalf("key %d should have survived eviction", key)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// The other partition has its own budget: filling host 1 evicts
+	// nothing further from host 0.
+	s.Put(Artifact{Key: 10, Host: 1})
+	s.Put(Artifact{Key: 11, Host: 1})
+	if s.Len(0) != 2 || s.Len(1) != 2 {
+		t.Fatalf("partition lengths %d/%d, want 2/2", s.Len(0), s.Len(1))
+	}
+}
+
+func TestPutRefreshDoesNotEvict(t *testing.T) {
+	s := NewStore(1, 2)
+	s.Put(Artifact{Key: 1, Host: 0})
+	s.Put(Artifact{Key: 2, Host: 0})
+	s.Put(Artifact{Key: 1, Host: 0, Builder: 9}) // refresh, not insert
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("refresh evicted: %+v", st)
+	}
+	if a, loc := s.Lookup(0, 1); loc != LocalHit || a.Builder != 9 {
+		t.Fatalf("refresh lost metadata: %+v (%v)", a, loc)
+	}
+	// Refresh moved 1 to the front, so the next insert evicts 2.
+	s.Put(Artifact{Key: 3, Host: 0})
+	if _, loc := s.Lookup(0, 2); loc != Miss {
+		t.Fatal("key 2 should be the eviction victim after 1's refresh")
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	s := NewStore(1, 0)
+	for k := uint64(0); k < 100; k++ {
+		s.Put(Artifact{Key: k, Host: 0})
+	}
+	if s.Len(0) != 100 || s.Stats().Evictions != 0 {
+		t.Fatalf("unbounded store evicted: len %d, stats %+v", s.Len(0), s.Stats())
+	}
+}
+
+func TestHostClamping(t *testing.T) {
+	if NewStore(0, 0).Hosts() != 1 {
+		t.Fatal("a store needs at least one partition")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range host must panic (engine bug)")
+		}
+	}()
+	NewStore(2, 0).Lookup(5, 1)
+}

@@ -150,6 +150,56 @@ func (c *Config) Hash() uint64 {
 	return h.Sum64()
 }
 
+// Stage-digest salts keep CompileKey, BootKey, and Hash trivially distinct
+// even for configurations whose included values coincide.
+const (
+	compileKeySalt = "wayfinder/compile\x00"
+	bootKeySalt    = "wayfinder/boot\x00"
+)
+
+// CompileKey returns the canonical digest of the build-stage assignment:
+// every compile-time parameter's value, hashed in space order. Two
+// configurations share a CompileKey exactly when they can share a built
+// image — the content address of the §3.1 build artifact, replacing the
+// pairwise OnlyBootOrRuntimeDiff comparison with a digest any cache can
+// index on.
+func (c *Config) CompileKey() uint64 {
+	return c.stageKey(compileKeySalt, false)
+}
+
+// BootKey returns the canonical digest of the build+boot-stage assignment:
+// compile-time and boot-time parameter values, hashed in space order. Two
+// configurations share a BootKey exactly when a running instance of one
+// can serve the other by applying runtime deltas live (the reboot-skip
+// predicate, previously the pairwise OnlyRuntimeDiff comparison).
+func (c *Config) BootKey() uint64 {
+	return c.stageKey(bootKeySalt, true)
+}
+
+// stageKey hashes the values of the compile-time (and, when includeBoot is
+// set, boot-time) parameters in space order. The included subset is fixed
+// per space, so sequence positions line up across configurations and
+// digest equality is exactly value equality over the subset.
+func (c *Config) stageKey(salt string, includeBoot bool) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(salt))
+	var buf [8]byte
+	for i, p := range c.space.Params() {
+		if p.Class == Runtime || (p.Class == BootTime && !includeBoot) {
+			continue
+		}
+		v := c.values[i]
+		u := uint64(v.I)
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(u >> (8 * b))
+		}
+		h.Write(buf[:])
+		h.Write([]byte(v.S))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
 // String renders the non-default assignments compactly, sorted by name.
 func (c *Config) String() string {
 	var parts []string

@@ -1,0 +1,95 @@
+package configspace
+
+import (
+	"testing"
+
+	"wayfinder/internal/rng"
+)
+
+// mutateClass returns a copy of base with up to k randomly-chosen
+// parameters of the given class resampled — a targeted mutation that keeps
+// every other class's assignment intact.
+func mutateClass(base *Config, class Class, k int, r *rng.RNG) *Config {
+	out := base.Clone()
+	s := base.Space()
+	var idx []int
+	for i, p := range s.Params() {
+		if p.Class == class {
+			idx = append(idx, i)
+		}
+	}
+	for j := 0; j < k && len(idx) > 0; j++ {
+		i := idx[r.Intn(len(idx))]
+		out.SetIndex(i, sampleValue(s.Param(i), r))
+	}
+	return out
+}
+
+// TestStageDigestsReproducePairwiseSkipDecisions is the property the
+// content-addressed cache rests on: for any pair of configurations,
+// CompileKey equality must decide the build skip exactly as the pairwise
+// OnlyBootOrRuntimeDiff predicate did, and BootKey equality the reboot
+// skip exactly as OnlyRuntimeDiff did. The pair pool mixes unrelated
+// random configurations (almost surely compile-differing) with targeted
+// single-class mutations and exact clones, so both sides of each
+// equivalence are exercised many times.
+func TestStageDigestsReproducePairwiseSkipDecisions(t *testing.T) {
+	s := testSpace(t)
+	r := rng.New(42)
+	pairs := 0
+	check := func(a, b *Config) {
+		t.Helper()
+		pairs++
+		if got, want := a.CompileKey() == b.CompileKey(), a.OnlyBootOrRuntimeDiff(b); got != want {
+			t.Fatalf("CompileKey equality %v but OnlyBootOrRuntimeDiff %v for\n  a=%s\n  b=%s",
+				got, want, a.String(), b.String())
+		}
+		if got, want := a.BootKey() == b.BootKey(), a.OnlyRuntimeDiff(b); got != want {
+			t.Fatalf("BootKey equality %v but OnlyRuntimeDiff %v for\n  a=%s\n  b=%s",
+				got, want, a.String(), b.String())
+		}
+	}
+	for i := 0; i < 400; i++ {
+		a := s.Random(r)
+		check(a, a.Clone())
+		check(a, s.Random(r))
+		check(a, mutateClass(a, Runtime, 1+r.Intn(3), r))
+		check(a, mutateClass(a, BootTime, 1, r))
+		check(a, mutateClass(a, CompileTime, 1+r.Intn(2), r))
+		// Mixed boot+runtime mutation: reuses the image, not the instance.
+		check(a, mutateClass(mutateClass(a, Runtime, 2, r), BootTime, 1, r))
+	}
+	if pairs != 400*6 {
+		t.Fatalf("exercised %d pairs", pairs)
+	}
+}
+
+// TestStageDigestsStable pins the digests' invariants: clones agree,
+// runtime-only changes leave both digests alone, boot changes move BootKey
+// but not CompileKey, and compile changes move both.
+func TestStageDigestsStable(t *testing.T) {
+	s := testSpace(t)
+	a := s.Default()
+	if a.CompileKey() != a.Clone().CompileKey() || a.BootKey() != a.Clone().BootKey() {
+		t.Fatal("equal configs must digest equal")
+	}
+	if a.CompileKey() == a.BootKey() {
+		t.Fatal("stage digests of the same config should be decorrelated by their salts")
+	}
+	b := a.Clone()
+	b.MustSet("vm.swappiness", IntValue(0))
+	if a.CompileKey() != b.CompileKey() || a.BootKey() != b.BootKey() {
+		t.Fatal("runtime change must not move stage digests")
+	}
+	b.MustSet("mitigations", EnumValue("off"))
+	if a.CompileKey() != b.CompileKey() {
+		t.Fatal("boot change must not move CompileKey")
+	}
+	if a.BootKey() == b.BootKey() {
+		t.Fatal("boot change must move BootKey")
+	}
+	b.MustSet("CONFIG_PREEMPT", BoolValue(true))
+	if a.CompileKey() == b.CompileKey() || a.BootKey() == b.BootKey() {
+		t.Fatal("compile change must move both digests")
+	}
+}

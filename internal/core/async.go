@@ -11,8 +11,9 @@
 //
 //  1. Private worker state — each worker owns its clock (merged by
 //     vm.WallClock), its rng stream (rng.WorkerSeed derivation), its speed
-//     factor, and its §3.1 skip caches. Worker goroutines touch nothing
-//     else.
+//     factor, and its §3.1 skip digests. The shared artifact store is
+//     consulted by the coordinator only, at planning time (pipeline.go);
+//     worker goroutines touch nothing shared.
 //  2. Virtual-time dispatch — placement is dynamic (the next proposal
 //     goes to whichever worker frees first in *virtual* time), but the
 //     completion order is a pure function of virtual finish times with
@@ -42,31 +43,22 @@
 package core
 
 import (
-	"sync"
-
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/rng"
 	"wayfinder/internal/search"
 	"wayfinder/internal/vm"
 )
 
-// asyncEval is one dispatched evaluation: the virtual event the scheduler
-// orders by finish time once the evaluating goroutine fills in res.
-type asyncEval struct {
-	iter int
-	cfg  *configspace.Config
-	res  Result
-}
-
 // runAsync executes the session on opts.Workers concurrent evaluators
 // without a round barrier.
 func (e *Engine) runAsync(opts Options) (*Report, error) {
+	e.cache = newSessionCache(opts)
 	w := opts.Workers
 	bound := opts.Staleness
 	if bound < 0 || bound > w-1 {
 		bound = w - 1
 	}
-	report := e.newReport(w)
+	report := e.newReport(opts, w)
 	report.Async = true
 	report.Staleness = bound
 	base := e.Clock.Now()
@@ -75,14 +67,16 @@ func (e *Engine) runAsync(opts Options) (*Report, error) {
 	for i := range workers {
 		workers[i] = &evalState{
 			worker: i,
+			host:   opts.HostOf(i),
 			clock:  wall.Worker(i),
+			wall:   wall,
 			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
 			speed:  opts.workerSpeed(i),
 		}
 	}
 	batcher := search.AsBatch(e.Searcher)
 
-	inflight := make([]*asyncEval, w) // per worker; nil = idle
+	inflight := make([]*batchEval, w) // per worker; nil = idle
 	busy := 0                         // dispatched-but-unobserved evaluations
 	next := 0                         // next iteration index to dispatch
 	exhausted := false                // the strategy stopped producing
@@ -136,21 +130,23 @@ func (e *Engine) runAsync(opts Options) (*Report, error) {
 			exhausted = true
 			return
 		}
-		var wg sync.WaitGroup
+		// Plan builds in dispatch order (coordinator-only store access,
+		// pipeline.go), then execute the batch. An in-flight build from an
+		// earlier dispatch is already resolved — its goroutines joined
+		// before this dispatch — so an awaiter planned here reads a settled
+		// ticket; same-batch duplicates run in runBatch's second wave.
+		batch := make([]*batchEval, 0, len(cfgs))
 		for k, cfg := range cfgs {
 			worker := idle[k]
 			wall.Stall(worker, frontier)
-			ev := &asyncEval{iter: next, cfg: cfg}
+			st := workers[worker]
+			ev := &batchEval{iter: next, cfg: cfg, st: st, plan: e.planBuild(cfg, st)}
 			inflight[worker] = ev
 			busy++
 			next++
-			wg.Add(1)
-			go func(worker int, ev *asyncEval) {
-				defer wg.Done()
-				ev.res = e.evaluate(ev.iter, ev.cfg, workers[worker])
-			}(worker, ev)
+			batch = append(batch, ev)
 		}
-		wg.Wait()
+		e.runBatch(batch)
 	}
 
 	for {

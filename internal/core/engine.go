@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"wayfinder/internal/configspace"
@@ -57,6 +58,51 @@ type Options struct {
 	// scales durations only — noise streams draw identically — so
 	// sessions remain deterministic.
 	WorkerSpeedFactors []float64
+	// Hosts partitions the workers into that many simulated hosts (0 or 1
+	// = a single host). Workers on one host share an artifact-store
+	// partition; an image cached on another host costs an extra
+	// Model.TransferSeconds to fetch. Placement is HostOf, a pure function
+	// of (worker, Workers, Hosts), so sessions stay byte-reproducible per
+	// (Seed, Workers, Staleness, Hosts).
+	Hosts int
+	// DisableCache turns the shared content-addressed artifact store off,
+	// restoring the historical behavior where each worker only ever reuses
+	// its own previously-built image. With Hosts ≤ 1 this reproduces
+	// pre-cache reports byte-for-byte.
+	DisableCache bool
+	// CacheCapacity bounds each host's artifact-store partition (the
+	// per-host image-cache disk budget, in artifacts); beyond it the
+	// least-recently-used artifact is evicted. 0 or below = unbounded.
+	CacheCapacity int
+}
+
+// effWorkers returns the effective worker count (sequential = 1).
+func (o *Options) effWorkers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// effHosts returns the effective host count, clamped to [1, workers]: a
+// host with no workers contributes nothing to a session.
+func (o *Options) effHosts() int {
+	h := o.Hosts
+	if h < 1 {
+		h = 1
+	}
+	if w := o.effWorkers(); h > w {
+		h = w
+	}
+	return h
+}
+
+// HostOf returns the host index worker w runs on: workers are split into
+// Hosts contiguous, balanced groups (worker·Hosts/Workers), a pure
+// function of (worker, Workers, Hosts) so fleet placement never depends
+// on scheduling.
+func (o *Options) HostOf(worker int) int {
+	return worker * o.effHosts() / o.effWorkers()
 }
 
 // workerSpeed returns worker i's virtual-duration multiplier (1 = nominal).
@@ -100,14 +146,31 @@ type Result struct {
 	// BuildSkipped reports the §3.1 optimization: the previous image was
 	// reused because only runtime/boot parameters changed.
 	BuildSkipped bool `json:"build_skipped"`
+	// CacheHit reports that the build was satisfied from the shared
+	// artifact store (or by waiting on another worker's in-flight build of
+	// the same image) instead of compiling.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// CacheRemote reports a CacheHit served from another host's store
+	// partition, paying the cross-host transfer term.
+	CacheRemote bool `json:"cache_remote,omitempty"`
 	// StartSec/EndSec are virtual timestamps on the evaluating worker's
 	// clock (in a sequential session, the session clock).
 	StartSec float64 `json:"start_sec"`
 	EndSec   float64 `json:"end_sec"`
 	// Worker is the evaluating worker's index (always 0 sequentially).
 	Worker int `json:"worker"`
+	// Host is the simulated host the evaluating worker belongs to.
+	Host int `json:"host"`
 	// DecisionCost is the real time the searcher spent deciding.
 	DecisionCost time.Duration `json:"decision_cost_ns"`
+
+	// artifactKey is the image digest the build stage resolved; ticket the
+	// in-flight-build registration (builders only); buildEndSec the
+	// virtual time the worker held a usable image. The coordinator uses
+	// them to publish artifacts in canonical observation order.
+	artifactKey uint64
+	ticket      *buildTicket
+	buildEndSec float64
 }
 
 // Report summarizes a session.
@@ -151,8 +214,23 @@ type Report struct {
 	// maximum number of unobserved in-flight evaluations a proposal may
 	// lag behind (at most Workers-1, the one-evaluation-per-worker cap).
 	Staleness int `json:"staleness,omitempty"`
-	// Builds counts actual image builds (vs skipped).
+	// Hosts is the fleet size the session ran with (1 = single host).
+	Hosts int `json:"hosts"`
+	// Builds counts actual image builds (vs skipped or cache-served).
 	Builds int `json:"builds"`
+	// CacheHits counts builds served by the shared artifact store (local
+	// and cross-host fetches, plus waits on another worker's in-flight
+	// build). Always 0 when the store is disabled.
+	CacheHits int `json:"cache_hits"`
+	// CacheMisses counts full builds the store could not prevent (the
+	// image digest was nowhere in the fleet). Always 0 when disabled.
+	CacheMisses int `json:"cache_misses"`
+	// CacheRemoteHits is the subset of CacheHits served from another
+	// host's store partition, paying the cross-host transfer term.
+	CacheRemoteHits int `json:"cache_remote_hits"`
+	// BuildsSaved counts every avoided image build: §3.1 same-worker skips
+	// plus CacheHits.
+	BuildsSaved int `json:"builds_saved"`
 }
 
 // utilization is the shared ComputeSec/(ComputeSec+IdleSec) helper.
@@ -183,10 +261,14 @@ func (r *Report) CrashRateSeries(window int) []float64 {
 
 // BestSoFarSeries returns, per iteration, the best metric value observed
 // up to and including it (crashes carry the previous best forward).
+// Iterations before the first non-crashed observation hold NaN: there is
+// no best yet, and emitting 0.0 would chart leading crashes as a best of
+// zero — wrong for maximize metrics and catastrophically wrong for
+// minimize ones.
 func (r *Report) BestSoFarSeries() []float64 {
 	out := make([]float64, len(r.History))
 	have := false
-	best := 0.0
+	best := math.NaN()
 	for i, h := range r.History {
 		if !h.Crashed {
 			if !have || (r.Maximize && h.Metric > best) || (!r.Maximize && h.Metric < best) {
@@ -241,6 +323,9 @@ type Engine struct {
 	enc   *configspace.Encoder
 	noise *rng.RNG
 	seed  uint64
+	// cache is the per-session artifact-cache state (pipeline.go),
+	// re-initialized by every Run.
+	cache *sessionCache
 }
 
 // NewEngine assembles an engine. The clock may be shared across engines
@@ -259,18 +344,29 @@ func NewEngine(model *simos.Model, app *simos.App, metric Metric, s search.Searc
 }
 
 // evalState is the state one evaluator (worker) threads through its
-// evaluations: its virtual clock, its private noise stream, the build and
-// boot caches the §3.1 skip optimizations key off, its build count, and
-// its speed factor. Each worker owns one exclusively, so evaluations on
-// distinct workers never share mutable state.
+// evaluations: its virtual clock, its private noise stream, the stage
+// digests of the image on its disk and the instance it is running (what
+// the §3.1 skip optimizations key off), its build count, and its speed
+// factor. Each worker owns one exclusively, so evaluations on distinct
+// workers never share mutable state.
 type evalState struct {
-	worker     int
-	clock      *vm.Clock
-	noise      *rng.RNG
-	speed      float64             // virtual-duration multiplier; 0 reads as nominal 1
-	prevBuilt  *configspace.Config // configuration of the last built image
-	prevBooted *configspace.Config
-	builds     int
+	worker int
+	host   int
+	clock  *vm.Clock
+	// wall is the session wall-clock in parallel/async sessions (nil
+	// sequentially); the build stage stalls against it while waiting on
+	// another worker's in-flight build, so the wait is charged as idle
+	// time. Stall touches only this worker's slice of the wall-clock, so
+	// concurrent evaluations stay race-free.
+	wall  *vm.WallClock
+	noise *rng.RNG
+	speed float64 // virtual-duration multiplier; 0 reads as nominal 1
+
+	imageKey  uint64 // CompileKey of the image on the worker's disk
+	haveImage bool
+	bootKey   uint64 // BootKey of the currently-running instance
+	haveBoot  bool
+	builds    int
 }
 
 // advance charges a virtual duration to the worker's clock, scaled by its
@@ -281,6 +377,14 @@ func (st *evalState) advance(seconds float64) {
 		seconds *= st.speed
 	}
 	st.clock.Advance(seconds)
+}
+
+// jitter draws one multiplicative noise sample for a stage duration.
+// Every build-stage outcome (build, fetch, await) draws exactly once, so
+// a worker's stream position after any evaluation is independent of how
+// its builds were satisfied.
+func (st *evalState) jitter(base, frac float64) float64 {
+	return base * (1 + frac*(st.noise.Float64()-0.5))
 }
 
 // Run executes the core loop of §3.1: 1) build and boot an image for the
@@ -304,10 +408,14 @@ func (e *Engine) Run(opts Options) (*Report, error) {
 	return e.runSequential(opts)
 }
 
-// runSequential is the single-evaluator loop, bit-for-bit the engine's
-// historical behavior.
+// runSequential is the single-evaluator loop. With the artifact store
+// disabled it is bit-for-bit the engine's historical behavior; with the
+// store (the default) a revisited image digest is fetched at
+// Model.CacheFetchSeconds instead of rebuilt, so even one evaluator
+// benefits from the session-wide cache.
 func (e *Engine) runSequential(opts Options) (*Report, error) {
-	report := e.newReport(1)
+	e.cache = newSessionCache(opts)
+	report := e.newReport(opts, 1)
 	st := &evalState{clock: e.Clock, noise: e.noise, speed: opts.workerSpeed(0)}
 	base := e.Clock.Now()
 
@@ -324,7 +432,7 @@ func (e *Engine) runSequential(opts Options) (*Report, error) {
 		} else {
 			cfg = e.Searcher.Propose()
 		}
-		res := e.evaluate(iter, cfg, st)
+		res := e.evaluate(iter, cfg, st, e.planBuild(cfg, st))
 		if !res.Crashed {
 			res.Metric = e.Metric.Measure(e.Model, e.App, cfg, st.noise)
 		}
@@ -338,23 +446,27 @@ func (e *Engine) runSequential(opts Options) (*Report, error) {
 }
 
 // newReport initializes a report's session-constant fields.
-func (e *Engine) newReport(workers int) *Report {
+func (e *Engine) newReport(opts Options, workers int) *Report {
 	return &Report{
 		Searcher: e.Searcher.Name(),
 		Metric:   e.Metric.Name(),
 		Unit:     e.Metric.Unit(),
 		Maximize: e.Metric.Maximize(),
 		Workers:  workers,
+		Hosts:    opts.effHosts(),
 	}
 }
 
 // record appends one result to the report, maintains best/crash
-// accounting, and reports the observation back to the searcher. The
-// searcher argument carries the batch adapter in parallel sessions (so
-// pending-set bookkeeping sees the observation and decision costs are
-// read with the adapter's batch semantics) and e.Searcher itself in
-// sequential ones.
+// accounting, publishes the evaluation's image to the shared artifact
+// store (commitArtifact — in observation order, so store state is a pure
+// function of the observation sequence), and reports the observation back
+// to the searcher. The searcher argument carries the batch adapter in
+// parallel sessions (so pending-set bookkeeping sees the observation and
+// decision costs are read with the adapter's batch semantics) and
+// e.Searcher itself in sequential ones.
 func (e *Engine) record(report *Report, res Result, s search.Searcher) {
+	e.commitArtifact(report, &res)
 	report.History = append(report.History, res)
 	if res.Crashed {
 		report.Crashes++
@@ -379,82 +491,7 @@ func (e *Engine) record(report *Report, res Result, s search.Searcher) {
 	}
 }
 
-// evaluate charges the virtual costs of building, booting, and running
-// the benchmark for one configuration against the worker state, honoring
-// the §3.1 build-skip optimization, and returns the result. Measurement
-// itself (Metric.Measure) is the caller's job: the engine defers it so
-// parallel sessions can measure in canonical iteration order, keeping
-// stateful metrics deterministic.
-func (e *Engine) evaluate(iter int, cfg *configspace.Config, st *evalState) Result {
-	res := Result{
-		Iteration:    iter,
-		Config:       cfg,
-		ConfigString: cfg.String(),
-		Stage:        "ok",
-		StartSec:     st.clock.Now(),
-		Worker:       st.worker,
-	}
-	jitter := func(base, frac float64) float64 {
-		return base * (1 + frac*(st.noise.Float64()-0.5))
-	}
-	stage, reason := e.Model.CrashOutcome(cfg)
-
-	// Build task: skipped when the configuration differs from the last
-	// built image only in boot/runtime parameters (§3.1).
-	needBuild := st.prevBuilt == nil || !cfg.OnlyBootOrRuntimeDiff(st.prevBuilt)
-	if needBuild {
-		st.advance(jitter(e.Model.BuildSeconds, 0.3))
-		st.builds++
-		if stage == simos.StageBuild {
-			res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-			res.EndSec = st.clock.Now()
-			return res
-		}
-		st.prevBuilt = cfg.Clone()
-		st.prevBooted = nil // new image must boot
-	} else {
-		res.BuildSkipped = true
-		if stage == simos.StageBuild {
-			// The differing parameters are boot/runtime, but the hidden
-			// build outcome keys off compile parameters only, so a skipped
-			// build cannot fail. Guard anyway.
-			res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-			res.EndSec = st.clock.Now()
-			return res
-		}
-	}
-
-	// Boot task: a reboot is needed unless only runtime parameters differ
-	// from the currently-running instance; runtime deltas are applied live
-	// (a few seconds of sysctl writes).
-	needBoot := st.prevBooted == nil || !cfg.OnlyRuntimeDiff(st.prevBooted)
-	if needBoot {
-		st.advance(jitter(e.Model.BootSeconds, 0.3))
-	} else {
-		st.advance(jitter(2, 0.5))
-	}
-	if stage == simos.StageBoot {
-		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-		res.EndSec = st.clock.Now()
-		st.prevBooted = nil
-		return res
-	}
-	st.prevBooted = cfg.Clone()
-
-	// Test task: run the benchmark.
-	benchTime := e.App.BenchSeconds
-	if _, isMem := e.Metric.(MemoryMetric); isMem {
-		benchTime = 6 // footprint measurement needs no load generation
-	}
-	if stage == simos.StageRun {
-		// Crashes surface partway through the benchmark.
-		st.advance(jitter(benchTime*0.4, 0.5))
-		res.Crashed, res.Stage, res.Reason = true, stage.String(), reason
-		res.EndSec = st.clock.Now()
-		st.prevBooted = nil // crashed instance must be replaced
-		return res
-	}
-	st.advance(jitter(benchTime, 0.25))
-	res.EndSec = st.clock.Now()
-	return res
-}
+// evaluate — the staged Build → Boot → Measure pipeline every scheduler
+// (sequential, round-barrier, async) runs one configuration through —
+// lives in pipeline.go, together with the coordinator-side build planning
+// that consults the shared artifact store.

@@ -12,8 +12,10 @@
 //     and build/boot caches is a pure function of the iteration index.
 //  2. Private worker state — each worker owns its clock (merged by
 //     vm.WallClock), its rng stream (rng.WorkerSeed derivation; worker 0
-//     reproduces the sequential stream), and its §3.1 skip caches. Worker
-//     goroutines touch nothing else.
+//     reproduces the sequential stream), and its §3.1 skip digests. The
+//     shared artifact store is consulted by the coordinator only, at
+//     planning time (pipeline.go); worker goroutines touch nothing
+//     shared.
 //  3. Canonical merge — the searcher and the metric live on the
 //     coordinator. Proposals are drawn for a whole round up front
 //     (search.AsBatch pending-set protocol), and after the round's
@@ -24,8 +26,6 @@
 package core
 
 import (
-	"sync"
-
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/rng"
 	"wayfinder/internal/search"
@@ -34,15 +34,18 @@ import (
 
 // runParallel executes the session on opts.Workers concurrent evaluators.
 func (e *Engine) runParallel(opts Options) (*Report, error) {
+	e.cache = newSessionCache(opts)
 	w := opts.Workers
-	report := e.newReport(w)
+	report := e.newReport(opts, w)
 	base := e.Clock.Now()
 	wall := vm.NewWallClock(w, base)
 	workers := make([]*evalState, w)
 	for i := range workers {
 		workers[i] = &evalState{
 			worker: i,
+			host:   opts.HostOf(i),
 			clock:  wall.Worker(i),
+			wall:   wall,
 			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
 			speed:  opts.workerSpeed(i),
 		}
@@ -78,16 +81,16 @@ func (e *Engine) runParallel(opts Options) (*Report, error) {
 			break
 		}
 
-		results := make([]Result, n)
-		var wg sync.WaitGroup
+		// Plan the round's builds in iteration order before dispatching:
+		// shared-store lookups and in-flight registrations happen on the
+		// coordinator only, so two workers needing the same image this
+		// round dedupe onto one build deterministically.
+		evals := make([]*batchEval, n)
 		for k := 0; k < n; k++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				results[k] = e.evaluate(iter+k, cfgs[k], workers[(iter+k)%w])
-			}(k)
+			st := workers[(iter+k)%w]
+			evals[k] = &batchEval{iter: iter + k, cfg: cfgs[k], st: st, plan: e.planBuild(cfgs[k], st)}
 		}
-		wg.Wait()
+		e.runBatch(evals)
 
 		// The barrier: every worker waits for the round's slowest
 		// evaluation before the next round starts. Stalling the clocks to
@@ -103,9 +106,9 @@ func (e *Engine) runParallel(opts Options) (*Report, error) {
 		// worker's noise stream (the barrier guarantees the stream is
 		// exactly past that worker's stage jitters), then record/observe.
 		for k := 0; k < n; k++ {
-			res := results[k]
+			res := evals[k].res
 			if !res.Crashed {
-				res.Metric = e.Metric.Measure(e.Model, e.App, cfgs[k], workers[(iter+k)%w].noise)
+				res.Metric = e.Metric.Measure(e.Model, e.App, cfgs[k], evals[k].st.noise)
 			}
 			e.record(report, res, batcher)
 		}

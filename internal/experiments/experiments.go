@@ -41,6 +41,10 @@ type Scale struct {
 	// Straggler is the slowdown factor of the straggler experiment's slow
 	// worker (4 = one worker evaluates four times slower).
 	Straggler float64
+	// Hosts is the fleet size of the cachehit/fleet experiments' multi-host
+	// runs (workers are split into this many simulated hosts with
+	// independent artifact-store partitions).
+	Hosts int
 	// Linux sizes the simulated Linux profile.
 	Linux simos.LinuxOptions
 }
@@ -56,6 +60,7 @@ func PaperScale() Scale {
 		SynthIters:    300,
 		Workers:       16,
 		Straggler:     4,
+		Hosts:         4,
 		Linux:         simos.DefaultLinuxOptions(),
 	}
 }
@@ -72,6 +77,7 @@ func QuickScale() Scale {
 		SynthIters:    60,
 		Workers:       8,
 		Straggler:     4,
+		Hosts:         4,
 		Linux:         simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1},
 	}
 }
@@ -187,6 +193,7 @@ func IDs() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig5", "fig6", "table2", "fig7", "fig8",
 		"table3", "fig9", "fig10", "fig11", "table4", "scaling", "straggler",
+		"cachehit", "fleet",
 	}
 }
 
@@ -223,6 +230,10 @@ func Run(id string, scale Scale) (*Result, error) {
 		return Scaling(scale)
 	case "straggler":
 		return Straggler(scale)
+	case "cachehit":
+		return Cachehit(scale)
+	case "fleet":
+		return Fleet(scale)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))

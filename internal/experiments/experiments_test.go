@@ -374,3 +374,85 @@ func TestScalingSpeedup(t *testing.T) {
 		t.Fatalf("8-worker compute %.0fs far above sequential %.0fs", par, seq)
 	}
 }
+
+func TestCachehitDedupesToSequentialBuilds(t *testing.T) {
+	scale := tinyScale()
+	scale.Workers = 8
+	scale.Hosts = 4
+	res, err := Cachehit(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// Rows: sequential, per-worker caches, shared store, shared w/ hosts.
+	seq := cellF(t, tab, 0, "builds")
+	dup := cellF(t, tab, 1, "builds")
+	shared := cellF(t, tab, 2, "builds")
+	fleet := cellF(t, tab, 3, "builds")
+	if dup < 8*seq {
+		t.Fatalf("per-worker caches built %.0f images vs sequential %.0f — duplication pathology missing\n%s",
+			dup, seq, res.Render())
+	}
+	// Acceptance bar: the shared store brings the W=8 build count within
+	// 10%% of the sequential session's, single- and multi-host alike.
+	if shared > 1.1*seq {
+		t.Fatalf("shared store builds %.0f not within 10%% of sequential %.0f\n%s", shared, seq, res.Render())
+	}
+	if fleet > 1.1*seq {
+		t.Fatalf("multi-host builds %.0f not within 10%% of sequential %.0f\n%s", fleet, seq, res.Render())
+	}
+	if hits := cellF(t, tab, 2, "cache hits"); hits < dup-shared {
+		t.Fatalf("cache hits %.0f below the %.0f builds deduped\n%s", hits, dup-shared, res.Render())
+	}
+	// The multi-host run pays cross-host transfers for the same dedup.
+	if remote := cellF(t, tab, 3, "remote"); remote == 0 {
+		t.Fatalf("4-host run shows no remote fetches\n%s", res.Render())
+	}
+	if saved := cellF(t, res.Tables[1], 0, "avoided"); saved != dup-shared {
+		t.Fatalf("summary says %.0f builds avoided, table says %.0f\n%s", saved, dup-shared, res.Render())
+	}
+}
+
+func TestFleetTransferCostInWallClock(t *testing.T) {
+	scale := tinyScale()
+	scale.Workers = 8
+	res, err := Fleet(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	// Host-ladder rows (1, 2, 4, 8) then the per-worker-cache baseline.
+	last := len(tab.Rows) - 2
+	rounds := cellF(t, tab, 0, "builds")
+	for row := 0; row <= last; row++ {
+		if b := cellF(t, tab, row, "builds"); b != rounds {
+			t.Fatalf("row %d built %.0f images, want the fleet-wide %.0f (one per round)\n%s",
+				row, b, rounds, res.Render())
+		}
+	}
+	// Acceptance bar: cross-host transfers show up in the wall-clock —
+	// monotone in the host count, and remote fetches grow with it.
+	prevWall, prevRemote := 0.0, -1.0
+	for row := 0; row <= last; row++ {
+		wall := cellF(t, tab, row, "wall s")
+		remote := cellF(t, tab, row, "remote")
+		if wall < prevWall {
+			t.Fatalf("wall-clock fell from %.0fs to %.0fs as hosts grew\n%s", prevWall, wall, res.Render())
+		}
+		if remote <= prevRemote {
+			t.Fatalf("remote fetches did not grow with the host count\n%s", res.Render())
+		}
+		prevWall, prevRemote = wall, remote
+	}
+	if spread := cellF(t, res.Tables[1], 0, "transfer cost s"); spread <= 0 {
+		t.Fatalf("transfer cost %.0fs not positive\n%s", spread, res.Render())
+	}
+	// The no-store baseline rebuilds the round image on every worker.
+	noCache := len(tab.Rows) - 1
+	if b := cellF(t, tab, noCache, "builds"); b < 7*rounds {
+		t.Fatalf("per-worker baseline built %.0f images, want ≈8 per round\n%s", b, res.Render())
+	}
+	if saved := cellF(t, res.Tables[1], 0, "compute saved s"); saved <= 0 {
+		t.Fatalf("compute saved %.0fs not positive\n%s", saved, res.Render())
+	}
+}

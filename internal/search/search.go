@@ -136,9 +136,17 @@ func (s *RandomMutate) DecisionCost() time.Duration { return s.cost }
 // grid search from the evaluation as "well-known to be inferior to random
 // search on large configuration spaces" — it is provided for completeness
 // and for small spaces.
+//
+// Grid implements BatchSearcher natively: ProposeBatch walks the ladder
+// directly instead of funnelling every slot through the AsBatch
+// pending-set adapter. The pending bookkeeping (skip candidates that
+// collide with a dispatched-but-unobserved proposal, accept a duplicate
+// after proposeAttempts tries) matches the adapter's policy exactly, so
+// the native path proposes the same sequence the adapter would.
 type Grid struct {
-	space *configspace.Space
-	base  *configspace.Config
+	space   *configspace.Space
+	base    *configspace.Config
+	pending map[uint64]int
 
 	paramIdx int
 	valueIdx int
@@ -147,7 +155,7 @@ type Grid struct {
 
 // NewGrid returns a grid searcher starting from the space defaults.
 func NewGrid(space *configspace.Space) *Grid {
-	return &Grid{space: space, base: space.Default()}
+	return &Grid{space: space, base: space.Default(), pending: map[uint64]int{}}
 }
 
 // Name implements Searcher.
@@ -199,10 +207,9 @@ func gridValues(p *configspace.Param) []configspace.Value {
 	}
 }
 
-// Propose implements Searcher.
-func (s *Grid) Propose() *configspace.Config {
-	start := time.Now()
-	defer func() { s.cost = time.Since(start) }()
+// step advances the ladder by one proposal — the walk shared by Propose
+// and ProposeBatch.
+func (s *Grid) step() *configspace.Config {
 	wraps := 0
 	for {
 		if s.paramIdx >= s.space.Len() {
@@ -235,21 +242,68 @@ func (s *Grid) Propose() *configspace.Config {
 	}
 }
 
-// Observe implements Searcher. Grid adopts improvements into its base so
-// later sweeps stack onto the best known assignment.
-func (s *Grid) Observe(o Observation) {
-	if o.Crashed {
-		return
+// Propose implements Searcher.
+func (s *Grid) Propose() *configspace.Config {
+	start := time.Now()
+	defer func() { s.cost += time.Since(start) }()
+	return s.step()
+}
+
+// ProposeBatch implements BatchSearcher natively: up to n consecutive
+// ladder steps, skipping candidates that collide with a pending proposal
+// (a ladder step equal to the sweep base — its parameter's grid includes
+// the incumbent value — can repeat within a window) for at most
+// proposeAttempts tries each, exactly the adapter's policy.
+func (s *Grid) ProposeBatch(n int) []*configspace.Config {
+	start := time.Now()
+	defer func() { s.cost += time.Since(start) }()
+	out := make([]*configspace.Config, 0, n)
+	for len(out) < n {
+		c := s.step()
+		for attempt := 1; attempt < proposeAttempts && s.pending[c.Hash()] > 0; attempt++ {
+			c = s.step()
+		}
+		s.pending[c.Hash()]++
+		out = append(out, c)
 	}
-	// Without direction knowledge grid cannot rank; the engine feeds the
-	// best config back via AdoptBase.
+	return out
+}
+
+// Observe implements Searcher, clearing the configuration from the
+// pending set. Grid learns nothing from the measurement itself: without
+// direction knowledge it cannot rank, so the engine feeds the best
+// configuration back via AdoptBase.
+func (s *Grid) Observe(o Observation) {
+	if o.Config != nil {
+		if h := o.Config.Hash(); s.pending[h] > 0 {
+			s.pending[h]--
+		}
+	}
 }
 
 // AdoptBase re-centers the sweep on a new base configuration.
 func (s *Grid) AdoptBase(c *configspace.Config) { s.base = c.Clone() }
 
-// DecisionCost implements Searcher.
-func (s *Grid) DecisionCost() time.Duration { return s.cost }
+// Pending returns the number of proposed-but-unobserved batch proposals
+// (counting duplicates), mirroring the adapter's diagnostic.
+func (s *Grid) Pending() int {
+	total := 0
+	for _, c := range s.pending {
+		total += c
+	}
+	return total
+}
+
+// DecisionCost implements Searcher with batch semantics: the searcher
+// time consumed since the previous call, drained on read — so a round's
+// ProposeBatch cost is attributed once, to the round's first recorded
+// iteration, exactly as the adapter attributes it for the other
+// strategies.
+func (s *Grid) DecisionCost() time.Duration {
+	c := s.cost
+	s.cost = 0
+	return c
+}
 
 // Bayesian is the Bayesian-optimization baseline: a Gaussian-process
 // surrogate refit on every observation, proposing the candidate with

@@ -79,13 +79,15 @@ var linuxRuntimeTable = []runtimeParam{
 // parameters; Effects/CrashRules/MemContrib form the hidden ground truth.
 func NewLinux(opts LinuxOptions) *Model {
 	m := &Model{
-		Name:         "linux",
-		Space:        configspace.NewSpace("linux"),
-		MemBaseMB:    142,
-		MemContribMB: map[string]float64{},
-		BuildSeconds: 110,
-		BootSeconds:  9,
-		Seed:         opts.Seed ^ 0x11b,
+		Name:              "linux",
+		Space:             configspace.NewSpace("linux"),
+		MemBaseMB:         142,
+		MemContribMB:      map[string]float64{},
+		BuildSeconds:      110,
+		BootSeconds:       9,
+		CacheFetchSeconds: 6,  // copy a built image out of the host store
+		TransferSeconds:   10, // ship it across the fleet network first
+		Seed:              opts.Seed ^ 0x11b,
 	}
 	r := rng.New(opts.Seed ^ 0x5eed)
 

@@ -30,13 +30,15 @@ func DefaultRiscvOptions() RiscvOptions {
 // learn.
 func NewRiscv(opts RiscvOptions) *Model {
 	m := &Model{
-		Name:         "linux-riscv",
-		Space:        configspace.NewSpace("linux-riscv"),
-		MemBaseMB:    152,
-		MemContribMB: map[string]float64{},
-		BuildSeconds: 95,
-		BootSeconds:  14, // QEMU emulation boots slowly
-		Seed:         opts.Seed ^ 0x415c,
+		Name:              "linux-riscv",
+		Space:             configspace.NewSpace("linux-riscv"),
+		MemBaseMB:         152,
+		MemContribMB:      map[string]float64{},
+		BuildSeconds:      95,
+		BootSeconds:       14, // QEMU emulation boots slowly
+		CacheFetchSeconds: 5,
+		TransferSeconds:   9,
+		Seed:              opts.Seed ^ 0x415c,
 	}
 	r := rng.New(opts.Seed ^ 0x7a57e)
 

@@ -220,6 +220,13 @@ type Model struct {
 	BuildSeconds float64
 	// BootSeconds is the virtual cost of booting the image.
 	BootSeconds float64
+	// CacheFetchSeconds is the virtual cost of materializing an image from
+	// the host's shared artifact store onto a worker instead of rebuilding
+	// it (a local copy off the host's image cache).
+	CacheFetchSeconds float64
+	// TransferSeconds is the additional virtual cost of pulling an
+	// artifact from another host's store across the fleet network.
+	TransferSeconds float64
 	// Seed decorrelates the model's deterministic crash draws.
 	Seed uint64
 

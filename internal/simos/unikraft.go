@@ -12,13 +12,15 @@ import "wayfinder/internal/configspace"
 // the network stack.
 func NewUnikraft(seed uint64) *Model {
 	m := &Model{
-		Name:         "unikraft",
-		Space:        configspace.NewSpace("unikraft-nginx"),
-		MemBaseMB:    18,
-		MemContribMB: map[string]float64{},
-		BuildSeconds: 35, // unikernels build fast
-		BootSeconds:  1,
-		Seed:         seed ^ 0x1717,
+		Name:              "unikraft",
+		Space:             configspace.NewSpace("unikraft-nginx"),
+		MemBaseMB:         18,
+		MemContribMB:      map[string]float64{},
+		BuildSeconds:      35, // unikernels build fast
+		BootSeconds:       1,
+		CacheFetchSeconds: 2, // tiny images copy fast too
+		TransferSeconds:   3,
+		Seed:              seed ^ 0x1717,
 	}
 	add := m.Space.MustAdd
 

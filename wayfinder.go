@@ -36,6 +36,16 @@
 //		Iterations: 250, Workers: 8, Async: true, Staleness: -1,
 //	})
 //
+// Workers share a content-addressed artifact store (built images keyed by
+// the configuration's compile-stage digest), so an image built once is
+// fetched — never rebuilt — by every other worker that needs it.
+// SessionOptions.Hosts splits the fleet across simulated hosts with
+// per-host store partitions and a cross-host transfer cost:
+//
+//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{
+//		Iterations: 250, Workers: 8, Hosts: 4,
+//	})
+//
 // The report carries the best configuration found, the full history, and
 // the crash-rate/performance series the paper's figures plot. See the
 // examples/ directory for runnable end-to-end programs and cmd/wfbench for
