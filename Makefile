@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench bench-cache ci
+.PHONY: all build test race fmt vet bench bench-cache bench-search ci
 
 all: build
 
@@ -42,4 +42,11 @@ bench:
 bench-cache:
 	$(GO) test -race -bench='CacheHit|Fleet' -benchtime=1x -run='^$$' .
 
-ci: fmt vet build race bench bench-cache
+# bench-search races the incremental-surrogate hot paths: the in-place
+# Cholesky extension vs the full-refit baseline, the native constant-liar
+# Bayesian batch proposal, and the DeepTune observe path — so the model
+# side of the search loop gets its own race-detector smoke on every push.
+bench-search:
+	$(GO) test -race -bench='GPAdd|BayesianProposeBatch|DeepTuneObserve' -benchtime=1x -run='^$$' .
+
+ci: fmt vet build race bench bench-cache bench-search

@@ -15,6 +15,8 @@ import (
 	"wayfinder/internal/core"
 	"wayfinder/internal/deeptune"
 	"wayfinder/internal/experiments"
+	"wayfinder/internal/gp"
+	"wayfinder/internal/rng"
 	"wayfinder/internal/search"
 	"wayfinder/internal/simos"
 	"wayfinder/internal/vm"
@@ -92,6 +94,94 @@ func BenchmarkCacheHitDedup(b *testing.B) { runExp(b, "cachehit", 1, "avoided", 
 // round fanned across the fleet), reporting the wall-clock the all-remote
 // topology pays in cross-host transfers.
 func BenchmarkFleetTopology(b *testing.B) { runExp(b, "fleet", 1, "transfer cost s", "transfer-s") }
+
+// --- Searcher hot-path benchmarks (the incremental surrogate layer) ---
+
+// gpAddSession measures a full 256-observation surrogate session: Add one
+// point, force the factor update with a prediction, repeat — the
+// model-side loop a Bayesian search session drives. The incremental path
+// extends the Cholesky factor in place (O(n²) per add, Θ(T³) per
+// session); the refit path refactorizes from scratch (O(n³) per add,
+// Θ(T⁴) per session). The acceptance bar is incremental ≥5x faster here.
+func gpAddSession(b *testing.B, refit bool) {
+	b.Helper()
+	const obs = 256
+	for i := 0; i < b.N; i++ {
+		g := gp.New(0.5, 1, 1e-3)
+		g.SetForceRefit(refit)
+		r := rng.New(1)
+		probe := []float64{0.5, 0.5, 0.5, 0.5}
+		for j := 0; j < obs; j++ {
+			g.Add([]float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}, r.Float64())
+			if _, _, err := g.Predict(probe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*obs), "ns/add")
+}
+
+// BenchmarkGPAddIncremental is the incremental-Cholesky session.
+func BenchmarkGPAddIncremental(b *testing.B) { gpAddSession(b, false) }
+
+// BenchmarkGPAddRefit is the full-refactorization baseline session.
+func BenchmarkGPAddRefit(b *testing.B) { gpAddSession(b, true) }
+
+// BenchmarkBayesianProposeBatch measures the native 8-slot batch proposal
+// on a warm surrogate: one shared 96-candidate pool scored per slot, with
+// constant-liar fantasized observations conditioning later slots.
+func BenchmarkBayesianProposeBatch(b *testing.B) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1})
+	m.Space.Favor(configspace.CompileTime, 0)
+	s := search.NewBayesian(m.Space, true, 1)
+	enc := configspace.NewEncoder(m.Space)
+	r := rng.New(2)
+	feed := func(c *configspace.Config) {
+		s.Observe(search.Observation{Config: c, X: enc.Encode(c), Metric: r.Float64() * 100, Stage: "ok"})
+	}
+	for i := 0; i < 96; i++ {
+		feed(m.Space.Random(r))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := s.ProposeBatch(8)
+		b.StopTimer()
+		// Observing off the clock keeps the pending set bounded without
+		// charging the surrogate updates to the proposal path.
+		for _, c := range batch {
+			feed(c)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkDeepTuneObserve measures one DTM incremental retrain — the
+// per-iteration model update the paper's Fig 8 reports as flat-cost.
+func BenchmarkDeepTuneObserve(b *testing.B) {
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1})
+	m.Space.Favor(configspace.CompileTime, 0)
+	cfg := deeptune.DefaultConfig()
+	cfg.Seed = 1
+	s := search.NewDeepTune(m.Space, true, cfg)
+	enc := configspace.NewEncoder(m.Space)
+	r := rng.New(3)
+	for i := 0; i < 32; i++ {
+		c := m.Space.Random(r)
+		s.Observe(search.Observation{Config: c, X: enc.Encode(c), Metric: r.Float64() * 100, Stage: "ok"})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.Space.Random(r)
+		s.Observe(search.Observation{Config: c, X: enc.Encode(c), Metric: r.Float64() * 100, Stage: "ok"})
+	}
+}
+
+// BenchmarkSearcherScale runs the searcherscale experiment end to end —
+// the decision-cost-vs-observations study wfbench snapshots into
+// BENCH_PR4.json — reporting the incremental tail speedup.
+func BenchmarkSearcherScale(b *testing.B) {
+	runExp(b, "searcherscale", 0, "", "")
+}
 
 // BenchmarkParallelSession measures the real (host) cost of one 8-worker
 // session against the sequential baseline at an equal iteration budget —

@@ -11,10 +11,12 @@
 //	wfbench -exp straggler -straggler 8
 //	wfbench -exp cachehit -hosts 4    # shared artifact store vs per-worker caches
 //	wfbench -exp fleet                # multi-host topology transfer costs
+//	wfbench -exp searcherscale -json  # incremental-surrogate decision-cost snapshot
+//	wfbench -exp searcherscale -obs 512
 //
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
 // table3, fig9, fig10, fig11, table4, scaling, straggler, cachehit,
-// fleet.
+// fleet, searcherscale.
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "override the scaling/straggler/cachehit/fleet experiments' worker-pool size")
 	straggler := flag.Float64("straggler", 0, "override the straggler experiment's slowdown factor")
 	hosts := flag.Int("hosts", 0, "override the cachehit experiment's multi-host fleet size")
+	obs := flag.Int("obs", 0, "override the searcherscale experiment's surrogate observation count")
 	asJSON := flag.Bool("json", false, "emit JSON instead of rendered tables")
 	flag.Parse()
 
@@ -55,6 +58,9 @@ func main() {
 	}
 	if *hosts > 0 {
 		scale.Hosts = *hosts
+	}
+	if *obs > 0 {
+		scale.SurrogateObs = *obs
 	}
 
 	ids := []string{*exp}

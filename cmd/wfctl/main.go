@@ -11,6 +11,7 @@
 //	wfctl start -s random -workers 8 -async -staleness 2 -straggler 4 job.yaml
 //	wfctl start -s random -workers 8 -hosts 4 job.yaml
 //	wfctl start -s random -workers 8 -no-cache job.yaml
+//	wfctl start -s bayesian -gp-refit job.yaml
 //	wfctl start -s random -json job.yaml
 //
 // The target OS named in the job file selects the simulated model
@@ -92,12 +93,13 @@ func cmdStart(args []string) {
 	straggler := fs.Float64("straggler", 1, "slow the last worker by this factor (models a straggler machine)")
 	hosts := fs.Int("hosts", 1, "split the workers across this many simulated hosts (each with its own artifact-store partition)")
 	noCache := fs.Bool("no-cache", false, "disable the shared content-addressed artifact store (per-worker image reuse only)")
+	gpRefit := fs.Bool("gp-refit", false, "force the bayesian surrogate back to full O(n³) refits per observation (the pre-incremental baseline, for decision-cost comparisons)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
-	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *noCache)
+	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *noCache, *gpRefit, *strategy)
 	job := loadJob(fs.Arg(0))
 
 	// Select the OS model. Jobs with their own parameter list search that
@@ -163,7 +165,9 @@ func cmdStart(args []string) {
 	case "grid":
 		s = search.NewGrid(model.Space)
 	case "bayesian":
-		s = search.NewBayesian(model.Space, metric.Maximize(), *seed)
+		b := search.NewBayesian(model.Space, metric.Maximize(), *seed)
+		b.SetSurrogateRefit(*gpRefit)
+		s = b
 	case "deeptune":
 		cfg := deeptune.DefaultConfig()
 		cfg.Seed = *seed
@@ -242,15 +246,19 @@ func cmdStart(args []string) {
 // validateStartFlags rejects flag combinations that would otherwise run a
 // silently-misconfigured session: a staleness bound without the async
 // scheduler it belongs to, a negative explicit bound (unbounded asynchrony
-// is -async with the flag omitted), host counts outside [1, workers], and
-// a multi-host topology with the store it partitions disabled.
-func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, noCache bool) {
+// is -async with the flag omitted), host counts outside [1, workers], a
+// multi-host topology with the store it partitions disabled, and a
+// surrogate-refit override on a strategy with no GP surrogate.
+func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, noCache, gpRefit bool, strategy string) {
 	stalenessSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "staleness" {
 			stalenessSet = true
 		}
 	})
+	if gpRefit && strategy != "bayesian" {
+		fatal(fmt.Errorf("-gp-refit only applies to the bayesian strategy's GP surrogate (got -s %s)", strategy))
+	}
 	if stalenessSet && !async {
 		fatal(fmt.Errorf("-staleness only applies to the async scheduler; add -async"))
 	}

@@ -20,7 +20,9 @@
 //     worker index as the tie-break, never of goroutine scheduling. The
 //     coordinator pops exactly one completion event at a time, measures
 //     and Observes it, and refills workers through the same
-//     search.BatchSearcher pending-set protocol the round scheduler uses.
+//     search.BatchSearcher pending-set protocol the round scheduler uses
+//     (natively for Grid/Bayesian/DeepTune, via the AsBatch adapter
+//     otherwise).
 //  3. Bounded staleness — Options.Staleness caps how many unobserved
 //     in-flight evaluations may exist when a proposal batch is drawn, so
 //     no proposal conditions on a history more than S evaluations behind

@@ -18,7 +18,10 @@
 //     shared.
 //  3. Canonical merge — the searcher and the metric live on the
 //     coordinator. Proposals are drawn for a whole round up front
-//     (search.AsBatch pending-set protocol), and after the round's
+//     (search.AsBatch pending-set protocol; Grid, Bayesian, and DeepTune
+//     batch natively — Bayesian via constant-liar fantasized
+//     observations, DeepTune via diversity-penalized pool ranking — so
+//     later slots condition on earlier picks), and after the round's
 //     barrier, measurement and Observe happen in iteration order. The
 //     searcher therefore sees the exact same observation sequence on
 //     every run, and stateful metrics (ScoreMetric's running

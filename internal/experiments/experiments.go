@@ -45,6 +45,10 @@ type Scale struct {
 	// runs (workers are split into this many simulated hosts with
 	// independent artifact-store partitions).
 	Hosts int
+	// SurrogateObs is how many observations the searcherscale experiment
+	// feeds the GP surrogate when charting incremental-vs-refit decision
+	// cost (the acceptance point sits at 256).
+	SurrogateObs int
 	// Linux sizes the simulated Linux profile.
 	Linux simos.LinuxOptions
 }
@@ -61,6 +65,7 @@ func PaperScale() Scale {
 		Workers:       16,
 		Straggler:     4,
 		Hosts:         4,
+		SurrogateObs:  512,
 		Linux:         simos.DefaultLinuxOptions(),
 	}
 }
@@ -78,6 +83,7 @@ func QuickScale() Scale {
 		Workers:       8,
 		Straggler:     4,
 		Hosts:         4,
+		SurrogateObs:  256,
 		Linux:         simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1},
 	}
 }
@@ -193,7 +199,7 @@ func IDs() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig5", "fig6", "table2", "fig7", "fig8",
 		"table3", "fig9", "fig10", "fig11", "table4", "scaling", "straggler",
-		"cachehit", "fleet",
+		"cachehit", "fleet", "searcherscale",
 	}
 }
 
@@ -234,6 +240,8 @@ func Run(id string, scale Scale) (*Result, error) {
 		return Cachehit(scale)
 	case "fleet":
 		return Fleet(scale)
+	case "searcherscale":
+		return Searcherscale(scale)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))

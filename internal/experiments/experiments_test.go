@@ -456,3 +456,42 @@ func TestFleetTransferCostInWallClock(t *testing.T) {
 		t.Fatalf("compute saved %.0fs not positive\n%s", saved, res.Render())
 	}
 }
+
+func TestSearcherscaleIncrementalWins(t *testing.T) {
+	scale := tinyScale()
+	scale.SurrogateObs = 192
+	scale.Iterations = 40
+	res, err := Searcherscale(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) < 3 {
+		t.Fatalf("want cost, session, and snapshot tables, got %d", len(res.Tables))
+	}
+	costs := res.Tables[0]
+	// Row 0 full-refit, row 1 incremental: the session total and the tail
+	// per-add cost must both favor the incremental path decisively (the
+	// asymptotic gap is O(n), so even wall-clock noise at tiny scale
+	// leaves a wide margin).
+	refitTail := cellF(t, costs, 0, "tail µs/add")
+	incTail := cellF(t, costs, 1, "tail µs/add")
+	if incTail <= 0 || refitTail/incTail < 2 {
+		t.Fatalf("incremental tail %vµs vs refit %vµs: want ≥2x win at 192 observations", incTail, refitTail)
+	}
+	if sp := cellF(t, costs, 1, "tail speedup"); sp < 2 {
+		t.Fatalf("reported speedup %vx, want ≥2x", sp)
+	}
+	series := map[string]Series{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	for _, name := range []string{"gp-add-refit-s", "gp-add-incremental-s",
+		"bayesian-decision-refit-s", "bayesian-decision-incremental-s"} {
+		if len(series[name].Y) == 0 {
+			t.Fatalf("missing series %q", name)
+		}
+	}
+	if len(series["gp-add-refit-s"].Y) != 192 {
+		t.Fatalf("gp curve has %d points, want 192", len(series["gp-add-refit-s"].Y))
+	}
+}

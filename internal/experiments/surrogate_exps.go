@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wayfinder/internal/apps"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/core"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/gp"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/search"
+)
+
+// Searcherscale charts the model-side decision cost of the learned
+// searchers before and after the incremental surrogate layer (the §2.3
+// scalability argument, measured on our own implementation):
+//
+//   - A Gaussian-process surrogate absorbing SurrogateObs observations
+//     one at a time, once with from-scratch O(n³) refactorization per add
+//     (the pre-incremental behavior, Θ(T⁴) per session) and once with the
+//     O(n²) in-place Cholesky extension (Θ(T³) per session) — the
+//     decision-cost-vs-observations curves.
+//   - A full Bayesian search session per mode, so the saving is visible
+//     in the Fig 8 accounting (per-iteration DecisionCost) and in host
+//     wall-clock.
+//   - A machine-readable hot-path snapshot (ns/op for the surrogate add
+//     paths, native batch proposal, and the DeepTune observe path, plus
+//     the end-to-end quick-session wall-clock) — the perf trajectory
+//     wfbench -json captures into BENCH_PR4.json-style artifacts.
+func Searcherscale(scale Scale) (*Result, error) {
+	res := &Result{ID: "searcherscale", Title: "Incremental surrogates: decision cost vs observations"}
+	n := scale.SurrogateObs
+	if n <= 0 {
+		n = 256
+	}
+	const dim = 6
+
+	// --- GP add-cost curves: refit vs incremental on identical data. ---
+	runGP := func(refit bool) (perAdd []float64, total float64, err error) {
+		g := gp.New(0.5, 1, 1e-3)
+		g.SetForceRefit(refit)
+		r := rng.New(1)
+		probe := make([]float64, dim)
+		for d := range probe {
+			probe[d] = 0.5
+		}
+		perAdd = make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := make([]float64, dim)
+			for d := range x {
+				x[d] = r.Float64()
+			}
+			y := r.Float64()
+			start := time.Now()
+			g.Add(x, y)
+			// Predict forces the factor update — the add's real cost.
+			if _, _, err := g.Predict(probe); err != nil {
+				return nil, 0, err
+			}
+			d := time.Since(start).Seconds()
+			perAdd[i] = d
+			total += d
+		}
+		return perAdd, total, nil
+	}
+	refitCurve, refitTotal, err := runGP(true)
+	if err != nil {
+		return nil, err
+	}
+	incCurve, incTotal, err := runGP(false)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	res.Series = append(res.Series,
+		Series{Name: "gp-add-refit-s", X: xs, Y: refitCurve},
+		Series{Name: "gp-add-incremental-s", X: xs, Y: incCurve},
+	)
+	// Tail cost: mean over the last decile, where the asymptotics dominate.
+	tail := func(ys []float64) float64 {
+		k := len(ys) / 10
+		if k == 0 {
+			k = 1
+		}
+		return meanOf(ys[len(ys)-k:])
+	}
+	speedup := 0.0
+	if t := tail(incCurve); t > 0 {
+		speedup = tail(refitCurve) / t
+	}
+	res.Tables = append(res.Tables, Table{
+		Title:   fmt.Sprintf("Surrogate update cost over %d observations (dim %d)", n, dim),
+		Columns: []string{"surrogate", "session s", "tail µs/add", "tail speedup"},
+		Rows: [][]string{
+			{"full-refit", fmtF(refitTotal, 3), fmtF(tail(refitCurve)*1e6, 1), "1.00x"},
+			{"incremental", fmtF(incTotal, 3), fmtF(tail(incCurve)*1e6, 1), fmtF(speedup, 2) + "x"},
+		},
+	})
+
+	// --- Full Bayesian sessions: Fig 8 decision-cost accounting. ---
+	app := apps.Nginx()
+	runSession := func(refit bool) (*core.Report, float64, error) {
+		m := newLinuxRuntimeFavored(scale, 1)
+		s := search.NewBayesian(m.Space, true, 1)
+		s.SetSurrogateRefit(refit)
+		start := time.Now()
+		rep, err := session(m, app, &core.PerfMetric{App: app}, s,
+			core.Options{Iterations: scale.Iterations, Seed: 1})
+		return rep, time.Since(start).Seconds(), err
+	}
+	refitRep, refitWall, err := runSession(true)
+	if err != nil {
+		return nil, err
+	}
+	incRep, incWall, err := runSession(false)
+	if err != nil {
+		return nil, err
+	}
+	decisions := func(rep *core.Report) Series {
+		s := Series{X: make([]float64, len(rep.History)), Y: make([]float64, len(rep.History))}
+		for i, h := range rep.History {
+			s.X[i] = float64(i)
+			s.Y[i] = h.DecisionCost.Seconds()
+		}
+		return s
+	}
+	dRefit := decisions(refitRep)
+	dRefit.Name = "bayesian-decision-refit-s"
+	dInc := decisions(incRep)
+	dInc.Name = "bayesian-decision-incremental-s"
+	res.Series = append(res.Series, dRefit, dInc)
+	sessionRow := func(label string, rep *core.Report, wall float64) []string {
+		best := 0.0
+		if rep.Best != nil {
+			best = rep.Best.Metric
+		}
+		total := 0.0
+		for _, h := range rep.History {
+			total += h.DecisionCost.Seconds()
+		}
+		return []string{label, fmtF(total, 3), fmtF(wall, 2), fmtF(best, 0)}
+	}
+	res.Tables = append(res.Tables, Table{
+		Title:   fmt.Sprintf("Bayesian session (%d iterations, sequential)", scale.Iterations),
+		Columns: []string{"surrogate", "decision s", "host wall s", "best req/s"},
+		Rows: [][]string{
+			sessionRow("full-refit", refitRep, refitWall),
+			sessionRow("incremental", incRep, incWall),
+		},
+	})
+
+	// --- Hot-path snapshot: the machine-readable perf trajectory. ---
+	snapshot := Table{
+		Title:   "Hot-path snapshot",
+		Columns: []string{"path", "ns/op", "note"},
+	}
+	snapshot.Rows = append(snapshot.Rows,
+		[]string{"gp-add-incremental", fmtF(tail(incCurve)*1e9, 0), fmt.Sprintf("per add at n≈%d", n)},
+		[]string{"gp-add-refit", fmtF(tail(refitCurve)*1e9, 0), fmt.Sprintf("per add at n≈%d", n)},
+	)
+	// Native batch proposal on a warm surrogate: pool scoring + constant-
+	// liar fantasization for 8 slots.
+	{
+		m := newLinuxRuntimeFavored(scale, 1)
+		s := search.NewBayesian(m.Space, true, 2)
+		enc := configspace.NewEncoder(m.Space)
+		r := rng.New(2)
+		for i := 0; i < 96; i++ {
+			c := m.Space.Random(r)
+			s.Observe(search.Observation{Config: c, X: enc.Encode(c), Metric: r.Float64() * 100, Stage: "ok"})
+		}
+		const reps = 8
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			batch := s.ProposeBatch(8)
+			for _, c := range batch {
+				s.Observe(search.Observation{Config: c, X: enc.Encode(c), Metric: r.Float64() * 100, Stage: "ok"})
+			}
+		}
+		perOp := time.Since(start).Seconds() / reps
+		snapshot.Rows = append(snapshot.Rows,
+			[]string{"bayesian-propose-batch8", fmtF(perOp*1e9, 0), "8-slot batch + observes, 96-obs surrogate"})
+	}
+	// DeepTune observe: the incremental DTM retrain (already flat-cost).
+	{
+		m := newLinuxRuntimeFavored(scale, 1)
+		cfg := deeptune.DefaultConfig()
+		cfg.Seed = 3
+		s := search.NewDeepTune(m.Space, true, cfg)
+		enc := configspace.NewEncoder(m.Space)
+		r := rng.New(3)
+		for i := 0; i < 32; i++ {
+			c := m.Space.Random(r)
+			s.Observe(search.Observation{Config: c, X: enc.Encode(c), Metric: r.Float64() * 100, Stage: "ok"})
+		}
+		c := m.Space.Random(r)
+		start := time.Now()
+		s.Observe(search.Observation{Config: c, X: enc.Encode(c), Metric: 50, Stage: "ok"})
+		snapshot.Rows = append(snapshot.Rows,
+			[]string{"deeptune-observe", fmtF(time.Since(start).Seconds()*1e9, 0), "incremental DTM retrain, 32-obs history"})
+	}
+	snapshot.Rows = append(snapshot.Rows,
+		[]string{"bayesian-session-incremental", fmtF(incWall*1e9, 0), "end-to-end quick session host wall-clock"},
+		[]string{"bayesian-session-refit", fmtF(refitWall*1e9, 0), "end-to-end quick session host wall-clock"})
+	res.Tables = append(res.Tables, snapshot)
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("incremental Cholesky extension makes the surrogate add O(n²) instead of O(n³): tail per-add speedup %.1fx at %d observations", speedup, n),
+		"decision cost is host wall-clock (the Fig 8 'update time'); evaluation costs are virtual and unchanged",
+	)
+	return res, nil
+}

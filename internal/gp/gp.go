@@ -2,13 +2,32 @@
 // the Expected Improvement acquisition function — the Bayesian-optimization
 // baseline the paper compares DeepTune against (§2.3, §4.4).
 //
-// The implementation is deliberately the textbook one: the kernel matrix is
-// refit with an O(n³) Cholesky factorization every time a point is added,
-// and prediction is O(n) per candidate after an O(n²) solve. Those costs
-// are not an implementation accident — they are the scalability ceiling the
-// paper measures (Gaussian processes "typically have a computational
-// complexity of O(n³), and O(n²) for memory"), and the reason Bayesian
-// optimization is only competitive on small spaces like Unikraft's (Fig 9).
+// The asymptotics are the ones the paper models: Gaussian processes
+// "typically have a computational complexity of O(n³), and O(n²) for
+// memory", which is why Bayesian optimization is only competitive on small
+// spaces like Unikraft's (Fig 9). What this implementation avoids is being
+// gratuitously *worse* than that bound. The model is maintained
+// incrementally:
+//
+//   - Adding an observation extends the packed Cholesky factor in place
+//     (stats.TriFactor.Extend): one O(n²) forward solve instead of the
+//     O(n³) from-scratch refactorization a naive implementation pays per
+//     Add — which would make a T-observation session Θ(T⁴) instead of the
+//     Θ(T³) the paper's Fig 8 decision-cost accounting assumes.
+//   - Kernel rows are computed once per observation and cached, so the
+//     periodic full refactorization (every fullRefitEvery incremental
+//     extensions, for numerical hygiene) redoes only the O(n³) arithmetic,
+//     not the O(n²·d) kernel evaluations.
+//   - Predict and ExpectedImprovement reuse scratch buffers; the
+//     steady-state candidate-scoring path allocates nothing.
+//   - A copy-on-write "fantasy frame" (PushFantasy/PopFantasy) adds a
+//     speculative observation in O(n²) and removes it for free — the
+//     mechanism that makes constant-liar batch proposal affordable.
+//
+// Jitter policy: when a factorization (full or incremental) fails, a
+// diagonal jitter of 1e-6·σ_f² is added and retained for the rest of the
+// model's life, so the incremental factor and a from-scratch refit stay
+// numerically interchangeable after the rescue.
 package gp
 
 import (
@@ -17,6 +36,11 @@ import (
 
 	"wayfinder/internal/stats"
 )
+
+// fullRefitEvery bounds how many incremental extensions may stack before a
+// full refactorization re-anchors the factor (numerical hygiene: forward-
+// solve rounding accumulates linearly in the number of extensions).
+const fullRefitEvery = 64
 
 // GP is a Gaussian-process regressor over fixed-length feature vectors.
 type GP struct {
@@ -31,25 +55,66 @@ type GP struct {
 	ys    []float64
 	yMean float64
 
-	chol  *stats.Matrix // Cholesky factor of K + σ_n² I
-	alpha []float64     // (K+σ_n²I)⁻¹ (y − mean)
-	dirty bool
+	// kRows caches the raw kernel rows: kRows[i][j] = k(xᵢ, xⱼ) for j ≤ i,
+	// noise- and jitter-free so refactorizations can re-derive the
+	// effective diagonal under a changed jitter.
+	kRows [][]float64
+
+	chol   *stats.TriFactor // packed Cholesky factor of K + (σ_n²+jitter) I
+	alpha  []float64        // (K+σ_n²I)⁻¹ (y − mean)
+	fitted int              // observations the factor currently covers
+	// sinceRefit counts incremental extensions since the last full
+	// refactorization; at fullRefitEvery the next sync refactorizes.
+	sinceRefit int
+	// jitter is the persistent numerical-rescue diagonal (0 until a
+	// factorization fails, 1e-6·σ_f² afterwards).
+	jitter float64
+	// forceRefit disables the incremental path entirely — every sync is a
+	// from-scratch refactorization. The before/after baseline for the
+	// searcherscale experiment and the BenchmarkGPAddRefit benchmark.
+	forceRefit bool
+
+	// frames is the stack of active fantasized observations.
+	frames []fantasyFrame
+
+	// Reusable scratch (Predict/solve paths are allocation-free once the
+	// buffers have grown to the model size).
+	kStar, v, centered []float64
+}
+
+// fantasyFrame is the copy-on-write state one PushFantasy saves: the
+// pre-push alpha (the solve writes a fresh slice while frames are active,
+// so the saved one stays valid) and the pre-push target mean.
+type fantasyFrame struct {
+	alpha []float64
+	yMean float64
 }
 
 // New returns a GP with the given hyperparameters.
 func New(lengthScale, signalVar, noiseVar float64) *GP {
-	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar}
+	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar, chol: &stats.TriFactor{}}
 }
 
-// Len returns the number of observations.
+// SetForceRefit toggles full-refactorization mode: when on, every model
+// update rebuilds the factor from scratch — the Θ(T⁴)-per-session behavior
+// the incremental layer replaces, kept as the measurable baseline.
+func (g *GP) SetForceRefit(on bool) { g.forceRefit = on }
+
+// Len returns the number of observations (fantasized ones included while
+// their frames are active).
 func (g *GP) Len() int { return len(g.xs) }
 
-// Add appends an observation. The model is refit lazily on the next
-// prediction (a full O(n³) refactorization — see the package comment).
+// Fantasies returns the number of active fantasized observations.
+func (g *GP) Fantasies() int { return len(g.frames) }
+
+// Add appends an observation. The model is updated lazily on the next
+// prediction — an O(n²) incremental factor extension (see the package
+// comment). Any active fantasy frames are popped first: a real
+// observation invalidates speculation.
 func (g *GP) Add(x []float64, y float64) {
+	g.PopAllFantasies()
 	g.xs = append(g.xs, append([]float64(nil), x...))
 	g.ys = append(g.ys, y)
-	g.dirty = true
 }
 
 func (g *GP) kernel(a, b []float64) float64 {
@@ -57,88 +122,172 @@ func (g *GP) kernel(a, b []float64) float64 {
 	return g.SignalVar * math.Exp(-d2/(2*g.LengthScale*g.LengthScale))
 }
 
+// kernelRow returns (computing and caching on first use) the kernel row of
+// observation i against observations 0..i.
+func (g *GP) kernelRow(i int) []float64 {
+	for len(g.kRows) <= i {
+		n := len(g.kRows)
+		row := make([]float64, n+1)
+		for j := 0; j <= n; j++ {
+			row[j] = g.kernel(g.xs[n], g.xs[j])
+		}
+		g.kRows = append(g.kRows, row)
+	}
+	return g.kRows[i]
+}
+
 // ErrNoData is returned when predicting from an empty model.
 var ErrNoData = errors.New("gp: no observations")
 
-// fit factorizes the kernel matrix. Called automatically when dirty.
-func (g *GP) fit() error {
+// sync brings the factor and weights up to date with the observation list:
+// incremental extensions for the common one-observation delta, a full
+// refactorization when forced, overdue for hygiene, or rescued after a
+// failed extension.
+func (g *GP) sync() error {
 	n := len(g.xs)
 	if n == 0 {
 		return ErrNoData
 	}
-	g.yMean = stats.Mean(g.ys)
-	k := stats.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			v := g.kernel(g.xs[i], g.xs[j])
-			if i == j {
-				v += g.NoiseVar
-			}
-			k.Set(i, j, v)
-			k.Set(j, i, v)
-		}
+	if g.chol != nil && g.chol.Len() == n && g.fitted == n {
+		return nil
 	}
-	chol, err := stats.Cholesky(k)
+	if g.chol == nil {
+		g.chol = &stats.TriFactor{}
+	}
+	if g.forceRefit || g.chol.Len() != g.fitted || g.sinceRefit+(n-g.fitted) > fullRefitEvery {
+		return g.refit()
+	}
+	for g.fitted < n {
+		i := g.fitted
+		row := g.kernelRow(i)
+		if err := g.chol.Extend(row[:i], row[i]+g.NoiseVar+g.jitter); err != nil {
+			// Numerical rescue: refactorize from scratch (adding jitter if
+			// this model has not needed it before).
+			return g.refit()
+		}
+		g.fitted++
+		g.sinceRefit++
+	}
+	return g.refreshWeights()
+}
+
+// refit rebuilds the factor from the cached kernel rows — O(n³) arithmetic
+// but no kernel evaluations — escalating to the persistent jitter on the
+// first failure.
+func (g *GP) refit() error {
+	n := len(g.xs)
+	g.kernelRow(n - 1) // ensure rows 0..n-1 are cached
+	err := g.chol.FactorFromRows(g.kRows[:n], g.NoiseVar+g.jitter)
+	if err != nil && g.jitter == 0 {
+		g.jitter = 1e-6 * g.SignalVar
+		err = g.chol.FactorFromRows(g.kRows[:n], g.NoiseVar+g.jitter)
+	}
 	if err != nil {
-		// Numerical rescue: add jitter and retry once.
-		for i := 0; i < n; i++ {
-			k.Set(i, i, k.At(i, i)+1e-6*g.SignalVar)
-		}
-		chol, err = stats.Cholesky(k)
-		if err != nil {
-			return err
-		}
+		g.fitted = 0
+		return err
 	}
-	centered := make([]float64, n)
+	g.fitted, g.sinceRefit = n, 0
+	return g.refreshWeights()
+}
+
+// refreshWeights recomputes the target mean and alpha = (K+σ²I)⁻¹(y−mean)
+// from the current factor — two O(n²) triangular solves.
+func (g *GP) refreshWeights() error {
+	n := len(g.xs)
+	g.yMean = stats.Mean(g.ys)
+	g.centered = resize(g.centered, n)
 	for i, y := range g.ys {
-		centered[i] = y - g.yMean
+		g.centered[i] = y - g.yMean
 	}
-	g.chol = chol
-	g.alpha = stats.SolveCholesky(chol, centered)
-	g.dirty = false
+	// While fantasy frames are active the saved alphas must survive, so
+	// the solve writes a fresh slice; otherwise the buffer is reused.
+	if len(g.frames) > 0 || cap(g.alpha) < n {
+		g.alpha = make([]float64, n)
+	}
+	g.alpha = g.alpha[:n]
+	g.chol.Solve(g.centered, g.alpha)
 	return nil
 }
 
-// Predict returns the posterior mean and standard deviation at x.
+// resize returns buf with length n, reallocating only on growth.
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// PushFantasy appends a speculative observation — the constant-liar
+// mechanism batch proposal uses to make later slots condition on earlier
+// picks. The factor is extended in place in O(n²); popping restores the
+// exact pre-push state. A non-positive pivot is clamped rather than
+// rescued by refactorization (a rebuild would make the pop inexact), so
+// the push always succeeds once the model itself is syncable.
+func (g *GP) PushFantasy(x []float64, y float64) error {
+	if err := g.sync(); err != nil {
+		return err
+	}
+	i := len(g.xs)
+	g.xs = append(g.xs, append([]float64(nil), x...))
+	g.ys = append(g.ys, y)
+	row := g.kernelRow(i)
+	g.chol.ExtendClamped(row[:i], row[i]+g.NoiseVar+g.jitter, g.NoiseVar+1e-6*g.SignalVar)
+	g.fitted++
+	g.frames = append(g.frames, fantasyFrame{alpha: g.alpha, yMean: g.yMean})
+	return g.refreshWeights()
+}
+
+// PopFantasy removes the most recent fantasized observation in O(1): the
+// factor truncates (extensions never rewrite earlier rows) and the saved
+// weights are restored.
+func (g *GP) PopFantasy() {
+	if len(g.frames) == 0 {
+		return
+	}
+	f := g.frames[len(g.frames)-1]
+	g.frames = g.frames[:len(g.frames)-1]
+	n := len(g.xs) - 1
+	g.xs = g.xs[:n]
+	g.ys = g.ys[:n]
+	g.kRows = g.kRows[:n]
+	g.chol.Truncate(n)
+	g.fitted = n
+	g.alpha, g.yMean = f.alpha, f.yMean
+}
+
+// PopAllFantasies unwinds every active fantasy frame.
+func (g *GP) PopAllFantasies() {
+	for len(g.frames) > 0 {
+		g.PopFantasy()
+	}
+}
+
+// Predict returns the posterior mean and standard deviation at x. The
+// steady-state path (model already synced) performs no allocations.
 func (g *GP) Predict(x []float64) (mean, std float64, err error) {
-	if g.dirty || g.chol == nil {
-		if err := g.fit(); err != nil {
-			return 0, 0, err
-		}
+	if err := g.sync(); err != nil {
+		return 0, 0, err
 	}
 	n := len(g.xs)
-	kStar := make([]float64, n)
+	g.kStar = resize(g.kStar, n)
 	for i := range g.xs {
-		kStar[i] = g.kernel(x, g.xs[i])
+		g.kStar[i] = g.kernel(x, g.xs[i])
 	}
 	mean = g.yMean
-	for i := range kStar {
-		mean += kStar[i] * g.alpha[i]
+	for i, k := range g.kStar {
+		mean += k * g.alpha[i]
 	}
 	// Variance: k(x,x) − k*ᵀ (K+σ²I)⁻¹ k*, via v = L⁻¹ k*.
-	v := forwardSolve(g.chol, kStar)
+	g.v = resize(g.v, n)
+	g.chol.ForwardSolve(g.kStar, g.v)
 	variance := g.kernel(x, x)
-	for _, vi := range v {
+	for _, vi := range g.v {
 		variance -= vi * vi
 	}
 	if variance < 0 {
 		variance = 0
 	}
 	return mean, math.Sqrt(variance), nil
-}
-
-// forwardSolve solves L v = b for lower-triangular L.
-func forwardSolve(l *stats.Matrix, b []float64) []float64 {
-	n := l.Rows
-	v := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= l.At(i, k) * v[k]
-		}
-		v[i] = sum / l.At(i, i)
-	}
-	return v
 }
 
 // ExpectedImprovement returns EI(x) for maximization over the incumbent
@@ -169,10 +318,8 @@ func stdNormCDF(z float64) float64 {
 // LogMarginalLikelihood returns the log evidence of the fitted model, used
 // by tests and by hyperparameter selection.
 func (g *GP) LogMarginalLikelihood() (float64, error) {
-	if g.dirty || g.chol == nil {
-		if err := g.fit(); err != nil {
-			return 0, err
-		}
+	if err := g.sync(); err != nil {
+		return 0, err
 	}
 	n := len(g.xs)
 	ll := 0.0

@@ -24,9 +24,12 @@ type BatchSearcher interface {
 }
 
 // AsBatch adapts a Searcher to the batch protocol. Searchers that already
-// implement BatchSearcher are returned unchanged; everything else — the
-// single-proposal DeepTune, Random, Grid, Bayesian, and Unicorn strategies
-// — is wrapped in a pending-set adapter, so they keep working with the
+// implement BatchSearcher are returned unchanged — Grid walks its ladder
+// natively, Bayesian fills batches via constant-liar fantasized
+// observations on its incremental surrogate, and DeepTune ranks one
+// shared pool under a diversity penalty. Everything else — the
+// single-proposal Random, RandomMutate, and Unicorn strategies — is
+// wrapped in a pending-set adapter, so they keep working with the
 // parallel engine without modification.
 func AsBatch(s Searcher) BatchSearcher {
 	if b, ok := s.(BatchSearcher); ok {

@@ -306,10 +306,21 @@ func (s *Grid) DecisionCost() time.Duration {
 }
 
 // Bayesian is the Bayesian-optimization baseline: a Gaussian-process
-// surrogate refit on every observation, proposing the candidate with
-// maximum Expected Improvement over a random pool. Crashed configurations
-// are taught to the surrogate as worst-case outcomes (BO has no native
-// crash model — the deficiency §2.3 calls out).
+// surrogate updated on every observation (an O(n²) incremental Cholesky
+// extension — see package gp), proposing the candidate with maximum
+// Expected Improvement over a random pool. Crashed configurations are
+// taught to the surrogate as worst-case outcomes (BO has no native crash
+// model — the deficiency §2.3 calls out).
+//
+// Bayesian implements BatchSearcher natively: ProposeBatch scores one
+// shared candidate pool and fills later slots via constant-liar
+// fantasized observations (each pick is speculatively taught to the
+// surrogate at the incumbent best value, pushed in O(n²) and popped for
+// free), so within a round later slots condition on earlier picks instead
+// of proposing near-duplicates. The pending bookkeeping matches the
+// AsBatch adapter's policy, and ProposeBatch(1) on an empty pending set
+// reproduces Propose byte-for-byte — what keeps one-worker parallel
+// sessions identical to sequential ones.
 type Bayesian struct {
 	space    *configspace.Space
 	enc      *configspace.Encoder
@@ -323,6 +334,8 @@ type Bayesian struct {
 	worst     float64
 	haveWorst bool
 	cost      time.Duration
+	fitErrors int
+	pending   map[uint64]int
 }
 
 // NewBayesian returns a Bayesian-optimization searcher.
@@ -334,11 +347,22 @@ func NewBayesian(space *configspace.Space, maximize bool, seed uint64) *Bayesian
 		rng:      rng.New(seed),
 		maximize: maximize,
 		poolSize: 96,
+		pending:  map[uint64]int{},
 	}
 }
 
 // Name implements Searcher.
 func (s *Bayesian) Name() string { return "bayesian" }
+
+// SetSurrogateRefit forces the surrogate back to from-scratch O(n³)
+// refactorization on every observation — the pre-incremental baseline the
+// searcherscale experiment charts decision cost against.
+func (s *Bayesian) SetSurrogateRefit(on bool) { s.model.SetForceRefit(on) }
+
+// FitErrors returns how many surrogate fit failures proposals have
+// absorbed (each one falls back to the best candidate scored so far, or a
+// random draw when the failure hits before any candidate was scored).
+func (s *Bayesian) FitErrors() int { return s.fitErrors }
 
 // signed maps a metric into maximize direction.
 func (s *Bayesian) signed(y float64) float64 {
@@ -351,7 +375,16 @@ func (s *Bayesian) signed(y float64) float64 {
 // Propose implements Searcher.
 func (s *Bayesian) Propose() *configspace.Config {
 	start := time.Now()
-	defer func() { s.cost = time.Since(start) }()
+	defer func() { s.cost += time.Since(start) }()
+	return s.proposeOne()
+}
+
+// proposeOne draws and scores one candidate pool — the single-proposal
+// path Propose and the batch cold-start share. On an ExpectedImprovement
+// failure mid-pool it returns the best-scored candidate so far (not the
+// current random draw) and counts the fit error; with no candidate scored
+// yet the current draw is all there is.
+func (s *Bayesian) proposeOne() *configspace.Config {
 	if s.model.Len() < 3 {
 		return s.space.Random(s.rng)
 	}
@@ -360,6 +393,10 @@ func (s *Bayesian) Propose() *configspace.Config {
 		c := s.space.Random(s.rng)
 		ei, err := s.model.ExpectedImprovement(s.enc.Encode(c), s.best, 0.01)
 		if err != nil {
+			s.fitErrors++
+			if bestCand != nil {
+				return bestCand
+			}
 			return c
 		}
 		if ei > bestEI {
@@ -372,10 +409,120 @@ func (s *Bayesian) Propose() *configspace.Config {
 	return bestCand
 }
 
-// Observe implements Searcher.
+// ProposeBatch implements BatchSearcher natively. One shared pool of
+// poolSize random candidates is drawn and encoded once; each slot scores
+// the whole pool against the current surrogate — including the fantasized
+// observations pushed for earlier slots (constant liar: each pick is
+// speculatively taught at the incumbent best, so EI collapses around it
+// and the next slot is steered elsewhere) — and picks the best-EI
+// candidate not colliding with a pending proposal. All fantasy frames are
+// popped before returning: the surrogate the next Observe updates is
+// exactly the real-history one.
+func (s *Bayesian) ProposeBatch(n int) []*configspace.Config {
+	start := time.Now()
+	defer func() { s.cost += time.Since(start) }()
+	out := make([]*configspace.Config, 0, n)
+	if n == 1 {
+		// A singleton batch is the adapter's propose-once path verbatim —
+		// including the lazy pool draw, so even the fit-error early exit
+		// consumes the RNG identically and the ProposeBatch(1) ≡ Propose
+		// byte-equivalence holds on every code path.
+		c := s.proposeOne()
+		for attempt := 1; attempt < proposeAttempts && s.pending[c.Hash()] > 0; attempt++ {
+			c = s.proposeOne()
+		}
+		s.pending[c.Hash()]++
+		return append(out, c)
+	}
+	if s.model.Len() < 3 {
+		// Cold start: each slot is a random draw, deduplicated against the
+		// pending set for at most proposeAttempts tries — the adapter's
+		// policy around the single-proposal cold path exactly.
+		for len(out) < n {
+			c := s.space.Random(s.rng)
+			for attempt := 1; attempt < proposeAttempts && s.pending[c.Hash()] > 0; attempt++ {
+				c = s.space.Random(s.rng)
+			}
+			s.pending[c.Hash()]++
+			out = append(out, c)
+		}
+		return out
+	}
+	pool := make([]*configspace.Config, s.poolSize)
+	xs := make([][]float64, s.poolSize)
+	hashes := make([]uint64, s.poolSize)
+	for i := range pool {
+		pool[i] = s.space.Random(s.rng)
+		xs[i] = s.enc.Encode(pool[i])
+		hashes[i] = pool[i].Hash()
+	}
+	defer s.model.PopAllFantasies()
+	for slot := 0; slot < n; slot++ {
+		bestEI, bestIdx := -1.0, -1
+		for i := range pool {
+			if s.pending[hashes[i]] > 0 {
+				continue
+			}
+			ei, err := s.model.ExpectedImprovement(xs[i], s.best, 0.01)
+			if err != nil {
+				s.fitErrors++
+				if bestIdx < 0 {
+					bestIdx = i
+				}
+				break
+			}
+			if ei > bestEI {
+				bestEI, bestIdx = ei, i
+			}
+		}
+		var c *configspace.Config
+		var h uint64
+		if bestIdx >= 0 {
+			c, h = pool[bestIdx], hashes[bestIdx]
+			if slot < n-1 {
+				// Constant liar: fantasize the pick at the incumbent best
+				// (signed), so the next slot's EI avoids its neighborhood.
+				// A push failure just skips the fantasy — the slot still
+				// proposes, the pool is merely scored unconditioned.
+				if err := s.model.PushFantasy(xs[bestIdx], s.best); err != nil {
+					s.fitErrors++
+				}
+			}
+		} else {
+			// Every pool candidate is pending: fall back to fresh random
+			// draws with the bounded dedup the adapter applies.
+			c = s.space.Random(s.rng)
+			for attempt := 1; attempt < proposeAttempts && s.pending[c.Hash()] > 0; attempt++ {
+				c = s.space.Random(s.rng)
+			}
+			h = c.Hash()
+		}
+		s.pending[h]++
+		out = append(out, c)
+	}
+	return out
+}
+
+// Pending returns the number of proposed-but-unobserved batch proposals
+// (counting duplicates), mirroring the adapter's diagnostic.
+func (s *Bayesian) Pending() int {
+	total := 0
+	for _, c := range s.pending {
+		total += c
+	}
+	return total
+}
+
+// Observe implements Searcher, clearing the configuration from the
+// pending set before teaching it to the surrogate.
 func (s *Bayesian) Observe(o Observation) {
 	start := time.Now()
 	defer func() { s.cost += time.Since(start) }()
+	if o.Config != nil {
+		if h := o.Config.Hash(); s.pending[h] > 0 {
+			s.pending[h]--
+		}
+	}
 	if o.Crashed {
 		// Penalize with the worst observed value so far, in the signed
 		// (maximize) direction — so on minimize objectives, where every
@@ -398,11 +545,27 @@ func (s *Bayesian) Observe(o Observation) {
 	s.model.Add(o.X, y)
 }
 
-// DecisionCost implements Searcher.
-func (s *Bayesian) DecisionCost() time.Duration { return s.cost }
+// DecisionCost implements Searcher with batch semantics: the searcher
+// time consumed since the previous call, drained on read (Grid's
+// convention) — sequentially the engine reads once per iteration, so the
+// value is the iteration's Propose+Observe cost exactly as before; across
+// a batch the round's proposal cost lands on the round's first recorded
+// iteration, matching the adapter's attribution.
+func (s *Bayesian) DecisionCost() time.Duration {
+	c := s.cost
+	s.cost = 0
+	return c
+}
 
 // DeepTune adapts the deeptune.Selector to the Searcher interface,
 // carrying the full history the DTM retrains on.
+//
+// DeepTune implements BatchSearcher natively: ProposeBatch ranks one
+// shared candidate pool — one DTM forward pass per candidate, not per
+// slot — and fills later slots under a diversity penalty (each pick joins
+// the dissimilarity term's explored set), replacing the batchAdapter path
+// for parallel/async sessions. ProposeBatch(1) on an empty pending set
+// reproduces Propose byte-for-byte.
 type DeepTune struct {
 	sel *deeptune.Selector
 
@@ -410,11 +573,12 @@ type DeepTune struct {
 	ys      []float64
 	crashes []bool
 	cost    time.Duration
+	pending map[uint64]int
 }
 
 // NewDeepTune returns a DeepTune searcher.
 func NewDeepTune(space *configspace.Space, maximize bool, cfg deeptune.Config) *DeepTune {
-	return &DeepTune{sel: deeptune.NewSelector(space, maximize, cfg)}
+	return &DeepTune{sel: deeptune.NewSelector(space, maximize, cfg), pending: map[uint64]int{}}
 }
 
 // Name implements Searcher.
@@ -426,14 +590,45 @@ func (s *DeepTune) Selector() *deeptune.Selector { return s.sel }
 // Propose implements Searcher.
 func (s *DeepTune) Propose() *configspace.Config {
 	start := time.Now()
-	defer func() { s.cost = time.Since(start) }()
+	defer func() { s.cost += time.Since(start) }()
 	return s.sel.Propose()
 }
 
-// Observe implements Searcher.
+// ProposeBatch implements BatchSearcher natively (see the type comment),
+// skipping candidates that collide with a pending proposal on a
+// best-effort basis — the adapter's dedup policy.
+func (s *DeepTune) ProposeBatch(n int) []*configspace.Config {
+	start := time.Now()
+	defer func() { s.cost += time.Since(start) }()
+	out := s.sel.ProposeBatch(n, func(c *configspace.Config) bool {
+		return s.pending[c.Hash()] > 0
+	})
+	for _, c := range out {
+		s.pending[c.Hash()]++
+	}
+	return out
+}
+
+// Pending returns the number of proposed-but-unobserved batch proposals
+// (counting duplicates), mirroring the adapter's diagnostic.
+func (s *DeepTune) Pending() int {
+	total := 0
+	for _, c := range s.pending {
+		total += c
+	}
+	return total
+}
+
+// Observe implements Searcher, clearing the configuration from the
+// pending set before retraining the DTM.
 func (s *DeepTune) Observe(o Observation) {
 	start := time.Now()
 	defer func() { s.cost += time.Since(start) }()
+	if o.Config != nil {
+		if h := o.Config.Hash(); s.pending[h] > 0 {
+			s.pending[h]--
+		}
+	}
 	s.xs = append(s.xs, o.X)
 	s.ys = append(s.ys, o.Metric)
 	s.crashes = append(s.crashes, o.Crashed)
@@ -442,8 +637,14 @@ func (s *DeepTune) Observe(o Observation) {
 	_ = s.sel.Observe(o.Config, o.X, o.Metric, o.Crashed, s.xs, s.ys, s.crashes)
 }
 
-// DecisionCost implements Searcher.
-func (s *DeepTune) DecisionCost() time.Duration { return s.cost }
+// DecisionCost implements Searcher with batch semantics: the searcher
+// time consumed since the previous call, drained on read (Grid's
+// convention; see Bayesian.DecisionCost).
+func (s *DeepTune) DecisionCost() time.Duration {
+	c := s.cost
+	s.cost = 0
+	return c
+}
 
 // Unicorn adapts the causal-inference optimizer to the Searcher interface
 // (Fig 7's comparator). Every Observe refits the causal graph from

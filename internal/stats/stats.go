@@ -365,6 +365,156 @@ func SolveCholesky(l *Matrix, b []float64) []float64 {
 	return x
 }
 
+// TriFactor is a lower-triangular matrix in packed row-major storage: row
+// i holds exactly i+1 entries, so the whole factor lives in one
+// n(n+1)/2-length slice. The layout is what makes an *incremental*
+// Cholesky factorization cheap: appending row n+1 appends n+1 floats to
+// the backing array and touches nothing already written, so the factor of
+// a growing SPD matrix (a GP kernel matrix gaining one observation per
+// iteration) is extended in place with one O(n²) forward solve instead of
+// an O(n³) refactorization.
+type TriFactor struct {
+	n    int
+	data []float64
+}
+
+// Len returns the factor's current dimension.
+func (t *TriFactor) Len() int { return t.n }
+
+// At returns element (i, j) for j ≤ i.
+func (t *TriFactor) At(i, j int) float64 { return t.data[i*(i+1)/2+j] }
+
+// Truncate shrinks the factor back to its leading n×n block — an O(1)
+// reslice. Because appending rows never rewrites earlier ones, the
+// truncated factor is byte-identical to the factor before the extension:
+// push a fantasized observation with Extend, pop it with Truncate.
+func (t *TriFactor) Truncate(n int) {
+	if n < 0 || n >= t.n {
+		return
+	}
+	t.n = n
+	t.data = t.data[:n*(n+1)/2]
+}
+
+// Extend appends one row to the factor: given b = A[n][0..n-1] (the new
+// point's covariances against the existing points) and d = A[n][n] (its
+// variance), it solves L ℓ = b by forward substitution and sets the new
+// diagonal to √(d − ℓ·ℓ). The existing rows are untouched. When the
+// Schur complement d − ℓ·ℓ is not positive the factor is left unchanged
+// and ErrNotPositiveDefinite is returned — the caller's cue to fall back
+// to a full (jittered) refactorization.
+func (t *TriFactor) Extend(b []float64, d float64) error {
+	if _, err := t.extend(b, d, math.NaN()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ExtendClamped is Extend with a positive floor on the Schur complement:
+// instead of failing on a non-positive pivot it clamps it to floor, so
+// the extension always succeeds (at the price of a slightly inflated
+// variance for the new point). It reports whether clamping occurred.
+// Used for fantasized observations, which must never trigger a
+// refactorization — popping them relies on Truncate being exact.
+func (t *TriFactor) ExtendClamped(b []float64, d, floor float64) bool {
+	clamped, _ := t.extend(b, d, floor)
+	return clamped
+}
+
+func (t *TriFactor) extend(b []float64, d, floor float64) (bool, error) {
+	n := t.n
+	base := len(t.data)
+	t.data = append(t.data, make([]float64, n+1)...)
+	row := t.data[base : base+n+1]
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		ri := t.data[i*(i+1)/2:]
+		for k := 0; k < i; k++ {
+			sum -= ri[k] * row[k]
+		}
+		row[i] = sum / ri[i]
+	}
+	s := d
+	for k := 0; k < n; k++ {
+		s -= row[k] * row[k]
+	}
+	clamped := false
+	if !(s > 0) || math.IsNaN(s) {
+		if math.IsNaN(floor) {
+			t.data = t.data[:base]
+			return false, ErrNotPositiveDefinite
+		}
+		s, clamped = floor, true
+	} else if s < floor {
+		s, clamped = floor, true
+	}
+	row[n] = math.Sqrt(s)
+	t.n++
+	return clamped, nil
+}
+
+// FactorFromRows computes the full Cholesky factorization of the packed
+// SPD matrix given by rows (rows[i][j] = A[i][j] for j ≤ i) with diagAdd
+// added to every diagonal entry, reusing t's storage. On failure t is
+// emptied and ErrNotPositiveDefinite returned.
+func (t *TriFactor) FactorFromRows(rows [][]float64, diagAdd float64) error {
+	n := len(rows)
+	need := n * (n + 1) / 2
+	if cap(t.data) < need {
+		t.data = make([]float64, need)
+	}
+	t.data = t.data[:need]
+	t.n = n
+	for i := 0; i < n; i++ {
+		ri := t.data[i*(i+1)/2:]
+		for j := 0; j <= i; j++ {
+			sum := rows[i][j]
+			if i == j {
+				sum += diagAdd
+			}
+			rj := t.data[j*(j+1)/2:]
+			for k := 0; k < j; k++ {
+				sum -= ri[k] * rj[k]
+			}
+			if i == j {
+				if sum <= 0 {
+					t.n, t.data = 0, t.data[:0]
+					return ErrNotPositiveDefinite
+				}
+				ri[j] = math.Sqrt(sum)
+			} else {
+				ri[j] = sum / rj[j]
+			}
+		}
+	}
+	return nil
+}
+
+// ForwardSolve solves L v = b into dst (len ≥ t.Len()), allocation-free.
+func (t *TriFactor) ForwardSolve(b, dst []float64) {
+	for i := 0; i < t.n; i++ {
+		sum := b[i]
+		ri := t.data[i*(i+1)/2:]
+		for k := 0; k < i; k++ {
+			sum -= ri[k] * dst[k]
+		}
+		dst[i] = sum / ri[i]
+	}
+}
+
+// Solve solves (L Lᵀ) x = b into dst via forward then backward
+// substitution, allocation-free.
+func (t *TriFactor) Solve(b, dst []float64) {
+	t.ForwardSolve(b, dst)
+	for i := t.n - 1; i >= 0; i-- {
+		sum := dst[i]
+		for k := i + 1; k < t.n; k++ {
+			sum -= t.At(k, i) * dst[k]
+		}
+		dst[i] = sum / t.At(i, i)
+	}
+}
+
 // PearsonCorrelation returns the Pearson correlation coefficient between xs
 // and ys, or 0 when either side has zero variance.
 func PearsonCorrelation(xs, ys []float64) float64 {

@@ -363,3 +363,152 @@ func BenchmarkCholesky(b *testing.B) {
 		}
 	}
 }
+
+// randomSPDRows returns the packed lower triangle of a random symmetric
+// positive-definite matrix (Gram matrix plus a diagonal boost).
+func randomSPDRows(n int, r *rng.RNG) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, n)
+		for j := range vecs[i] {
+			vecs[i][j] = r.Normal(0, 1)
+		}
+	}
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = make([]float64, i+1)
+		for j := 0; j <= i; j++ {
+			rows[i][j] = Dot(vecs[i], vecs[j]) / float64(n)
+			if i == j {
+				rows[i][j] += 1
+			}
+		}
+	}
+	return rows
+}
+
+func TestTriFactorExtendMatchesFullFactorization(t *testing.T) {
+	// Growing the factor one row at a time must reproduce the from-scratch
+	// factorization of every leading block.
+	r := rng.New(11)
+	const n = 24
+	rows := randomSPDRows(n, r)
+	inc := &TriFactor{}
+	for k := 0; k < n; k++ {
+		if err := inc.Extend(rows[k][:k], rows[k][k]); err != nil {
+			t.Fatalf("extend to %d: %v", k+1, err)
+		}
+		full := &TriFactor{}
+		if err := full.FactorFromRows(rows[:k+1], 0); err != nil {
+			t.Fatalf("full factorization at %d: %v", k+1, err)
+		}
+		for i := 0; i <= k; i++ {
+			for j := 0; j <= i; j++ {
+				if d := math.Abs(inc.At(i, j) - full.At(i, j)); d > 1e-10 {
+					t.Fatalf("n=%d: L[%d][%d] incremental %v vs full %v", k+1, i, j, inc.At(i, j), full.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestTriFactorSolveMatchesSolveCholesky(t *testing.T) {
+	r := rng.New(12)
+	const n = 16
+	rows := randomSPDRows(n, r)
+	tf := &TriFactor{}
+	if err := tf.FactorFromRows(rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			a.Set(i, j, rows[i][j])
+			a.Set(j, i, rows[i][j])
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Normal(0, 1)
+	}
+	want := SolveCholesky(l, b)
+	got := make([]float64, n)
+	tf.Solve(b, got)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// ForwardSolve agrees with the matrix-based substitution too.
+	v := make([]float64, n)
+	tf.ForwardSolve(b, v)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * v[k]
+		}
+		if math.Abs(v[i]-sum/l.At(i, i)) > 1e-10 {
+			t.Fatalf("forward solve diverged at %d", i)
+		}
+	}
+}
+
+func TestTriFactorTruncateRestoresExactly(t *testing.T) {
+	// Extend never rewrites earlier rows, so Truncate must restore the
+	// pre-extension factor byte-for-byte — the fantasy-frame contract.
+	r := rng.New(13)
+	const n = 12
+	rows := randomSPDRows(n+3, r)
+	tf := &TriFactor{}
+	for k := 0; k < n; k++ {
+		if err := tf.Extend(rows[k][:k], rows[k][k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := append([]float64(nil), tf.data...)
+	for k := n; k < n+3; k++ {
+		if err := tf.Extend(rows[k][:k], rows[k][k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tf.Truncate(n)
+	if tf.Len() != n {
+		t.Fatalf("Len = %d after truncate, want %d", tf.Len(), n)
+	}
+	if len(tf.data) != len(before) {
+		t.Fatalf("data length %d, want %d", len(tf.data), len(before))
+	}
+	for i := range before {
+		if tf.data[i] != before[i] {
+			t.Fatalf("data[%d] = %v, want %v (truncate must be exact)", i, tf.data[i], before[i])
+		}
+	}
+}
+
+func TestTriFactorExtendRejectsNonPD(t *testing.T) {
+	tf := &TriFactor{}
+	if err := tf.Extend(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A second identical row makes the matrix singular: [[1,1],[1,1]].
+	if err := tf.Extend([]float64{1}, 1); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if tf.Len() != 1 {
+		t.Fatalf("failed extend mutated the factor: Len = %d", tf.Len())
+	}
+	// The clamped variant succeeds, reporting the clamp.
+	if !tf.ExtendClamped([]float64{1}, 1, 1e-6) {
+		t.Fatal("ExtendClamped should report clamping on a singular extension")
+	}
+	if tf.Len() != 2 {
+		t.Fatalf("Len = %d after clamped extend, want 2", tf.Len())
+	}
+	if got, want := tf.At(1, 1), math.Sqrt(1e-6); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("clamped pivot = %v, want %v", got, want)
+	}
+}
