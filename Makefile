@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench bench-cache bench-search ci
+.PHONY: all build test race fmt vet bench bench-cache bench-search smoke ci
 
 all: build
 
@@ -49,4 +49,13 @@ bench-cache:
 bench-search:
 	$(GO) test -race -bench='GPAdd|BayesianProposeBatch|DeepTuneObserve' -benchtime=1x -run='^$$' .
 
-ci: fmt vet build race bench bench-cache bench-search
+# smoke builds and runs the end-to-end example programs with a small
+# budget: quickstart exercises the blocking Session lifecycle, streaming
+# exercises the v2 lifecycle end to end (event stream, mid-session
+# cancellation, snapshot, byte-identical resume) and fails non-zero if the
+# resumed session diverges from the uninterrupted reference.
+smoke:
+	$(GO) run ./examples/quickstart -l 24
+	$(GO) run ./examples/streaming -l 32
+
+ci: fmt vet build race bench bench-cache bench-search smoke

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"wayfinder/internal/core"
 	"wayfinder/internal/experiments"
 )
 
@@ -61,6 +62,17 @@ func main() {
 	}
 	if *obs > 0 {
 		scale.SurrogateObs = *obs
+	}
+	// The centralized option validation the library and wfctl share:
+	// override combinations the experiments would otherwise clamp or
+	// misrun (-hosts beyond -workers, negative counts) die here.
+	probe := core.Options{Iterations: 1, Workers: scale.Workers, Hosts: scale.Hosts}
+	if scale.Straggler > 1 && scale.Workers > 1 {
+		probe.WorkerSpeedFactors = core.StragglerFleet(scale.Workers, scale.Straggler)
+	}
+	if err := probe.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	ids := []string{*exp}

@@ -13,14 +13,23 @@
 //	wfctl start -s random -workers 8 -no-cache job.yaml
 //	wfctl start -s bayesian -gp-refit job.yaml
 //	wfctl start -s random -json job.yaml
+//	wfctl start -s random -progress job.yaml    # live one-line status
+//	wfctl start -s random -timeout 30s job.yaml # wall-clock bound, partial report
 //
 // The target OS named in the job file selects the simulated model
 // ("linux", "unikraft", "linux-riscv"); the app field selects the
 // workload; metric selects performance/memory/score.
+//
+// start drives the Session API: the session streams typed events (which
+// -progress renders live) and honors context cancellation (which -timeout
+// wires to a real-time deadline — the session's partial report is printed
+// when it fires).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -95,11 +104,13 @@ func cmdStart(args []string) {
 	noCache := fs.Bool("no-cache", false, "disable the shared content-addressed artifact store (per-worker image reuse only)")
 	gpRefit := fs.Bool("gp-refit", false, "force the bayesian surrogate back to full O(n³) refits per observation (the pre-incremental baseline, for decision-cost comparisons)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	progress := fs.Bool("progress", false, "render a live one-line status from the session event stream")
+	timeout := fs.Duration("timeout", 0, "real-time limit for the session; when it fires the partial report is printed")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
-	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *noCache, *gpRefit, *strategy)
+	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *gpRefit, *strategy)
 	job := loadJob(fs.Arg(0))
 
 	// Select the OS model. Jobs with their own parameter list search that
@@ -183,10 +194,12 @@ func cmdStart(args []string) {
 		TimeBudgetSec: job.TimeBudgetSec,
 		Seed:          *seed,
 		Workers:       *workers,
-		Async:         *async,
-		Staleness:     *staleness,
 		Hosts:         *hosts,
 		DisableCache:  *noCache,
+	}
+	if *async {
+		opts.Async = true
+		opts.Staleness = *staleness
 	}
 	if *workers <= 1 && (*async || *straggler > 1) {
 		fmt.Fprintln(os.Stderr, "wfctl: -async/-staleness/-straggler need -workers > 1; running sequentially")
@@ -200,10 +213,36 @@ func cmdStart(args []string) {
 	if opts.Iterations == 0 && opts.TimeBudgetSec == 0 {
 		opts.Iterations = 100
 	}
+	// The centralized option validation every entry point shares; flag
+	// combinations that escaped the flag-level checks (hosts > workers,
+	// hosts with -no-cache, ...) die here with the same message a library
+	// caller gets.
+	if err := opts.Validate(); err != nil {
+		fatal(err)
+	}
 	var clock vm.Clock
 	eng := core.NewEngine(model, app, metric, s, &clock, *seed)
-	report, err := eng.Run(opts)
+	session, err := eng.NewSession(opts)
 	if err != nil {
+		fatal(err)
+	}
+	if *progress {
+		session.AddObserver(renderProgress)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	report, err := session.Run(ctx)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // terminate the live status line
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "wfctl: -timeout %s elapsed after %d observations; reporting the partial session\n",
+			*timeout, len(report.History))
+	} else if err != nil {
 		fatal(err)
 	}
 	if *asJSON {
@@ -243,13 +282,14 @@ func cmdStart(args []string) {
 	}
 }
 
-// validateStartFlags rejects flag combinations that would otherwise run a
-// silently-misconfigured session: a staleness bound without the async
-// scheduler it belongs to, a negative explicit bound (unbounded asynchrony
-// is -async with the flag omitted), host counts outside [1, workers], a
-// multi-host topology with the store it partitions disabled, and a
-// surrogate-refit override on a strategy with no GP surrogate.
-func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, noCache, gpRefit bool, strategy string) {
+// validateStartFlags rejects the flag combinations only the flag layer can
+// see: whether -staleness was explicitly passed, which strategy -gp-refit
+// rides on, and explicit non-positive -workers/-hosts (the library treats
+// zero as "default", so only the CLI can tell `-workers 0` from the flag
+// being omitted). Everything else expressible over core.Options —
+// hosts > workers, staleness vs async, -no-cache vs -hosts — is validated
+// centrally by Options.Validate, shared with wfbench and library callers.
+func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, gpRefit bool, strategy string) {
 	stalenessSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "staleness" {
@@ -271,12 +311,26 @@ func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, ho
 	if hosts < 1 {
 		fatal(fmt.Errorf("-hosts must be ≥ 1 (got %d)", hosts))
 	}
-	if hosts > workers {
-		fatal(fmt.Errorf("-hosts %d exceeds -workers %d: a host without workers contributes nothing", hosts, workers))
+}
+
+// renderProgress renders the live one-line session status from the typed
+// event stream: observation position, incumbent best, utilization, and
+// cache effectiveness, updated in place on stderr.
+func renderProgress(ev core.Event) {
+	p, ok := ev.(core.Progress)
+	if !ok {
+		return
 	}
-	if noCache && hosts > 1 {
-		fatal(fmt.Errorf("-hosts only shapes artifact-cache locality, which -no-cache disables; drop one of the two"))
+	total := "?"
+	if p.Iterations > 0 {
+		total = fmt.Sprintf("%d", p.Iterations)
 	}
+	best := "best -"
+	if p.Best != nil {
+		best = fmt.Sprintf("best %.2f", p.Best.Metric)
+	}
+	fmt.Fprintf(os.Stderr, "\r\033[Kiter %d/%s  %s  crashes %d  util %.0f%%  cache %d hits / %d builds saved",
+		p.Observed, total, best, p.Crashes, 100*p.Utilization, p.CacheHits, p.BuildsSaved)
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,12 +27,17 @@ func main() {
 	cfg.PoolMutateK = 30
 	searcher := wayfinder.NewDeepTuneSearcher(model.Space, false, cfg)
 
-	report, err := wayfinder.SpecializeMetric(model, app, wayfinder.MemoryMetric{}, searcher,
-		wayfinder.SessionOptions{
-			TimeBudgetSec: 2 * 3600, // two virtual hours
-			Seed:          5,
-			WarmStart:     true, // measure the default footprint first
-		})
+	session, err := wayfinder.New(model, app,
+		wayfinder.WithMetric(wayfinder.MemoryMetric{}),
+		wayfinder.WithSearcher(searcher),
+		wayfinder.WithBudget(0, 2*3600), // two virtual hours
+		wayfinder.WithSeed(5),
+		wayfinder.WithWarmStart(), // measure the default footprint first
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,9 +34,15 @@ func main() {
 			cfg.Seed = 1
 			s = wayfinder.NewDeepTuneSearcher(model.Space, app.Maximize, cfg)
 		}
-		report, err := wayfinder.Specialize(model, app, s, wayfinder.SessionOptions{
-			Iterations: iterations, Seed: 1,
-		})
+		session, err := wayfinder.New(model, app,
+			wayfinder.WithSearcher(s),
+			wayfinder.WithBudget(iterations, 0),
+			wayfinder.WithSeed(1),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := session.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,6 +15,8 @@ import (
 )
 
 func main() {
+	iterations := flag.Int("l", 120, "iteration budget (CI smoke runs pass a small one)")
+	flag.Parse()
 	// The simulated Linux kernel: ~300 runtime sysctls, boot parameters,
 	// and compile-time options, with a hidden performance/crash model.
 	model := wayfinder.NewLinuxModel()
@@ -24,10 +28,15 @@ func main() {
 
 	searcher := wayfinder.NewDeepTuneSearcher(model.Space, app.Maximize,
 		wayfinder.DefaultDeepTuneConfig())
-	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{
-		Iterations: 120,
-		Seed:       3,
-	})
+	session, err := wayfinder.New(model, app,
+		wayfinder.WithSearcher(searcher),
+		wayfinder.WithBudget(*iterations, 0),
+		wayfinder.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,8 +26,15 @@ func main() {
 	cfg := wayfinder.DefaultDeepTuneConfig()
 	cfg.Seed = 11
 	source := wayfinder.NewDeepTuneSearcher(pretrainModel.Space, redis.Maximize, cfg)
-	if _, err := wayfinder.Specialize(pretrainModel, redis, source,
-		wayfinder.SessionOptions{Iterations: iterations, Seed: 11}); err != nil {
+	pretrain, err := wayfinder.New(pretrainModel, redis,
+		wayfinder.WithSearcher(source),
+		wayfinder.WithBudget(iterations, 0),
+		wayfinder.WithSeed(11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pretrain.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	snapshot, err := source.Selector().Model().Snapshot(map[string]string{"app": "redis"})
@@ -47,8 +55,15 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		report, err := wayfinder.Specialize(model, nginx, s,
-			wayfinder.SessionOptions{Iterations: iterations, Seed: 12})
+		session, err := wayfinder.New(model, nginx,
+			wayfinder.WithSearcher(s),
+			wayfinder.WithBudget(iterations, 0),
+			wayfinder.WithSeed(12),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := session.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

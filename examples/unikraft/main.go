@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,9 +38,15 @@ func main() {
 			cfg.Seed = 2
 			s = wayfinder.NewDeepTuneSearcher(model.Space, true, cfg)
 		}
-		report, err := wayfinder.Specialize(model, app, s, wayfinder.SessionOptions{
-			TimeBudgetSec: budget, Seed: 2,
-		})
+		session, err := wayfinder.New(model, app,
+			wayfinder.WithSearcher(s),
+			wayfinder.WithBudget(0, budget),
+			wayfinder.WithSeed(2),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := session.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -141,6 +141,48 @@ func (p *partition) touch(key uint64) (Artifact, bool) {
 	return el.Value.(Artifact), true
 }
 
+// State is a serializable image of a store: per-partition artifact lists
+// in LRU order (most recent first) plus the counters. It is the unit of
+// session checkpointing — a restored store resumes with identical lookup,
+// recency, and eviction behavior.
+type State struct {
+	// Partitions lists each host's artifacts front-to-back (most recently
+	// used first).
+	Partitions [][]Artifact `json:"partitions"`
+	// Capacity is the per-host capacity bound the store ran with.
+	Capacity int `json:"capacity"`
+	// Stats are the monotone counters at checkpoint time.
+	Stats Stats `json:"stats"`
+}
+
+// Snapshot captures the store's full state.
+func (s *Store) Snapshot() *State {
+	st := &State{Partitions: make([][]Artifact, len(s.parts)), Capacity: s.cap, Stats: s.stats}
+	for h := range s.parts {
+		arts := make([]Artifact, 0, s.parts[h].order.Len())
+		for el := s.parts[h].order.Front(); el != nil; el = el.Next() {
+			arts = append(arts, el.Value.(Artifact))
+		}
+		st.Partitions[h] = arts
+	}
+	return st
+}
+
+// Restore rebuilds a store from a snapshot, reproducing partition
+// contents, LRU order, and counters exactly.
+func Restore(st *State) *Store {
+	s := NewStore(len(st.Partitions), st.Capacity)
+	for h, arts := range st.Partitions {
+		p := s.part(h)
+		// PushBack in front-to-back order reproduces the recency list.
+		for _, a := range arts {
+			p.byKey[a.Key] = p.order.PushBack(a)
+		}
+	}
+	s.stats = st.Stats
+	return s
+}
+
 // Put inserts the artifact into its host's partition (or refreshes the
 // existing entry's metadata and recency), evicting the partition's
 // least-recently-used artifact when the capacity bound is exceeded.

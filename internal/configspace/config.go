@@ -216,6 +216,43 @@ func (c *Config) String() string {
 	return strings.Join(parts, " ")
 }
 
+// KV returns the canonical non-default assignment as a name → formatted
+// value map — the round-trippable form of String(). The map is empty for
+// the all-default configuration. Space.FromKV inverts it.
+func (c *Config) KV() map[string]string {
+	out := map[string]string{}
+	for i, p := range c.space.Params() {
+		if c.values[i] == p.Default {
+			continue
+		}
+		out[p.Name] = p.FormatValue(c.values[i])
+	}
+	return out
+}
+
+// FromKV reconstructs a configuration from a KV assignment over this
+// space: the space defaults overlaid with each named value, parsed and
+// domain-checked. Unknown names and out-of-domain values are errors, so a
+// snapshot taken against a different space version fails loudly instead of
+// silently searching the wrong point.
+func (s *Space) FromKV(kv map[string]string) (*Config, error) {
+	c := s.Default()
+	for name, raw := range kv {
+		p, _ := s.Lookup(name)
+		if p == nil {
+			return nil, fmt.Errorf("configspace: assignment for unknown parameter %q", name)
+		}
+		v, err := p.ParseValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("configspace: %s: %w", name, err)
+		}
+		if err := c.Set(name, v); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
 // Encoder maps configurations to fixed-length feature vectors for the
 // learning algorithms: booleans to {0,1}, tristates to {0,½,1}, integers to
 // a log-scaled position within their range, and enums to one-hot blocks.

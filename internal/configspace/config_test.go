@@ -247,3 +247,45 @@ func TestParamOfFeature(t *testing.T) {
 		t.Fatal("enum tail feature maps to wrong parameter")
 	}
 }
+
+// TestKVRoundTrip: KV/FromKV invert each other for every random
+// configuration — the property report serialization and session snapshots
+// depend on.
+func TestKVRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	r := rng.New(11)
+	check := func(c *Config) {
+		kv := c.KV()
+		back, err := s.FromKV(kv)
+		if err != nil {
+			t.Fatalf("FromKV(%v): %v", kv, err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("round trip lost values:\n got %s\nwant %s", back, c)
+		}
+		if back.Hash() != c.Hash() || back.CompileKey() != c.CompileKey() || back.BootKey() != c.BootKey() {
+			t.Fatal("round trip changed digests")
+		}
+	}
+	check(s.Default()) // empty map
+	if len(s.Default().KV()) != 0 {
+		t.Fatal("default config should serialize to an empty KV map")
+	}
+	for i := 0; i < 200; i++ {
+		check(s.Random(r))
+	}
+}
+
+// TestFromKVErrors: unknown names and bad values fail loudly.
+func TestFromKVErrors(t *testing.T) {
+	s := testSpace(t)
+	if _, err := s.FromKV(map[string]string{"nope": "1"}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if _, err := s.FromKV(map[string]string{"vm.swappiness": "banana"}); err == nil {
+		t.Fatal("unparseable value accepted")
+	}
+	if _, err := s.FromKV(map[string]string{"vm.swappiness": "9999"}); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+}

@@ -18,7 +18,7 @@
 //     goes to whichever worker frees first in *virtual* time), but the
 //     completion order is a pure function of virtual finish times with
 //     worker index as the tie-break, never of goroutine scheduling. The
-//     coordinator pops exactly one completion event at a time, measures
+//     coordinator pops exactly one completion event per step, measures
 //     and Observes it, and refills workers through the same
 //     search.BatchSearcher pending-set protocol the round scheduler uses
 //     (natively for Grid/Bayesian/DeepTune, via the AsBatch adapter
@@ -26,13 +26,20 @@
 //  3. Bounded staleness — Options.Staleness caps how many unobserved
 //     in-flight evaluations may exist when a proposal batch is drawn, so
 //     no proposal conditions on a history more than S evaluations behind
-//     the frontier. S=0 is the full barrier (handled by runParallel);
-//     S ≥ W-1 (or negative) is full asynchrony, since one evaluation per
-//     worker bounds in-flight work at W anyway.
+//     the frontier. S=0 is the full barrier (handled by the round
+//     scheduler); S ≥ W-1 (or negative) is full asynchrony, since one
+//     evaluation per worker bounds in-flight work at W anyway.
 //
 // A session is therefore byte-reproducible for a fixed (Seed, Workers,
 // Staleness) triple, and the report's history is ordered by virtual
 // completion time — the order the searcher actually observed.
+//
+// The stepwise restructuring maps one-to-one onto the old loop body:
+// dispatch-refill, pop the earliest completion event, record. The loop's
+// locals (in-flight table, busy count, frontier, exhaustion) are now
+// Session fields, which is what makes an async session interruptible and
+// serializable between observations — in-flight evaluations are finished
+// virtual work awaiting observation, and snapshot as such.
 //
 // Host-side concurrency note: evaluations within one dispatch batch run
 // on goroutines, but in the unbounded steady state a batch refills a
@@ -46,154 +53,110 @@ package core
 
 import (
 	"wayfinder/internal/configspace"
-	"wayfinder/internal/rng"
-	"wayfinder/internal/search"
-	"wayfinder/internal/vm"
 )
 
-// runAsync executes the session on opts.Workers concurrent evaluators
-// without a round barrier.
-func (e *Engine) runAsync(opts Options) (*Report, error) {
-	e.cache = newSessionCache(opts)
-	w := opts.Workers
-	bound := opts.Staleness
-	if bound < 0 || bound > w-1 {
-		bound = w - 1
+// stepAsync refills idle workers (staleness bound permitting), pops the
+// earliest completion event, and records it.
+func (s *Session) stepAsync() bool {
+	s.dispatchAsync()
+	if s.busy == 0 {
+		return false
 	}
-	report := e.newReport(opts, w)
-	report.Async = true
-	report.Staleness = bound
-	base := e.Clock.Now()
-	wall := vm.NewWallClock(w, base)
-	workers := make([]*evalState, w)
-	for i := range workers {
-		workers[i] = &evalState{
-			worker: i,
-			host:   opts.HostOf(i),
-			clock:  wall.Worker(i),
-			wall:   wall,
-			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
-			speed:  opts.workerSpeed(i),
+	// Pop the earliest completion event: minimum virtual finish time,
+	// lowest worker index on ties. Strict < keeps the first (lowest index)
+	// candidate on equal finish times.
+	sel := -1
+	for i, ev := range s.inflight {
+		if ev == nil {
+			continue
+		}
+		if sel < 0 || ev.res.EndSec < s.inflight[sel].res.EndSec {
+			sel = i
 		}
 	}
-	batcher := search.AsBatch(e.Searcher)
+	ev := s.inflight[sel]
+	s.inflight[sel] = nil
+	s.busy--
+	res := ev.res
+	if res.EndSec > s.frontier {
+		s.frontier = res.EndSec
+	}
+	if !res.Crashed {
+		// The worker is quiescent between completion and observation, so
+		// its noise stream sits exactly past this evaluation's stage
+		// jitters — the same position the round scheduler measures from.
+		res.Metric = s.eng.Metric.Measure(s.eng.Model, s.eng.App, ev.cfg, s.workers[sel].noise)
+	}
+	s.record(res)
+	return true
+}
 
-	inflight := make([]*batchEval, w) // per worker; nil = idle
-	busy := 0                         // dispatched-but-unobserved evaluations
-	next := 0                         // next iteration index to dispatch
-	exhausted := false                // the strategy stopped producing
-	// frontier is the virtual time of the latest observation — the moment
-	// the current dispatch decision became possible. A refilled worker
-	// whose clock lags it (it sat out waiting for the staleness bound)
-	// stalls forward to the frontier, so no evaluation starts before the
-	// observation that admitted it and the wait is charged as idle time.
-	frontier := base
-
-	// dispatch refills every idle worker that still has budget, provided
-	// the staleness bound admits a new proposal batch: drawing now means
-	// each proposal lags exactly `busy` unobserved evaluations. Workers
-	// evaluate concurrently (their state is private), and the coordinator
-	// joins them before touching any clock or result.
-	dispatch := func() {
-		if exhausted || busy > bound {
-			return
-		}
-		idle := make([]int, 0, w)
-		for i, ev := range inflight {
-			if ev != nil {
-				continue
-			}
-			// A refilled worker starts no earlier than max(own clock,
-			// frontier) — the budget check uses that effective start.
-			start := workers[i].clock.Now()
-			if start < frontier {
-				start = frontier
-			}
-			if opts.TimeBudgetSec > 0 && start >= opts.TimeBudgetSec {
-				continue
-			}
-			idle = append(idle, i)
-		}
-		n := len(idle)
-		if opts.Iterations > 0 && opts.Iterations-next < n {
-			n = opts.Iterations - next
-		}
-		if n <= 0 {
-			return
-		}
-		cfgs := make([]*configspace.Config, 0, n)
-		if opts.WarmStart && next == 0 {
-			cfgs = append(cfgs, e.Model.Space.Default())
-		}
-		if want := n - len(cfgs); want > 0 {
-			cfgs = append(cfgs, batcher.ProposeBatch(want)...)
-		}
-		if len(cfgs) == 0 {
-			exhausted = true
-			return
-		}
-		// Plan builds in dispatch order (coordinator-only store access,
-		// pipeline.go), then execute the batch. An in-flight build from an
-		// earlier dispatch is already resolved — its goroutines joined
-		// before this dispatch — so an awaiter planned here reads a settled
-		// ticket; same-batch duplicates run in runBatch's second wave.
-		batch := make([]*batchEval, 0, len(cfgs))
-		for k, cfg := range cfgs {
-			worker := idle[k]
-			wall.Stall(worker, frontier)
-			st := workers[worker]
-			ev := &batchEval{iter: next, cfg: cfg, st: st, plan: e.planBuild(cfg, st)}
-			inflight[worker] = ev
-			busy++
-			next++
-			batch = append(batch, ev)
-		}
-		e.runBatch(batch)
+// dispatchAsync refills every idle worker that still has budget, provided
+// the staleness bound admits a new proposal batch: drawing now means each
+// proposal lags exactly `busy` unobserved evaluations. Workers evaluate
+// concurrently (their state is private), and the coordinator joins them
+// before touching any clock or result.
+//
+// frontier is the virtual time of the latest observation — the moment the
+// current dispatch decision became possible. A refilled worker whose
+// clock lags it (it sat out waiting for the staleness bound) stalls
+// forward to the frontier, so no evaluation starts before the observation
+// that admitted it and the wait is charged as idle time.
+func (s *Session) dispatchAsync() {
+	e, o := s.eng, &s.opts
+	if s.exhausted || s.busy > s.staleBound {
+		return
 	}
-
-	for {
-		dispatch()
-		if busy == 0 {
-			break
+	w := len(s.workers)
+	idle := make([]int, 0, w)
+	for i, ev := range s.inflight {
+		if ev != nil {
+			continue
 		}
-		// Pop the earliest completion event: minimum virtual finish time,
-		// lowest worker index on ties. Strict < keeps the first (lowest
-		// index) candidate on equal finish times.
-		sel := -1
-		for i, ev := range inflight {
-			if ev == nil {
-				continue
-			}
-			if sel < 0 || ev.res.EndSec < inflight[sel].res.EndSec {
-				sel = i
-			}
+		// A refilled worker starts no earlier than max(own clock,
+		// frontier) — the budget check uses that effective start.
+		start := s.workers[i].clock.Now()
+		if start < s.frontier {
+			start = s.frontier
 		}
-		ev := inflight[sel]
-		inflight[sel] = nil
-		busy--
-		res := ev.res
-		if res.EndSec > frontier {
-			frontier = res.EndSec
+		if o.TimeBudgetSec > 0 && start >= o.TimeBudgetSec {
+			continue
 		}
-		if !res.Crashed {
-			// The worker is quiescent between completion and observation,
-			// so its noise stream sits exactly past this evaluation's
-			// stage jitters — the same position the round scheduler
-			// measures from.
-			res.Metric = e.Metric.Measure(e.Model, e.App, ev.cfg, workers[sel].noise)
-		}
-		e.record(report, res, batcher)
+		idle = append(idle, i)
 	}
-
-	report.ElapsedSec = wall.Now()
-	report.ComputeSec = wall.ComputeSec()
-	report.IdleSec = wall.IdleSec()
-	report.Utilization = utilization(report.ComputeSec, report.IdleSec)
-	for _, st := range workers {
-		report.Builds += st.builds
+	n := len(idle)
+	if o.Iterations > 0 && o.Iterations-s.next < n {
+		n = o.Iterations - s.next
 	}
-	// Fold the session back onto the engine clock so engines sharing a
-	// clock (sequential experiment chains) stay consistent.
-	e.Clock.Advance(wall.Now() - base)
-	return report, nil
+	if n <= 0 {
+		return
+	}
+	cfgs := make([]*configspace.Config, 0, n)
+	if o.WarmStart && s.next == 0 {
+		cfgs = append(cfgs, e.Model.Space.Default())
+	}
+	if want := n - len(cfgs); want > 0 {
+		cfgs = append(cfgs, s.batcher.ProposeBatch(want)...)
+	}
+	if len(cfgs) == 0 {
+		s.exhausted = true
+		return
+	}
+	// Plan builds in dispatch order (coordinator-only store access,
+	// pipeline.go), then execute the batch. An in-flight build from an
+	// earlier dispatch is already resolved — its goroutines joined before
+	// this dispatch — so an awaiter planned here reads a settled ticket;
+	// same-batch duplicates run in runBatch's second wave.
+	batch := make([]*batchEval, 0, len(cfgs))
+	for k, cfg := range cfgs {
+		worker := idle[k]
+		s.wall.Stall(worker, s.frontier)
+		st := s.workers[worker]
+		ev := &batchEval{iter: s.next, cfg: cfg, st: st, plan: s.planBuild(cfg, st)}
+		s.inflight[worker] = ev
+		s.busy++
+		s.next++
+		batch = append(batch, ev)
+	}
+	e.runBatch(batch)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -76,6 +77,45 @@ type Options struct {
 	CacheCapacity int
 }
 
+// Validate rejects option combinations that would otherwise run a
+// silently-misconfigured session. It is the single validation authority:
+// Session construction (and therefore Engine.Run), wfctl, and wfbench all
+// call it, so a library caller gets the same errors the CLI surfaces
+// instead of a quietly clamped or reinterpreted session.
+func (o *Options) Validate() error {
+	if o.Iterations <= 0 && o.TimeBudgetSec <= 0 {
+		return fmt.Errorf("core: no budget given (iterations or virtual time)")
+	}
+	if o.Iterations < 0 {
+		return fmt.Errorf("core: negative iteration budget %d", o.Iterations)
+	}
+	if o.TimeBudgetSec < 0 {
+		return fmt.Errorf("core: negative time budget %g", o.TimeBudgetSec)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", o.Workers)
+	}
+	if o.Staleness != 0 && !o.Async {
+		return fmt.Errorf("core: Staleness only applies to the async scheduler; set Async")
+	}
+	if o.Hosts < 0 {
+		return fmt.Errorf("core: negative host count %d", o.Hosts)
+	}
+	if o.Hosts > o.effWorkers() {
+		return fmt.Errorf("core: %d hosts exceed %d workers: a host without workers contributes nothing",
+			o.Hosts, o.effWorkers())
+	}
+	if o.DisableCache && o.Hosts > 1 {
+		return fmt.Errorf("core: Hosts only shapes artifact-cache locality, which DisableCache disables")
+	}
+	for i, f := range o.WorkerSpeedFactors {
+		if f < 0 {
+			return fmt.Errorf("core: negative speed factor %g for worker %d", f, i)
+		}
+	}
+	return nil
+}
+
 // effWorkers returns the effective worker count (sequential = 1).
 func (o *Options) effWorkers() int {
 	if o.Workers < 1 {
@@ -131,10 +171,16 @@ func StragglerFleet(workers int, slow float64) []float64 {
 type Result struct {
 	// Iteration is the 0-based iteration index.
 	Iteration int `json:"iteration"`
-	// Config is the evaluated configuration (not serialized).
+	// Config is the evaluated configuration (not serialized directly —
+	// ConfigKV is its round-trippable form).
 	Config *configspace.Config `json:"-"`
-	// ConfigString is the compact non-default rendering.
+	// ConfigString is the compact non-default rendering (lossy: a display
+	// string, not a parseable assignment).
 	ConfigString string `json:"config"`
+	// ConfigKV is the canonical non-default assignment as a name→value
+	// map — the round-trippable serialization of Config, filled when the
+	// result is marshaled (reports, snapshots). Space.FromKV inverts it.
+	ConfigKV map[string]string `json:"config_kv"`
 	// Metric is the measured value; 0 when Crashed.
 	Metric float64 `json:"metric"`
 	// Crashed reports a build/boot/run failure.
@@ -302,10 +348,31 @@ func (r *Report) SmoothedMetricSeries(alpha float64) []float64 {
 	return out
 }
 
-// MarshalJSON serializes the report (configs as strings).
+// fillConfigKV populates the result's round-trippable assignment map from
+// its in-memory Config (a no-op when already filled or configless).
+func (r *Result) fillConfigKV() {
+	if r.Config != nil && r.ConfigKV == nil {
+		r.ConfigKV = r.Config.KV()
+	}
+}
+
+// MarshalJSON serializes the report with every result's canonical
+// config_kv assignment filled in, so a parsed report (or snapshot) can
+// reconstruct the exact configurations via Space.FromKV instead of being
+// left with the lossy display string.
 func (r *Report) MarshalJSON() ([]byte, error) {
 	type alias Report
-	return json.Marshal((*alias)(r))
+	cp := *r
+	cp.History = append([]Result(nil), r.History...)
+	for i := range cp.History {
+		cp.History[i].fillConfigKV()
+	}
+	if r.Best != nil {
+		best := *r.Best
+		best.fillConfigKV()
+		cp.Best = &best
+	}
+	return json.Marshal((*alias)(&cp))
 }
 
 // noiseSalt decorrelates the engine's measurement-noise stream from other
@@ -323,9 +390,6 @@ type Engine struct {
 	enc   *configspace.Encoder
 	noise *rng.RNG
 	seed  uint64
-	// cache is the per-session artifact-cache state (pipeline.go),
-	// re-initialized by every Run.
-	cache *sessionCache
 }
 
 // NewEngine assembles an engine. The clock may be shared across engines
@@ -393,56 +457,27 @@ func (st *evalState) jitter(base, frac float64) float64 {
 // With Options.Workers > 1 the loop is executed by the round-barrier
 // worker-pool scheduler, or — with Options.Async and a non-zero staleness
 // bound — by the event-driven asynchronous scheduler.
+//
+// Run is the blocking convenience wrapper over the stepwise Session state
+// machine (session.go); callers that need to observe, interleave, cancel,
+// or checkpoint a session use NewSession directly.
 func (e *Engine) Run(opts Options) (*Report, error) {
-	if opts.Iterations <= 0 && opts.TimeBudgetSec <= 0 {
-		return nil, fmt.Errorf("core: no budget given (iterations or virtual time)")
+	s, err := e.NewSession(opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Workers > 1 {
-		if opts.Async && opts.Staleness != 0 {
-			return e.runAsync(opts)
-		}
-		// Staleness 0 means every proposal batch must see a fully-observed
-		// history — exactly the synchronous round scheduler.
-		return e.runParallel(opts)
-	}
-	return e.runSequential(opts)
+	return s.Run(context.Background())
 }
 
-// runSequential is the single-evaluator loop. With the artifact store
-// disabled it is bit-for-bit the engine's historical behavior; with the
-// store (the default) a revisited image digest is fetched at
-// Model.CacheFetchSeconds instead of rebuilt, so even one evaluator
-// benefits from the session-wide cache.
-func (e *Engine) runSequential(opts Options) (*Report, error) {
-	e.cache = newSessionCache(opts)
-	report := e.newReport(opts, 1)
-	st := &evalState{clock: e.Clock, noise: e.noise, speed: opts.workerSpeed(0)}
-	base := e.Clock.Now()
+// runParallel forces the round-barrier scheduler regardless of the worker
+// count — the W=1 ≡ sequential equivalence tests' entry point.
+func (e *Engine) runParallel(opts Options) (*Report, error) {
+	return e.newSession(opts, modeRound).Run(context.Background())
+}
 
-	for iter := 0; ; iter++ {
-		if opts.Iterations > 0 && iter >= opts.Iterations {
-			break
-		}
-		if opts.TimeBudgetSec > 0 && e.Clock.Now() >= opts.TimeBudgetSec {
-			break
-		}
-		var cfg *configspace.Config
-		if opts.WarmStart && iter == 0 {
-			cfg = e.Model.Space.Default()
-		} else {
-			cfg = e.Searcher.Propose()
-		}
-		res := e.evaluate(iter, cfg, st, e.planBuild(cfg, st))
-		if !res.Crashed {
-			res.Metric = e.Metric.Measure(e.Model, e.App, cfg, st.noise)
-		}
-		e.record(report, res, e.Searcher)
-	}
-	report.ElapsedSec = e.Clock.Now()
-	report.ComputeSec = e.Clock.Now() - base
-	report.Utilization = utilization(report.ComputeSec, 0)
-	report.Builds = st.builds
-	return report, nil
+// runAsync forces the event-driven asynchronous scheduler.
+func (e *Engine) runAsync(opts Options) (*Report, error) {
+	return e.newSession(opts, modeAsync).Run(context.Background())
 }
 
 // newReport initializes a report's session-constant fields.
@@ -457,41 +492,10 @@ func (e *Engine) newReport(opts Options, workers int) *Report {
 	}
 }
 
-// record appends one result to the report, maintains best/crash
-// accounting, publishes the evaluation's image to the shared artifact
-// store (commitArtifact — in observation order, so store state is a pure
-// function of the observation sequence), and reports the observation back
-// to the searcher. The searcher argument carries the batch adapter in
-// parallel sessions (so pending-set bookkeeping sees the observation and
-// decision costs are read with the adapter's batch semantics) and
-// e.Searcher itself in sequential ones.
-func (e *Engine) record(report *Report, res Result, s search.Searcher) {
-	e.commitArtifact(report, &res)
-	report.History = append(report.History, res)
-	if res.Crashed {
-		report.Crashes++
-	} else if report.Best == nil ||
-		(report.Maximize && res.Metric > report.Best.Metric) ||
-		(!report.Maximize && res.Metric < report.Best.Metric) {
-		best := res
-		report.Best = &best
-		report.BestTimeSec = res.EndSec
-	}
-	s.Observe(search.Observation{
-		Config:  res.Config,
-		X:       e.enc.Encode(res.Config),
-		Metric:  res.Metric,
-		Crashed: res.Crashed,
-		Stage:   res.Stage,
-	})
-	report.History[len(report.History)-1].DecisionCost = s.DecisionCost()
-	// Grid adopts improvements as its sweep base.
-	if g, ok := e.Searcher.(*search.Grid); ok && report.Best != nil {
-		g.AdoptBase(report.Best.Config)
-	}
-}
-
 // evaluate — the staged Build → Boot → Measure pipeline every scheduler
 // (sequential, round-barrier, async) runs one configuration through —
 // lives in pipeline.go, together with the coordinator-side build planning
-// that consults the shared artifact store.
+// that consults the shared artifact store. The schedulers themselves are
+// the Session state machine: session.go holds the shared stepwise loop and
+// the sequential scheduler, parallel.go the round-barrier scheduler,
+// async.go the bounded-staleness scheduler.

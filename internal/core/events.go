@@ -1,0 +1,159 @@
+// Typed session events: one shared sink fed from the Session's record
+// path, so every scheduler emits the identical event sequence for the
+// identical observation sequence — events are as deterministic as the
+// report itself (only the wall-time DecisionCost fields inside carried
+// Results vary between runs). Observers run synchronously on the session
+// goroutine in registration order; the public API layers a channel on top
+// for consumers that want to range over a stream instead.
+package core
+
+// Event is one typed session notification. The concrete types are
+// EvalDone, NewBest, CacheEvent, RoundBarrier, Progress, and SessionDone.
+// Events carry Result copies; observers must not retain pointers into
+// them across calls if they mutate.
+type Event interface{ isEvent() }
+
+// EvalDone is emitted for every recorded observation, in deterministic
+// observation order (the order the report history grows and the searcher
+// observes).
+type EvalDone struct {
+	// Result is the observation exactly as appended to the report history.
+	Result Result
+}
+
+// NewBest is emitted immediately after an EvalDone whose observation
+// improved the session best.
+type NewBest struct {
+	// Result is the new best observation.
+	Result Result
+	// PrevBest is the superseded best, nil for the first viable result.
+	PrevBest *Result
+}
+
+// CacheEvent is emitted immediately before an EvalDone whose build stage
+// was satisfied without compiling.
+type CacheEvent struct {
+	// Result is the observation whose build was avoided.
+	Result Result
+	// Source names how: "reuse" for the §3.1 same-worker image skip,
+	// "local" for a host-store fetch, "remote" for a cross-host fetch.
+	Source string
+}
+
+// RoundBarrier is emitted by the round-barrier scheduler when a dispatch
+// round's evaluations complete and every worker stalls to the round
+// maximum — before the round's observations are recorded.
+type RoundBarrier struct {
+	// Round is the 1-based completed-round count.
+	Round int
+	// Size is the number of evaluations the round dispatched.
+	Size int
+	// WallSec is the virtual wall-clock time of the barrier.
+	WallSec float64
+}
+
+// Progress is emitted after every observation's other events: a one-line
+// summary of the session position, sized for live status rendering.
+type Progress struct {
+	// Observed is the number of recorded observations.
+	Observed int
+	// Iterations is the iteration budget (0 = unbounded / time-budgeted).
+	Iterations int
+	// Crashes is the crash count so far.
+	Crashes int
+	// Best is the best result so far (nil while everything crashed).
+	Best *Result
+	// ElapsedSec is the session's virtual wall-clock position.
+	ElapsedSec float64
+	// Utilization is the workers' compute fraction so far (1 sequentially).
+	Utilization float64
+	// CacheHits and BuildsSaved mirror the report counters.
+	CacheHits   int
+	BuildsSaved int
+}
+
+// SessionDone is emitted exactly once, when the session's budget or
+// strategy is exhausted (a canceled Run does not emit it — the session is
+// still resumable). The report is final at that point.
+type SessionDone struct {
+	Report *Report
+}
+
+func (EvalDone) isEvent()     {}
+func (NewBest) isEvent()      {}
+func (CacheEvent) isEvent()   {}
+func (RoundBarrier) isEvent() {}
+func (Progress) isEvent()     {}
+func (SessionDone) isEvent()  {}
+
+// AddObserver registers a synchronous event observer. Observers are
+// invoked on the session's stepping goroutine in registration order;
+// register before the first step so the stream starts at observation 0.
+// AddObserver is the one Session method safe to call while another
+// goroutine drives Run — a late registration just misses the events
+// already emitted.
+func (s *Session) AddObserver(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	// Copy-on-write: emit iterates a snapshot of the slice header, so an
+	// append must never extend the backing array a concurrent emit reads.
+	observers := make([]func(Event), len(s.observers), len(s.observers)+1)
+	copy(observers, s.observers)
+	s.observers = append(observers, fn)
+}
+
+// observerList snapshots the observer slice for one emission group.
+func (s *Session) observerList() []func(Event) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	return s.observers
+}
+
+// emit delivers an event to every observer (a no-op without observers —
+// sessions without listeners pay nothing for the stream).
+func (s *Session) emit(ev Event) {
+	for _, fn := range s.observerList() {
+		fn(ev)
+	}
+}
+
+// emitObservation emits the per-observation event group in canonical
+// order: CacheEvent (when the build was avoided), EvalDone, NewBest (when
+// the best improved), Progress.
+func (s *Session) emitObservation(res Result, improved bool, prevBest *Result) {
+	if len(s.observerList()) == 0 {
+		return
+	}
+	switch {
+	case res.CacheHit && res.CacheRemote:
+		s.emit(CacheEvent{Result: res, Source: "remote"})
+	case res.CacheHit:
+		s.emit(CacheEvent{Result: res, Source: "local"})
+	case res.BuildSkipped:
+		s.emit(CacheEvent{Result: res, Source: "reuse"})
+	}
+	s.emit(EvalDone{Result: res})
+	if improved {
+		s.emit(NewBest{Result: res, PrevBest: prevBest})
+	}
+	rep := s.report
+	p := Progress{
+		Observed:    s.observed,
+		Iterations:  s.opts.Iterations,
+		Crashes:     rep.Crashes,
+		Best:        rep.Best,
+		Utilization: 1,
+		CacheHits:   rep.CacheHits,
+		BuildsSaved: rep.BuildsSaved,
+	}
+	if s.wall != nil {
+		p.ElapsedSec = s.wall.Now()
+		p.Utilization = utilization(s.wall.ComputeSec(), s.wall.IdleSec())
+	} else {
+		p.ElapsedSec = s.eng.Clock.Now()
+	}
+	s.emit(p)
+}

@@ -6,6 +6,9 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/rng"
 	"wayfinder/internal/simos"
@@ -110,6 +113,30 @@ func (s *ScoreMetric) Pair(i int) (throughput, memory float64) {
 
 // Len returns the number of measured pairs.
 func (s *ScoreMetric) Len() int { return len(s.throughputs) }
+
+// scoreMetricState is the serialized running-normalization state.
+type scoreMetricState struct {
+	Throughputs []float64 `json:"throughputs"`
+	Memories    []float64 `json:"memories"`
+}
+
+// CheckpointMetric implements CheckpointableMetric: the running
+// normalization ranges are session state, and a resumed session must
+// normalize exactly as the uninterrupted one would.
+func (s *ScoreMetric) CheckpointMetric() ([]byte, error) {
+	return json.Marshal(scoreMetricState{Throughputs: s.throughputs, Memories: s.memories})
+}
+
+// RestoreMetric implements CheckpointableMetric.
+func (s *ScoreMetric) RestoreMetric(data []byte) error {
+	var st scoreMetricState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: score-metric checkpoint: %w", err)
+	}
+	s.throughputs = append(s.throughputs[:0:0], st.Throughputs...)
+	s.memories = append(s.memories[:0:0], st.Memories...)
+	return nil
+}
 
 // FinalScores re-normalizes all observations over the whole session and
 // returns the Eq. 4 score per observation — the values Table 4 ranks.

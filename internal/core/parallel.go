@@ -1,7 +1,8 @@
-// Parallel evaluation engine: the §3.1 platform evaluates configurations
-// on many worker VMs concurrently, scaling near-linearly with the worker
-// count (the paper's Fig 7-style study). This file implements that as a
-// round-based worker pool over the simulated substrate.
+// Round-barrier parallel scheduler: the §3.1 platform evaluates
+// configurations on many worker VMs concurrently, scaling near-linearly
+// with the worker count (the paper's Fig 7-style study). This file
+// implements that as the Session state machine's round-based scheduler
+// over the simulated substrate.
 //
 // Determinism is the design constraint: a session must be reproducible
 // for a fixed (Seed, Workers) pair regardless of goroutine scheduling.
@@ -26,106 +27,95 @@
 //     searcher therefore sees the exact same observation sequence on
 //     every run, and stateful metrics (ScoreMetric's running
 //     normalization) stay deterministic too.
+//
+// The stepwise restructuring changes only who drives the loop: a round is
+// evaluated when the session's buffer runs dry, buffered, and then drained
+// one recorded observation per step — the identical proposals, barrier
+// stalls, and canonical-order measurements the old run-to-completion loop
+// performed, now interruptible and serializable between observations.
 package core
 
 import (
 	"wayfinder/internal/configspace"
-	"wayfinder/internal/rng"
-	"wayfinder/internal/search"
-	"wayfinder/internal/vm"
 )
 
-// runParallel executes the session on opts.Workers concurrent evaluators.
-func (e *Engine) runParallel(opts Options) (*Report, error) {
-	e.cache = newSessionCache(opts)
-	w := opts.Workers
-	report := e.newReport(opts, w)
-	base := e.Clock.Now()
-	wall := vm.NewWallClock(w, base)
-	workers := make([]*evalState, w)
-	for i := range workers {
-		workers[i] = &evalState{
-			worker: i,
-			host:   opts.HostOf(i),
-			clock:  wall.Worker(i),
-			wall:   wall,
-			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
-			speed:  opts.workerSpeed(i),
-		}
+// stepRound records the next observation of the round-barrier scheduler,
+// evaluating a fresh round (up to one configuration per worker) when the
+// previous round is fully drained.
+func (s *Session) stepRound() bool {
+	if len(s.buf) == 0 && !s.fillRound() {
+		return false
 	}
-	batcher := search.AsBatch(e.Searcher)
-
-	for iter := 0; ; {
-		if opts.Iterations > 0 && iter >= opts.Iterations {
-			break
-		}
-		if opts.TimeBudgetSec > 0 && wall.Now() >= opts.TimeBudgetSec {
-			break
-		}
-		// One round: up to W configurations, one per worker. A round's
-		// iterations are consecutive, so they map to distinct workers mod
-		// W even when the iteration budget — or a native BatchSearcher
-		// returning fewer proposals than asked — shortens the round.
-		n := w
-		if opts.Iterations > 0 && opts.Iterations-iter < n {
-			n = opts.Iterations - iter
-		}
-		cfgs := make([]*configspace.Config, 0, n)
-		if opts.WarmStart && iter == 0 {
-			cfgs = append(cfgs, e.Model.Space.Default())
-		}
-		if want := n - len(cfgs); want > 0 {
-			cfgs = append(cfgs, batcher.ProposeBatch(want)...)
-		}
-		n = len(cfgs)
-		if n == 0 {
-			// The strategy produced nothing at all; treat the session as
-			// exhausted rather than spinning.
-			break
-		}
-
-		// Plan the round's builds in iteration order before dispatching:
-		// shared-store lookups and in-flight registrations happen on the
-		// coordinator only, so two workers needing the same image this
-		// round dedupe onto one build deterministically.
-		evals := make([]*batchEval, n)
-		for k := 0; k < n; k++ {
-			st := workers[(iter+k)%w]
-			evals[k] = &batchEval{iter: iter + k, cfg: cfgs[k], st: st, plan: e.planBuild(cfgs[k], st)}
-		}
-		e.runBatch(evals)
-
-		// The barrier: every worker waits for the round's slowest
-		// evaluation before the next round starts. Stalling the clocks to
-		// the round maximum charges that wait to the wall-clock as idle
-		// time, so the next round's start times are causally consistent
-		// and the barrier's cost shows up in ElapsedSec/IdleSec.
-		roundMax := wall.Now()
-		for i := 0; i < w; i++ {
-			wall.Stall(i, roundMax)
-		}
-
-		// Canonical merge in iteration order: measure on the evaluating
-		// worker's noise stream (the barrier guarantees the stream is
-		// exactly past that worker's stage jitters), then record/observe.
-		for k := 0; k < n; k++ {
-			res := evals[k].res
-			if !res.Crashed {
-				res.Metric = e.Metric.Measure(e.Model, e.App, cfgs[k], evals[k].st.noise)
-			}
-			e.record(report, res, batcher)
-		}
-		iter += n
+	ev := s.buf[0]
+	s.buf = s.buf[1:]
+	res := ev.res
+	// Canonical merge in iteration order: measure on the evaluating
+	// worker's noise stream (the barrier guarantees the stream is exactly
+	// past that worker's stage jitters), then record/observe.
+	if !res.Crashed {
+		res.Metric = s.eng.Metric.Measure(s.eng.Model, s.eng.App, ev.cfg, ev.st.noise)
 	}
-	report.ElapsedSec = wall.Now()
-	report.ComputeSec = wall.ComputeSec()
-	report.IdleSec = wall.IdleSec()
-	report.Utilization = utilization(report.ComputeSec, report.IdleSec)
-	for _, st := range workers {
-		report.Builds += st.builds
+	s.record(res)
+	return true
+}
+
+// fillRound proposes, plans, and evaluates one dispatch round, leaving the
+// results buffered for stepRound to drain. It reports false when the
+// budget is exhausted or the strategy produced nothing.
+func (s *Session) fillRound() bool {
+	e, o := s.eng, &s.opts
+	w := len(s.workers)
+	if o.Iterations > 0 && s.next >= o.Iterations {
+		return false
 	}
-	// Fold the session back onto the engine clock so engines sharing a
-	// clock (sequential experiment chains) stay consistent.
-	e.Clock.Advance(wall.Now() - base)
-	return report, nil
+	if o.TimeBudgetSec > 0 && s.wall.Now() >= o.TimeBudgetSec {
+		return false
+	}
+	// One round: up to W configurations, one per worker. A round's
+	// iterations are consecutive, so they map to distinct workers mod W
+	// even when the iteration budget — or a native BatchSearcher returning
+	// fewer proposals than asked — shortens the round.
+	n := w
+	if o.Iterations > 0 && o.Iterations-s.next < n {
+		n = o.Iterations - s.next
+	}
+	cfgs := make([]*configspace.Config, 0, n)
+	if o.WarmStart && s.next == 0 {
+		cfgs = append(cfgs, e.Model.Space.Default())
+	}
+	if want := n - len(cfgs); want > 0 {
+		cfgs = append(cfgs, s.batcher.ProposeBatch(want)...)
+	}
+	n = len(cfgs)
+	if n == 0 {
+		// The strategy produced nothing at all; treat the session as
+		// exhausted rather than spinning.
+		return false
+	}
+
+	// Plan the round's builds in iteration order before dispatching:
+	// shared-store lookups and in-flight registrations happen on the
+	// coordinator only, so two workers needing the same image this round
+	// dedupe onto one build deterministically.
+	evals := make([]*batchEval, n)
+	for k := 0; k < n; k++ {
+		st := s.workers[(s.next+k)%w]
+		evals[k] = &batchEval{iter: s.next + k, cfg: cfgs[k], st: st, plan: s.planBuild(cfgs[k], st)}
+	}
+	e.runBatch(evals)
+
+	// The barrier: every worker waits for the round's slowest evaluation
+	// before the next round starts. Stalling the clocks to the round
+	// maximum charges that wait to the wall-clock as idle time, so the
+	// next round's start times are causally consistent and the barrier's
+	// cost shows up in ElapsedSec/IdleSec.
+	roundMax := s.wall.Now()
+	for i := 0; i < w; i++ {
+		s.wall.Stall(i, roundMax)
+	}
+	s.round++
+	s.buf = evals
+	s.next += n
+	s.emit(RoundBarrier{Round: s.round, Size: n, WallSec: roundMax})
+	return true
 }

@@ -93,12 +93,12 @@ func newSessionCache(opts Options) *sessionCache {
 // planBuild decides how the evaluation's build stage will be satisfied.
 // Coordinator-only: it consults worker-private state between dispatches
 // and mutates store recency and the in-flight registry in dispatch order.
-func (e *Engine) planBuild(cfg *configspace.Config, st *evalState) evalPlan {
+func (s *Session) planBuild(cfg *configspace.Config, st *evalState) evalPlan {
 	key := cfg.CompileKey()
 	if st.haveImage && st.imageKey == key {
 		return evalPlan{action: buildReuse, key: key}
 	}
-	c := e.cache
+	c := s.cache
 	if c == nil || c.store == nil {
 		return evalPlan{action: buildFull, key: key}
 	}
@@ -274,11 +274,11 @@ func (e *Engine) stageMeasure(res *Result, st *evalState, stage simos.Stage, rea
 // tallies the report's cache counters, clears the in-flight registration,
 // and publishes the worker's image to the shared store. Coordinator-only,
 // called from record in observation order.
-func (e *Engine) commitArtifact(report *Report, res *Result) {
+func (s *Session) commitArtifact(report *Report, res *Result) {
 	if res.BuildSkipped {
 		report.BuildsSaved++
 	}
-	c := e.cache
+	c := s.cache
 	if c == nil || c.store == nil || res.Config == nil {
 		return
 	}

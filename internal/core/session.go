@@ -1,0 +1,366 @@
+// Stepwise session state machine: the three run-to-completion scheduler
+// loops the engine historically ran (sequential, round-barrier, async
+// bounded-staleness) restructured into one first-class Session object that
+// advances by exactly one recorded observation per step. That single
+// primitive is what the public API's whole v2 lifecycle is built from:
+//
+//   - Run(ctx) is a step loop with a cancellation check at every
+//     observation boundary, so interruption always leaves a consistent
+//     prefix-of-the-uninterrupted-run report.
+//   - Step(n) advances n observations and returns, letting a caller
+//     interleave many sessions over one process (the daemon primitive) or
+//     implement custom stopping rules.
+//   - Typed events (events.go) are emitted from the one shared record
+//     path, in deterministic observation order, regardless of scheduler.
+//   - Snapshot/Restore (snapshot.go) serialize the machine's explicit
+//     state — worker clocks and RNG streams, cache and in-flight builds,
+//     undelivered scheduler buffers, searcher checkpoints — because the
+//     state is now data in this struct rather than local variables of
+//     three bespoke loops.
+//
+// Reproducibility is unchanged from the loop implementations: every step
+// performs the same proposals, evaluations, stalls, and observations in
+// the same order the old loops did, so a session remains a pure function
+// of (Seed, Workers, Staleness, Hosts) — the equivalence tests pin Run,
+// Step-driven, and snapshot/resume sessions to byte-identical reports.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/search"
+	"wayfinder/internal/vm"
+)
+
+// schedMode selects which scheduler a session steps with.
+type schedMode int
+
+const (
+	// modeSequential is the single-evaluator loop.
+	modeSequential schedMode = iota
+	// modeRound is the round-barrier worker pool (parallel.go).
+	modeRound
+	// modeAsync is the event-driven bounded-staleness scheduler (async.go).
+	modeAsync
+)
+
+// modeFor maps options to the scheduler Engine.Run historically chose:
+// Staleness 0 means every proposal batch must see a fully-observed history
+// — exactly the synchronous round scheduler.
+func modeFor(opts Options) schedMode {
+	if opts.Workers > 1 {
+		if opts.Async && opts.Staleness != 0 {
+			return modeAsync
+		}
+		return modeRound
+	}
+	return modeSequential
+}
+
+// Session is one specialization session as an explicit, steppable state
+// machine. It is not safe for concurrent use: Step, Run, and Snapshot
+// must be called from one goroutine at a time. AddObserver is the
+// exception — it may hook in while another goroutine drives Run (Run may
+// be driven from its own goroutine while a consumer drains an event
+// channel; the channel, not the Session, is the concurrency boundary).
+type Session struct {
+	eng  *Engine
+	opts Options
+	mode schedMode
+
+	report   *Report
+	recorder search.Searcher      // observation sink: the batcher in parallel modes, the searcher itself sequentially
+	batcher  search.BatchSearcher // batch-protocol view (nil in sequential mode)
+	cache    *sessionCache
+	// observers is guarded by obsMu so AddObserver (the public Events()
+	// hookup) is safe while another goroutine drives Run; the list is
+	// copy-on-write and emit iterates a snapshot.
+	obsMu     sync.Mutex
+	observers []func(Event)
+
+	base    float64
+	wall    *vm.WallClock // nil in sequential mode
+	workers []*evalState
+
+	next     int // next iteration index to propose/dispatch
+	observed int // observations recorded so far
+	// done is atomic so the public layer's Done()/Events() may read it
+	// while another goroutine drives Run; everything else on the stepping
+	// path remains single-driver.
+	done   atomic.Bool
+	folded float64 // wall-clock advance already folded onto the engine clock
+
+	// Round-barrier scheduler state: the current round's evaluated-but-
+	// unrecorded results, drained one observation per step.
+	buf   []*batchEval
+	round int
+
+	// Async scheduler state (the old loop's locals, now resumable data).
+	staleBound int
+	inflight   []*batchEval // per worker; nil = idle
+	busy       int          // dispatched-but-unobserved evaluations
+	exhausted  bool         // the strategy stopped producing
+	frontier   float64      // virtual time of the latest observation
+}
+
+// NewSession validates the options and assembles a session in its initial
+// state. Nothing is proposed or evaluated until the first step.
+func (e *Engine) NewSession(opts Options) (*Session, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return e.newSession(opts, modeFor(opts)), nil
+}
+
+// newSession assembles a session with a forced scheduler mode (the
+// equivalence tests step the round scheduler at W=1 against the sequential
+// one; NewSession always routes through modeFor).
+func (e *Engine) newSession(opts Options, mode schedMode) *Session {
+	s := &Session{
+		eng:   e,
+		opts:  opts,
+		mode:  mode,
+		cache: newSessionCache(opts),
+		base:  e.Clock.Now(),
+	}
+	if mode == modeSequential {
+		s.report = e.newReport(opts, 1)
+		s.workers = []*evalState{{clock: e.Clock, noise: e.noise, speed: opts.workerSpeed(0)}}
+		s.recorder = e.Searcher
+		return s
+	}
+	w := opts.effWorkers()
+	s.report = e.newReport(opts, w)
+	s.wall = vm.NewWallClock(w, s.base)
+	s.workers = make([]*evalState, w)
+	for i := range s.workers {
+		s.workers[i] = &evalState{
+			worker: i,
+			host:   opts.HostOf(i),
+			clock:  s.wall.Worker(i),
+			wall:   s.wall,
+			noise:  rng.New(rng.WorkerSeed(e.seed, i) ^ noiseSalt),
+			speed:  opts.workerSpeed(i),
+		}
+	}
+	s.batcher = search.AsBatch(e.Searcher)
+	s.recorder = s.batcher
+	if mode == modeAsync {
+		bound := opts.Staleness
+		if bound < 0 || bound > w-1 {
+			bound = w - 1
+		}
+		s.staleBound = bound
+		s.report.Async = true
+		s.report.Staleness = bound
+		s.inflight = make([]*batchEval, w)
+		s.frontier = s.base
+	}
+	return s
+}
+
+// Done reports whether the session has exhausted its budget (or its
+// strategy): further steps record nothing.
+func (s *Session) Done() bool { return s.done.Load() }
+
+// Observed returns the number of observations recorded so far.
+func (s *Session) Observed() int { return s.observed }
+
+// Options returns the options the session runs with.
+func (s *Session) Options() Options { return s.opts }
+
+// Report returns the session's report, finalized to the current position:
+// aggregates (elapsed/compute/idle/utilization/builds) are recomputed so a
+// partially-run session yields a valid report. The returned report is live
+// — it keeps growing as the session advances.
+func (s *Session) Report() *Report {
+	s.finalize()
+	return s.report
+}
+
+// Step advances the session by up to n observations (exactly n unless the
+// budget or strategy is exhausted first) and returns how many were
+// recorded. The report is finalized on return, so interleaved callers
+// always observe a valid partial report.
+func (s *Session) Step(n int) int {
+	advanced := 0
+	for advanced < n && !s.done.Load() {
+		if !s.stepOnce() {
+			s.markDone()
+			break
+		}
+		advanced++
+	}
+	s.finalize()
+	return advanced
+}
+
+// Run drives the session to completion, honoring context cancellation and
+// deadline at every observation boundary. On interruption it returns the
+// context's error together with a valid partial report — the exact
+// observation-prefix of what the uninterrupted run would have produced —
+// and the session remains resumable (further Step or Run calls continue
+// it).
+func (s *Session) Run(ctx context.Context) (*Report, error) {
+	for !s.done.Load() {
+		if err := ctx.Err(); err != nil {
+			s.finalize()
+			return s.report, err
+		}
+		if !s.stepOnce() {
+			s.markDone()
+		}
+	}
+	s.finalize()
+	return s.report, nil
+}
+
+// stepOnce advances the scheduler by exactly one recorded observation,
+// reporting false when the session is exhausted.
+func (s *Session) stepOnce() bool {
+	if s.done.Load() {
+		return false
+	}
+	switch s.mode {
+	case modeRound:
+		return s.stepRound()
+	case modeAsync:
+		return s.stepAsync()
+	default:
+		return s.stepSequential()
+	}
+}
+
+// markDone transitions the session to its terminal state and notifies
+// observers once.
+func (s *Session) markDone() {
+	if s.done.Load() {
+		return
+	}
+	s.done.Store(true)
+	s.finalize()
+	s.emit(SessionDone{Report: s.report})
+}
+
+// stepSequential is one iteration of the single-evaluator loop: budget
+// check, propose, evaluate, measure, record.
+func (s *Session) stepSequential() bool {
+	e, o := s.eng, &s.opts
+	if o.Iterations > 0 && s.next >= o.Iterations {
+		return false
+	}
+	if o.TimeBudgetSec > 0 && e.Clock.Now() >= o.TimeBudgetSec {
+		return false
+	}
+	var cfg *configspace.Config
+	if o.WarmStart && s.next == 0 {
+		cfg = e.Model.Space.Default()
+	} else {
+		cfg = e.Searcher.Propose()
+	}
+	st := s.workers[0]
+	res := e.evaluate(s.next, cfg, st, s.planBuild(cfg, st))
+	if !res.Crashed {
+		res.Metric = e.Metric.Measure(e.Model, e.App, cfg, st.noise)
+	}
+	s.record(res)
+	s.next++
+	return true
+}
+
+// record appends one result to the report, maintains best/crash
+// accounting, publishes the evaluation's image to the shared artifact
+// store (commitArtifact — in observation order, so store state is a pure
+// function of the observation sequence), reports the observation back to
+// the recorder (the batch adapter in parallel sessions, so pending-set
+// bookkeeping sees it and decision costs are read with batch semantics),
+// and emits the observation's events.
+func (s *Session) record(res Result) {
+	e, report := s.eng, s.report
+	s.commitArtifact(report, &res)
+	report.History = append(report.History, res)
+	var prevBest *Result
+	improved := false
+	if res.Crashed {
+		report.Crashes++
+	} else if report.Best == nil ||
+		(report.Maximize && res.Metric > report.Best.Metric) ||
+		(!report.Maximize && res.Metric < report.Best.Metric) {
+		prevBest = report.Best
+		best := res
+		report.Best = &best
+		report.BestTimeSec = res.EndSec
+		improved = true
+	}
+	s.recorder.Observe(search.Observation{
+		Config:  res.Config,
+		X:       e.enc.Encode(res.Config),
+		Metric:  res.Metric,
+		Crashed: res.Crashed,
+		Stage:   res.Stage,
+	})
+	report.History[len(report.History)-1].DecisionCost = s.recorder.DecisionCost()
+	// Grid adopts improvements as its sweep base.
+	if g, ok := e.Searcher.(*search.Grid); ok && report.Best != nil && report.Best.Config != nil {
+		g.AdoptBase(report.Best.Config)
+	}
+	s.observed++
+	s.emitObservation(report.History[len(report.History)-1], improved, prevBest)
+}
+
+// finalize recomputes the report's aggregate fields for the session's
+// current position. It is idempotent, so partial reports are always valid,
+// and — for parallel sessions — folds any new wall-clock advance onto the
+// engine clock exactly once, keeping engines that share a clock
+// (sequential experiment chains) consistent with the historical behavior.
+func (s *Session) finalize() {
+	rep := s.report
+	if s.wall == nil {
+		now := s.eng.Clock.Now()
+		rep.ElapsedSec = now
+		rep.ComputeSec = now - s.base
+		rep.Utilization = utilization(rep.ComputeSec, 0)
+	} else {
+		rep.ElapsedSec = s.wall.Now()
+		rep.ComputeSec = s.wall.ComputeSec()
+		rep.IdleSec = s.wall.IdleSec()
+		rep.Utilization = utilization(rep.ComputeSec, rep.IdleSec)
+		if adv := s.wall.Now() - s.base - s.folded; adv > 0 {
+			s.eng.Clock.Advance(adv)
+			s.folded += adv
+		}
+	}
+	rep.Builds = 0
+	for _, st := range s.workers {
+		rep.Builds += st.builds
+	}
+}
+
+// SetBudget replaces the session's budget — the one option a resumed (or
+// finished) session may legitimately change, to continue longer or stop
+// earlier. A session completed under the old budget becomes steppable
+// again when the new budget allows more observations.
+func (s *Session) SetBudget(iterations int, timeBudgetSec float64) error {
+	o := s.opts
+	o.Iterations, o.TimeBudgetSec = iterations, timeBudgetSec
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	s.opts = o
+	s.done.Store(false)
+	return nil
+}
+
+// checkpointable returns the searcher's checkpoint interface, or an error
+// naming the strategy when it does not support one.
+func (s *Session) checkpointable() (search.Checkpointable, error) {
+	if ck, ok := s.eng.Searcher.(search.Checkpointable); ok {
+		return ck, nil
+	}
+	return nil, fmt.Errorf("core: searcher %q does not implement search.Checkpointable", s.eng.Searcher.Name())
+}

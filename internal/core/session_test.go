@@ -1,0 +1,471 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"wayfinder/internal/apps"
+	"wayfinder/internal/vm"
+)
+
+// sessionOptsMatrix is the scheduler × topology grid the Session
+// equivalence suite pins: sequential, round-barrier, async (bounded and
+// unbounded), each with and without the multi-host fleet.
+var sessionOptsMatrix = []struct {
+	name string
+	opts Options
+}{
+	{"sequential", Options{Iterations: 30, Seed: 11}},
+	{"round-w8", Options{Iterations: 30, Seed: 11, Workers: 8}},
+	{"round-w8-hosts4", Options{Iterations: 30, Seed: 11, Workers: 8, Hosts: 4}},
+	{"async-w8", Options{Iterations: 30, Seed: 11, Workers: 8, Async: true, Staleness: -1}},
+	{"async-w8-s2-hosts2", Options{Iterations: 30, Seed: 11, Workers: 8, Async: true, Staleness: 2, Hosts: 2}},
+}
+
+// newSessionEngine builds a fresh engine over the shared small model so
+// every compared session starts from identical state.
+func newSessionEngine(t testing.TB, kind string, seed uint64) *Engine {
+	t.Helper()
+	m := smallLinux(t)
+	app := apps.Nginx()
+	return NewEngine(m, app, &PerfMetric{App: app}, newSearcher(m, kind, seed), &vm.Clock{}, seed)
+}
+
+// TestSessionRunMatchesEngineRun pins the new lifecycle's blocking path to
+// the compatibility entry point across every scheduler: one API, one
+// behavior.
+func TestSessionRunMatchesEngineRun(t *testing.T) {
+	for _, tc := range sessionOptsMatrix {
+		run, err := newSessionEngine(t, "random", 11).Run(tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		sess, err := newSessionEngine(t, "random", 11).NewSession(tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rep, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if canonicalJSON(t, run) != canonicalJSON(t, rep) {
+			t.Fatalf("%s: Session.Run diverged from Engine.Run", tc.name)
+		}
+	}
+}
+
+// TestSessionStepEquivalentToRun: driving a session one observation at a
+// time — the daemon primitive — must reproduce the uninterrupted run
+// byte-for-byte on every scheduler.
+func TestSessionStepEquivalentToRun(t *testing.T) {
+	for _, tc := range sessionOptsMatrix {
+		for _, kind := range []string{"random", "bayesian"} {
+			full, err := newSessionEngine(t, kind, 11).Run(tc.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, kind, err)
+			}
+			sess, err := newSessionEngine(t, kind, 11).NewSession(tc.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, kind, err)
+			}
+			steps := 0
+			for !sess.Done() {
+				if n := sess.Step(1); n > 1 {
+					t.Fatalf("%s/%s: Step(1) advanced %d observations", tc.name, kind, n)
+				}
+				steps++
+				if steps > tc.opts.Iterations+1 {
+					t.Fatalf("%s/%s: session did not terminate", tc.name, kind)
+				}
+			}
+			if sess.Observed() != len(full.History) {
+				t.Fatalf("%s/%s: stepped session observed %d, run observed %d",
+					tc.name, kind, sess.Observed(), len(full.History))
+			}
+			if canonicalJSON(t, full) != canonicalJSON(t, sess.Report()) {
+				t.Fatalf("%s/%s: Step(1)×N diverged from Run", tc.name, kind)
+			}
+		}
+	}
+}
+
+// TestSessionPartialReportValid: a session interrupted mid-run (including
+// mid-round) must present a consistent prefix report.
+func TestSessionPartialReportValid(t *testing.T) {
+	opts := Options{Iterations: 30, Seed: 11, Workers: 8}
+	full, err := newSessionEngine(t, "random", 11).Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := newSessionEngine(t, "random", 11).NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.Step(13); n != 13 { // mid-round: 13 is not a multiple of 8
+		t.Fatalf("Step(13) advanced %d", n)
+	}
+	rep := sess.Report()
+	if len(rep.History) != 13 {
+		t.Fatalf("partial history has %d entries", len(rep.History))
+	}
+	for i := range rep.History {
+		if canonicalResultJSON(t, rep.History[i]) != canonicalResultJSON(t, full.History[i]) {
+			t.Fatalf("partial history[%d] diverged from the uninterrupted run", i)
+		}
+	}
+	if rep.Utilization <= 0 || rep.ComputeSec <= 0 || rep.ElapsedSec <= 0 {
+		t.Fatalf("partial report aggregates not finalized: %+v", rep)
+	}
+}
+
+// canonicalResultJSON renders one result with the wall-time decision cost
+// zeroed.
+func canonicalResultJSON(t *testing.T, res Result) string {
+	t.Helper()
+	res.DecisionCost = 0
+	res.fillConfigKV()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSessionSnapshotResume: snapshot at an awkward observation count,
+// restore into a fresh engine, and finish — the stitched report must be
+// byte-identical to an uninterrupted run for every Checkpointable searcher
+// and every scheduler.
+func TestSessionSnapshotResume(t *testing.T) {
+	kinds := []string{"random", "grid", "bayesian", "deeptune"}
+	for _, tc := range sessionOptsMatrix {
+		for _, kind := range kinds {
+			if kind == "deeptune" && testing.Short() {
+				continue
+			}
+			full, err := newSessionEngine(t, kind, 11).Run(tc.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, kind, err)
+			}
+			sess, err := newSessionEngine(t, kind, 11).NewSession(tc.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, kind, err)
+			}
+			sess.Step(13) // mid-round, mid-flight
+			snap, err := sess.Snapshot()
+			if err != nil {
+				t.Fatalf("%s/%s: snapshot: %v", tc.name, kind, err)
+			}
+			resumedEng := newSessionEngine(t, kind, 11)
+			resumed, err := resumedEng.RestoreSession(snap)
+			if err != nil {
+				t.Fatalf("%s/%s: restore: %v", tc.name, kind, err)
+			}
+			if resumed.Observed() != 13 {
+				t.Fatalf("%s/%s: resumed at observation %d, want 13", tc.name, kind, resumed.Observed())
+			}
+			rep, err := resumed.Run(context.Background())
+			if err != nil {
+				t.Fatalf("%s/%s: resumed run: %v", tc.name, kind, err)
+			}
+			if canonicalJSON(t, full) != canonicalJSON(t, rep) {
+				t.Fatalf("%s/%s: snapshot-at-13 + resume diverged from the uninterrupted run", tc.name, kind)
+			}
+		}
+	}
+}
+
+// TestSessionResumeEngineClock: a resumed parallel session's engine clock
+// must land where the uninterrupted run's did — the fold-back that keeps
+// engines sharing a clock (experiment chains) on one consistent timeline.
+func TestSessionResumeEngineClock(t *testing.T) {
+	opts := Options{Iterations: 24, Seed: 5, Workers: 4}
+	ref := newSessionEngine(t, "random", 5)
+	if _, err := ref.Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := newSessionEngine(t, "random", 5).NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Step(10)
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedEng := newSessionEngine(t, "random", 5)
+	resumed, err := resumedEng.RestoreSession(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumedEng.Clock.Now(), ref.Clock.Now(); got != want {
+		t.Fatalf("resumed engine clock at %.6f, uninterrupted at %.6f", got, want)
+	}
+}
+
+// TestSessionSnapshotResumeScoreMetric covers the stateful-metric path:
+// the running normalization must travel with the snapshot.
+func TestSessionSnapshotResumeScoreMetric(t *testing.T) {
+	opts := Options{Iterations: 24, Seed: 5, Workers: 4}
+	build := func() *Engine {
+		m := smallLinux(t)
+		app := apps.Nginx()
+		return NewEngine(m, app, &ScoreMetric{}, newSearcher(m, "random", 5), &vm.Clock{}, 5)
+	}
+	full, err := build().Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := build().NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Step(9)
+	snap, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := build().RestoreSession(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalJSON(t, full) != canonicalJSON(t, rep) {
+		t.Fatal("score-metric snapshot/resume diverged from the uninterrupted run")
+	}
+}
+
+// TestSessionSnapshotRequiresCheckpointable: strategies without checkpoint
+// support fail loudly, naming themselves.
+func TestSessionSnapshotRequiresCheckpointable(t *testing.T) {
+	sess, err := newSessionEngine(t, "unicorn", 3).NewSession(Options{Iterations: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Step(2)
+	if _, err := sess.Snapshot(); err == nil {
+		t.Fatal("expected snapshot of a non-checkpointable searcher to fail")
+	}
+}
+
+// TestSessionCancellation: a canceled Run returns the context error with a
+// consistent partial report (an observation-prefix of the uninterrupted
+// run), leaks no goroutines, and the session stays resumable to the exact
+// uninterrupted result.
+func TestSessionCancellation(t *testing.T) {
+	for _, tc := range sessionOptsMatrix {
+		full, err := newSessionEngine(t, "random", 11).Run(tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		sess, err := newSessionEngine(t, "random", 11).NewSession(tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		seen := 0
+		sess.AddObserver(func(ev Event) {
+			if _, ok := ev.(EvalDone); ok {
+				if seen++; seen == 9 {
+					cancel()
+				}
+			}
+		})
+		before := runtime.NumGoroutine()
+		rep, err := sess.Run(ctx)
+		if err != context.Canceled {
+			t.Fatalf("%s: canceled run returned %v", tc.name, err)
+		}
+		if len(rep.History) != 9 {
+			t.Fatalf("%s: canceled run recorded %d observations, want 9", tc.name, len(rep.History))
+		}
+		for i := range rep.History {
+			if canonicalResultJSON(t, rep.History[i]) != canonicalResultJSON(t, full.History[i]) {
+				t.Fatalf("%s: canceled history[%d] diverged", tc.name, i)
+			}
+		}
+		// The scheduler joins its evaluation goroutines inside every step,
+		// so cancellation must leave none behind.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before {
+			t.Fatalf("%s: %d goroutines leaked by cancellation", tc.name, after-before)
+		}
+		// Resumability: finishing the canceled session reproduces the
+		// uninterrupted report exactly.
+		rep2, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if canonicalJSON(t, full) != canonicalJSON(t, rep2) {
+			t.Fatalf("%s: canceled-then-resumed session diverged", tc.name)
+		}
+	}
+}
+
+// TestSessionEventsDeterministic: the event stream is a pure function of
+// (seed, workers, staleness, hosts) — two identical sessions emit the
+// identical sequence, aligned with the observation order.
+func TestSessionEventsDeterministic(t *testing.T) {
+	collect := func() []string {
+		sess, err := newSessionEngine(t, "random", 7).NewSession(Options{Iterations: 24, Seed: 7, Workers: 8, Hosts: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []string
+		sess.AddObserver(func(ev Event) { log = append(log, eventString(t, ev)) })
+		if _, err := sess.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event streams differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+	// Every observation contributes an EvalDone followed by a Progress,
+	// and the stream ends with SessionDone.
+	evalDone, progress, done := 0, 0, 0
+	for _, s := range a {
+		switch {
+		case s[:4] == "eval":
+			evalDone++
+		case s[:4] == "prog":
+			progress++
+		case s[:4] == "done":
+			done++
+		}
+	}
+	if evalDone != 24 || progress != 24 || done != 1 {
+		t.Fatalf("event census: %d EvalDone, %d Progress, %d SessionDone", evalDone, progress, done)
+	}
+}
+
+// eventString renders an event canonically (decision costs zeroed).
+func eventString(t *testing.T, ev Event) string {
+	t.Helper()
+	switch e := ev.(type) {
+	case EvalDone:
+		return "eval:" + canonicalResultJSON(t, e.Result)
+	case NewBest:
+		return "best:" + canonicalResultJSON(t, e.Result)
+	case CacheEvent:
+		return "cache:" + e.Source + ":" + canonicalResultJSON(t, e.Result)
+	case RoundBarrier:
+		return "barrier:" + jsonString(t, e)
+	case Progress:
+		e.Best = nil // carries a Result with a wall-time DecisionCost
+		return "prog:" + jsonString(t, e)
+	case SessionDone:
+		return "done:" + canonicalJSON(t, e.Report)
+	}
+	t.Fatalf("unknown event %T", ev)
+	return ""
+}
+
+func jsonString(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestOptionsValidate pins the centralized validation the CLIs and the
+// Session constructor share.
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{},                                     // no budget
+		{Iterations: 10, Workers: -1},          // negative workers
+		{Iterations: 10, Staleness: 2},         // staleness without async
+		{Iterations: 10, Staleness: -1},        // ditto, negative
+		{Iterations: 10, Workers: 4, Hosts: 8}, // hosts > workers
+		{Iterations: 10, Hosts: 2},             // hosts > effective workers (1)
+		{TimeBudgetSec: -3},                    // negative time budget
+		{Iterations: 10, Workers: 4, Hosts: 2, DisableCache: true},         // hosts without the store
+		{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, -4}}, // negative speed
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad options %d (%+v) validated", i, o)
+		}
+	}
+	good := []Options{
+		{Iterations: 10},
+		{TimeBudgetSec: 100},
+		{Iterations: 10, Workers: 8, Async: true, Staleness: -1},
+		{Iterations: 10, Workers: 8, Async: true}, // staleness 0 = sync rounds
+		{Iterations: 10, Workers: 8, Hosts: 8},
+		{Iterations: 10, Workers: 2, DisableCache: true},
+		{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, 4}},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("good options %d (%+v) rejected: %v", i, o, err)
+		}
+	}
+	// Engine.Run routes through the same validation.
+	eng := newSessionEngine(t, "random", 1)
+	if _, err := eng.Run(Options{Iterations: 10, Staleness: 3}); err == nil {
+		t.Fatal("Engine.Run accepted staleness without async")
+	}
+}
+
+// TestResultConfigRoundTrip is the Result.Config serialization bugfix: a
+// report's JSON must carry enough to reconstruct each exact configuration,
+// not just the display string.
+func TestResultConfigRoundTrip(t *testing.T) {
+	m := smallLinux(t)
+	app := apps.Nginx()
+	eng := NewEngine(m, app, &PerfMetric{App: app}, newSearcher(m, "random", 9), &vm.Clock{}, 9)
+	rep, err := eng.Run(Options{Iterations: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Report
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.History) != len(rep.History) {
+		t.Fatalf("parsed %d history entries, want %d", len(parsed.History), len(rep.History))
+	}
+	for i, h := range parsed.History {
+		if h.ConfigKV == nil {
+			t.Fatalf("history[%d] lost its config_kv map", i)
+		}
+		cfg, err := m.Space.FromKV(h.ConfigKV)
+		if err != nil {
+			t.Fatalf("history[%d]: %v", i, err)
+		}
+		orig := rep.History[i].Config
+		if !cfg.Equal(orig) {
+			t.Fatalf("history[%d]: config did not survive serialize→parse:\n got %s\nwant %s", i, cfg, orig)
+		}
+		if cfg.CompileKey() != orig.CompileKey() || cfg.BootKey() != orig.BootKey() || cfg.Hash() != orig.Hash() {
+			t.Fatalf("history[%d]: digests diverged after round trip", i)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+// Session serialization: Snapshot captures the state machine's complete
+// state — options, report, worker clocks and RNG streams, artifact-store
+// contents and in-flight build tickets, undelivered scheduler buffers, the
+// searcher's checkpoint (search.Checkpointable), and any stateful metric —
+// and RestoreSession rebuilds a Session that continues byte-identically to
+// the uninterrupted run. Snapshots are taken between steps (any
+// observation boundary, including mid-round: a buffered round is finished
+// virtual work, and serializes as such).
+//
+// The format is JSON for inspectability; exactness is preserved because
+// Go's JSON round-trips float64 (shortest-representation encoding) and
+// 64-bit integers bit-for-bit when decoded into typed fields. Config
+// assignments travel as canonical key=value maps (Config.KV /
+// Space.FromKV), never as the lossy display string.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"wayfinder/internal/artifact"
+	"wayfinder/internal/configspace"
+)
+
+// snapshotVersion guards the serialization format.
+const snapshotVersion = 1
+
+// workerSnap is one worker's serialized evaluation state.
+type workerSnap struct {
+	ClockSec  float64   `json:"clock_sec"`
+	StallSec  float64   `json:"stall_sec,omitempty"`
+	RNG       [4]uint64 `json:"rng"`
+	ImageKey  uint64    `json:"image_key,omitempty"`
+	HaveImage bool      `json:"have_image,omitempty"`
+	BootKey   uint64    `json:"boot_key,omitempty"`
+	HaveBoot  bool      `json:"have_boot,omitempty"`
+	Builds    int       `json:"builds,omitempty"`
+}
+
+// ticketSnap is one in-flight-build registration.
+type ticketSnap struct {
+	Key      uint64  `json:"key"`
+	Host     int     `json:"host"`
+	EndSec   float64 `json:"end_sec"`
+	OK       bool    `json:"ok"`
+	Resolved bool    `json:"resolved"`
+}
+
+// cacheSnap is the session cache: store contents plus the in-flight
+// registry (sorted by key for a canonical serialization).
+type cacheSnap struct {
+	Store    *artifact.State `json:"store,omitempty"`
+	Building []ticketSnap    `json:"building,omitempty"`
+}
+
+// evalSnap is one evaluated-but-unrecorded evaluation (a buffered round
+// slot or an async in-flight completion event).
+type evalSnap struct {
+	Iter   int    `json:"iter"`
+	Worker int    `json:"worker"`
+	Result Result `json:"result"`
+	// ArtifactKey and BuildEndSec carry Result's unexported pipeline
+	// fields.
+	ArtifactKey uint64  `json:"artifact_key"`
+	BuildEndSec float64 `json:"build_end_sec"`
+	// TicketRegistered marks a ticket that is (identity-wise) the cache's
+	// registered in-flight build for ArtifactKey; Ticket carries a
+	// replaced (crashed-builder) ticket's contents otherwise.
+	TicketRegistered bool        `json:"ticket_registered,omitempty"`
+	Ticket           *ticketSnap `json:"ticket,omitempty"`
+}
+
+// sessionSnapshot is the serialized session.
+type sessionSnapshot struct {
+	Version      int     `json:"version"`
+	Mode         int     `json:"mode"`
+	Options      Options `json:"options"`
+	SearcherName string  `json:"searcher"`
+	MetricName   string  `json:"metric"`
+
+	BaseSec   float64 `json:"base_sec"`
+	FoldedSec float64 `json:"folded_sec,omitempty"`
+	Next      int     `json:"next"`
+	Observed  int     `json:"observed"`
+	Done      bool    `json:"done,omitempty"`
+	Round     int     `json:"round,omitempty"`
+	Exhausted bool    `json:"exhausted,omitempty"`
+	Frontier  float64 `json:"frontier,omitempty"`
+
+	Report  *Report      `json:"report"`
+	Workers []workerSnap `json:"workers"`
+	Cache   *cacheSnap   `json:"cache,omitempty"`
+
+	// Buffer is the round scheduler's undrained results; Inflight the
+	// async scheduler's per-worker unobserved completions (null = idle).
+	Buffer   []evalSnap  `json:"buffer,omitempty"`
+	Inflight []*evalSnap `json:"inflight,omitempty"`
+
+	SearcherState  json.RawMessage `json:"searcher_state"`
+	AdapterPending map[uint64]int  `json:"adapter_pending,omitempty"`
+	MetricState    json.RawMessage `json:"metric_state,omitempty"`
+}
+
+// pendingCheckpointer is the batch-adapter state interface (implemented by
+// search's unexported adapter; native batchers carry pending state inside
+// their own checkpoints).
+type pendingCheckpointer interface {
+	PendingSnapshot() map[uint64]int
+	RestorePending(map[uint64]int)
+}
+
+// CheckpointableMetric is the optional Metric extension stateful metrics
+// implement so sessions using them can snapshot (ScoreMetric's running
+// normalization is session state like any other). Stateless metrics need
+// not implement it.
+type CheckpointableMetric interface {
+	Metric
+	// CheckpointMetric serializes the metric's accumulated state.
+	CheckpointMetric() ([]byte, error)
+	// RestoreMetric rebuilds state captured by CheckpointMetric.
+	RestoreMetric(data []byte) error
+}
+
+// Snapshot serializes the session's complete state. It requires the
+// searcher to implement search.Checkpointable (Random, RandomMutate, Grid,
+// Bayesian, and DeepTune do) and must be called between steps — never
+// concurrently with Run. The session remains usable afterwards.
+func (s *Session) Snapshot() ([]byte, error) {
+	ck, err := s.checkpointable()
+	if err != nil {
+		return nil, err
+	}
+	s.finalize()
+	searcherState, err := ck.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	snap := sessionSnapshot{
+		Version:       snapshotVersion,
+		Mode:          int(s.mode),
+		Options:       s.opts,
+		SearcherName:  s.eng.Searcher.Name(),
+		MetricName:    s.eng.Metric.Name(),
+		BaseSec:       s.base,
+		FoldedSec:     s.folded,
+		Next:          s.next,
+		Observed:      s.observed,
+		Done:          s.done.Load(),
+		Round:         s.round,
+		Exhausted:     s.exhausted,
+		Frontier:      s.frontier,
+		Report:        s.report,
+		SearcherState: searcherState,
+	}
+	snap.Workers = make([]workerSnap, len(s.workers))
+	for i, st := range s.workers {
+		ws := workerSnap{
+			ClockSec:  st.clock.Now(),
+			RNG:       st.noise.State(),
+			ImageKey:  st.imageKey,
+			HaveImage: st.haveImage,
+			BootKey:   st.bootKey,
+			HaveBoot:  st.haveBoot,
+			Builds:    st.builds,
+		}
+		if s.wall != nil {
+			ws.StallSec = s.wall.WorkerStallSec(i)
+		}
+		snap.Workers[i] = ws
+	}
+	if c := s.cache; c != nil && c.store != nil {
+		cs := &cacheSnap{Store: c.store.Snapshot()}
+		keys := make([]uint64, 0, len(c.building))
+		for k := range c.building {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			t := c.building[k]
+			cs.Building = append(cs.Building, ticketSnap{Key: k, Host: t.host, EndSec: t.endSec, OK: t.ok, Resolved: t.resolved})
+		}
+		snap.Cache = cs
+	}
+	for _, ev := range s.buf {
+		snap.Buffer = append(snap.Buffer, s.snapEval(ev))
+	}
+	if s.mode == modeAsync {
+		snap.Inflight = make([]*evalSnap, len(s.inflight))
+		for i, ev := range s.inflight {
+			if ev != nil {
+				es := s.snapEval(ev)
+				snap.Inflight[i] = &es
+			}
+		}
+	}
+	if pc, ok := s.recorder.(pendingCheckpointer); ok {
+		if pending := pc.PendingSnapshot(); len(pending) > 0 {
+			snap.AdapterPending = pending
+		}
+	}
+	if cm, ok := s.eng.Metric.(CheckpointableMetric); ok {
+		ms, err := cm.CheckpointMetric()
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpointing metric %q: %w", cm.Name(), err)
+		}
+		snap.MetricState = ms
+	}
+	return json.Marshal(&snap)
+}
+
+// snapEval serializes one pending evaluation.
+func (s *Session) snapEval(ev *batchEval) evalSnap {
+	res := ev.res
+	res.fillConfigKV()
+	es := evalSnap{
+		Iter:        ev.iter,
+		Worker:      ev.st.worker,
+		Result:      res,
+		ArtifactKey: res.artifactKey,
+		BuildEndSec: res.buildEndSec,
+	}
+	if t := res.ticket; t != nil {
+		if s.cache != nil && s.cache.building[res.artifactKey] == t {
+			es.TicketRegistered = true
+		} else {
+			es.Ticket = &ticketSnap{Key: res.artifactKey, Host: t.host, EndSec: t.endSec, OK: t.ok, Resolved: t.resolved}
+		}
+	}
+	return es
+}
+
+// PeekSnapshot returns the options a session snapshot was taken with,
+// without restoring it — callers use it to reconstruct the searcher and
+// engine with matching construction parameters (notably the seed) before
+// RestoreSession.
+func PeekSnapshot(data []byte) (Options, error) {
+	var snap struct {
+		Version int     `json:"version"`
+		Options Options `json:"options"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Options{}, fmt.Errorf("core: decoding session snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return Options{}, fmt.Errorf("core: session snapshot version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	return snap.Options, nil
+}
+
+// RestoreSession rebuilds a session from a Snapshot against an engine
+// whose model, app, metric, and searcher were constructed exactly as the
+// snapshotted session's were (same spaces, same constructor arguments —
+// the searcher's accumulated state is restored from the snapshot). The
+// engine's clock is advanced to the snapshot's virtual position; it must
+// not already be past it.
+func (e *Engine) RestoreSession(data []byte) (*Session, error) {
+	var snap sessionSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("core: decoding session snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: session snapshot version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	if got := e.Searcher.Name(); got != snap.SearcherName {
+		return nil, fmt.Errorf("core: snapshot was taken with searcher %q, engine has %q", snap.SearcherName, got)
+	}
+	if got := e.Metric.Name(); got != snap.MetricName {
+		return nil, fmt.Errorf("core: snapshot was taken with metric %q, engine has %q", snap.MetricName, got)
+	}
+	if snap.Report == nil {
+		return nil, fmt.Errorf("core: session snapshot has no report")
+	}
+	mode := schedMode(snap.Mode)
+	if mode != modeSequential && mode != modeRound && mode != modeAsync {
+		return nil, fmt.Errorf("core: session snapshot has unknown scheduler mode %d", snap.Mode)
+	}
+	if now := e.Clock.Now(); now > snap.BaseSec {
+		return nil, fmt.Errorf("core: engine clock at %.3fs is past the snapshot baseline %.3fs", now, snap.BaseSec)
+	}
+	e.Clock.Advance(snap.BaseSec - e.Clock.Now())
+
+	s := e.newSession(snap.Options, mode)
+	wantWorkers := len(s.workers)
+	if len(snap.Workers) != wantWorkers {
+		return nil, fmt.Errorf("core: snapshot has %d workers, options imply %d", len(snap.Workers), wantWorkers)
+	}
+
+	// Report: reattach the in-memory configurations from their canonical
+	// KV assignments.
+	s.report = snap.Report
+	space := e.Model.Space
+	for i := range s.report.History {
+		if err := restoreResult(&s.report.History[i], space); err != nil {
+			return nil, fmt.Errorf("core: history[%d]: %w", i, err)
+		}
+	}
+	if s.report.Best != nil {
+		if err := restoreResult(s.report.Best, space); err != nil {
+			return nil, fmt.Errorf("core: best result: %w", err)
+		}
+	}
+
+	// Workers: clocks, stall accounting, noise streams, skip digests.
+	for i, ws := range snap.Workers {
+		st := s.workers[i]
+		if s.wall != nil {
+			s.wall.RestoreWorker(i, ws.ClockSec, ws.StallSec)
+		} else if ws.ClockSec > e.Clock.Now() {
+			e.Clock.Advance(ws.ClockSec - e.Clock.Now())
+		}
+		st.noise.SetState(ws.RNG)
+		st.imageKey, st.haveImage = ws.ImageKey, ws.HaveImage
+		st.bootKey, st.haveBoot = ws.BootKey, ws.HaveBoot
+		st.builds = ws.Builds
+	}
+	// A parallel session's wall-clock advance up to the snapshot was
+	// already folded onto the original engine's clock (finalize); bring
+	// this engine's clock to the same virtual position, so chains sharing
+	// the clock resume exactly where the uninterrupted run would be.
+	if s.wall != nil {
+		if target := snap.BaseSec + snap.FoldedSec; target > e.Clock.Now() {
+			e.Clock.Advance(target - e.Clock.Now())
+		}
+	}
+
+	// Cache: store contents and the in-flight registry.
+	if snap.Cache != nil && s.cache != nil && s.cache.store != nil {
+		if snap.Cache.Store != nil {
+			s.cache.store = artifact.Restore(snap.Cache.Store)
+		}
+		for _, ts := range snap.Cache.Building {
+			s.cache.building[ts.Key] = &buildTicket{host: ts.Host, endSec: ts.EndSec, ok: ts.OK, resolved: ts.Resolved}
+		}
+	}
+
+	// Scheduler position and pending evaluations.
+	s.next, s.observed = snap.Next, snap.Observed
+	s.done.Store(snap.Done)
+	s.folded = snap.FoldedSec
+	s.round = snap.Round
+	s.exhausted, s.frontier = snap.Exhausted, snap.Frontier
+	for i := range snap.Buffer {
+		ev, err := s.restoreEval(&snap.Buffer[i])
+		if err != nil {
+			return nil, err
+		}
+		s.buf = append(s.buf, ev)
+	}
+	if mode == modeAsync {
+		if len(snap.Inflight) != wantWorkers {
+			return nil, fmt.Errorf("core: snapshot has %d inflight slots, options imply %d", len(snap.Inflight), wantWorkers)
+		}
+		for i, es := range snap.Inflight {
+			if es == nil {
+				continue
+			}
+			ev, err := s.restoreEval(es)
+			if err != nil {
+				return nil, err
+			}
+			s.inflight[i] = ev
+			s.busy++
+		}
+	}
+
+	// Searcher, adapter, and metric state.
+	ck, err := s.checkpointable()
+	if err != nil {
+		return nil, err
+	}
+	if err := ck.Restore(snap.SearcherState); err != nil {
+		return nil, err
+	}
+	if len(snap.AdapterPending) > 0 {
+		pc, ok := s.recorder.(pendingCheckpointer)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries batch-adapter state but the session has no adapter")
+		}
+		pc.RestorePending(snap.AdapterPending)
+	}
+	if len(snap.MetricState) > 0 {
+		cm, ok := e.Metric.(CheckpointableMetric)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries state for metric %q but the engine's does not implement CheckpointableMetric", snap.MetricName)
+		}
+		if err := cm.RestoreMetric(snap.MetricState); err != nil {
+			return nil, err
+		}
+	}
+	s.finalize()
+	return s, nil
+}
+
+// restoreResult reattaches a deserialized result's Config from its
+// canonical KV assignment.
+func restoreResult(res *Result, space *configspace.Space) error {
+	if res.ConfigKV == nil {
+		return nil
+	}
+	cfg, err := space.FromKV(res.ConfigKV)
+	if err != nil {
+		return err
+	}
+	res.Config = cfg
+	return nil
+}
+
+// restoreEval rebuilds one pending evaluation, re-linking its build ticket
+// to the cache's registered in-flight build when the identities matched at
+// snapshot time.
+func (s *Session) restoreEval(es *evalSnap) (*batchEval, error) {
+	if es.Worker < 0 || es.Worker >= len(s.workers) {
+		return nil, fmt.Errorf("core: pending evaluation on worker %d of %d", es.Worker, len(s.workers))
+	}
+	res := es.Result
+	if err := restoreResult(&res, s.eng.Model.Space); err != nil {
+		return nil, fmt.Errorf("core: pending evaluation %d: %w", es.Iter, err)
+	}
+	if res.Config == nil {
+		return nil, fmt.Errorf("core: pending evaluation %d has no configuration", es.Iter)
+	}
+	res.artifactKey = es.ArtifactKey
+	res.buildEndSec = es.BuildEndSec
+	switch {
+	case es.TicketRegistered:
+		if s.cache == nil || s.cache.building[es.ArtifactKey] == nil {
+			return nil, fmt.Errorf("core: pending evaluation %d references an unregistered in-flight build", es.Iter)
+		}
+		res.ticket = s.cache.building[es.ArtifactKey]
+	case es.Ticket != nil:
+		res.ticket = &buildTicket{host: es.Ticket.Host, endSec: es.Ticket.EndSec, ok: es.Ticket.OK, resolved: es.Ticket.Resolved}
+	}
+	return &batchEval{iter: es.Iter, cfg: res.Config, st: s.workers[es.Worker], res: res}, nil
+}

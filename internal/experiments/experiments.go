@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -259,12 +260,17 @@ func newLinuxRuntimeFavored(scale Scale, seed uint64) *simos.Model {
 	return m
 }
 
-// session runs one engine session and returns the report.
+// session runs one session to completion through the Session state
+// machine and returns the report.
 func session(m *simos.Model, app *simos.App, metric core.Metric, s search.Searcher,
 	opts core.Options) (*core.Report, error) {
 	var clock vm.Clock
 	eng := core.NewEngine(m, app, metric, s, &clock, opts.Seed)
-	return eng.Run(opts)
+	sess, err := eng.NewSession(opts)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(context.Background())
 }
 
 // fmtF formats a float compactly.

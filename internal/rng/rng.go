@@ -72,6 +72,21 @@ func (r *RNG) SplitLabeled(label string) *RNG {
 	return New(r.Uint64() ^ h)
 }
 
+// State returns the generator's internal xoshiro256** state, for
+// checkpointing. Restoring it with SetState reproduces the stream exactly
+// from the captured position.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// captured by State. The all-zero state is invalid for xoshiro and is
+// remapped the same way New remaps it.
+func (r *RNG) SetState(s [4]uint64) {
+	r.s = s
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 // Uint64 returns the next 64 random bits (xoshiro256**).
 func (r *RNG) Uint64() uint64 {
 	result := bits.RotateLeft64(r.s[1]*5, 7) * 9

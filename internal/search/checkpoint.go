@@ -1,0 +1,325 @@
+// Searcher checkpointing: the optional protocol that lets a session
+// serialize a strategy's full dynamic state and resume it byte-identically
+// — histories, dedup sets, pending proposals, and RNG stream positions
+// included. Construction-time parameters (the space, the optimization
+// direction, hyperparameters, the seed) are NOT part of a checkpoint: a
+// restore target is built fresh with the same constructor arguments and
+// Restore overlays the accumulated state, which keeps checkpoints small
+// and spaces shareable.
+//
+// Two serialization strategies are used, matching how each searcher's
+// state is produced:
+//
+//   - Direct state (Random, RandomMutate, Grid, Bayesian): the dynamic
+//     state is small and explicit — RNG words, seen/pending hashes, ladder
+//     position, the GP's observation list plus its incremental-factor
+//     bookkeeping (gp.State) — so it is serialized verbatim.
+//   - Deterministic replay (DeepTune): the DTM's weights, Adam moments,
+//     and training RNG positions are a pure function of the Observe
+//     sequence (proposal-side randomness lives in a separate stream that
+//     IS serialized), so the checkpoint records the observation history
+//     and Restore replays it through a fresh selector. This trades restore
+//     time — one incremental retrain per historical observation — for not
+//     having to version every optimizer buffer in the network.
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"wayfinder/internal/gp"
+)
+
+// Checkpointable is the optional searcher extension session snapshots use:
+// Checkpoint serializes the strategy's full dynamic state, and Restore —
+// called on a freshly-constructed searcher with identical constructor
+// arguments — rebuilds it so the resumed session proposes byte-identically
+// to an uninterrupted one. Random, RandomMutate, Grid, Bayesian, and
+// DeepTune implement it; strategies that do not (Unicorn, custom ones)
+// make their sessions snapshot with an explanatory error.
+type Checkpointable interface {
+	Searcher
+	// Checkpoint returns an opaque serialization of the searcher's dynamic
+	// state. The searcher remains usable afterwards.
+	Checkpoint() ([]byte, error)
+	// Restore rebuilds the state captured by Checkpoint. It must be called
+	// on an unused searcher constructed with the same arguments as the
+	// checkpointed one.
+	Restore(data []byte) error
+}
+
+// hashKey renders a 64-bit config hash as a JSON-safe map key.
+func hashKey(h uint64) string { return strconv.FormatUint(h, 16) }
+
+// parseHashKey inverts hashKey.
+func parseHashKey(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+// encodePending renders a pending multiset for serialization.
+func encodePending(pending map[uint64]int) map[string]int {
+	out := make(map[string]int, len(pending))
+	for h, c := range pending {
+		if c > 0 {
+			out[hashKey(h)] = c
+		}
+	}
+	return out
+}
+
+// decodePending inverts encodePending.
+func decodePending(enc map[string]int) (map[uint64]int, error) {
+	out := make(map[uint64]int, len(enc))
+	for s, c := range enc {
+		h, err := parseHashKey(s)
+		if err != nil {
+			return nil, fmt.Errorf("search: bad pending hash %q: %w", s, err)
+		}
+		out[h] = c
+	}
+	return out, nil
+}
+
+// encodeSeen renders a seen-set deterministically (sorted).
+func encodeSeen(seen map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// decodeSeen inverts encodeSeen.
+func decodeSeen(hashes []uint64) map[uint64]bool {
+	out := make(map[uint64]bool, len(hashes))
+	for _, h := range hashes {
+		out[h] = true
+	}
+	return out
+}
+
+// randomState is the serialized form of Random and RandomMutate: the
+// proposal RNG position and the history dedup set.
+type randomState struct {
+	RNG  [4]uint64 `json:"rng"`
+	Seen []uint64  `json:"seen,omitempty"`
+}
+
+// Checkpoint implements Checkpointable.
+func (s *Random) Checkpoint() ([]byte, error) {
+	return json.Marshal(randomState{RNG: s.rng.State(), Seen: encodeSeen(s.seen)})
+}
+
+// Restore implements Checkpointable.
+func (s *Random) Restore(data []byte) error {
+	var st randomState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("search: random checkpoint: %w", err)
+	}
+	s.rng.SetState(st.RNG)
+	s.seen = decodeSeen(st.Seen)
+	return nil
+}
+
+// Checkpoint implements Checkpointable.
+func (s *RandomMutate) Checkpoint() ([]byte, error) {
+	return json.Marshal(randomState{RNG: s.rng.State(), Seen: encodeSeen(s.seen)})
+}
+
+// Restore implements Checkpointable.
+func (s *RandomMutate) Restore(data []byte) error {
+	var st randomState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("search: random-mutate checkpoint: %w", err)
+	}
+	s.rng.SetState(st.RNG)
+	s.seen = decodeSeen(st.Seen)
+	return nil
+}
+
+// gridState is the serialized form of Grid: the sweep base (as the
+// canonical non-default KV assignment), the ladder position, and the
+// pending multiset.
+type gridState struct {
+	BaseKV   map[string]string `json:"base_kv"`
+	ParamIdx int               `json:"param_idx"`
+	ValueIdx int               `json:"value_idx"`
+	Pending  map[string]int    `json:"pending,omitempty"`
+}
+
+// Checkpoint implements Checkpointable.
+func (s *Grid) Checkpoint() ([]byte, error) {
+	return json.Marshal(gridState{
+		BaseKV:   s.base.KV(),
+		ParamIdx: s.paramIdx,
+		ValueIdx: s.valueIdx,
+		Pending:  encodePending(s.pending),
+	})
+}
+
+// Restore implements Checkpointable.
+func (s *Grid) Restore(data []byte) error {
+	var st gridState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("search: grid checkpoint: %w", err)
+	}
+	base, err := s.space.FromKV(st.BaseKV)
+	if err != nil {
+		return fmt.Errorf("search: grid checkpoint base: %w", err)
+	}
+	pending, err := decodePending(st.Pending)
+	if err != nil {
+		return err
+	}
+	s.base = base
+	s.paramIdx, s.valueIdx = st.ParamIdx, st.ValueIdx
+	s.pending = pending
+	return nil
+}
+
+// bayesianState is the serialized form of Bayesian: the candidate-pool RNG
+// position, the incumbent/worst trackers, the pending multiset, and the GP
+// surrogate's exact numerical state.
+type bayesianState struct {
+	RNG       [4]uint64      `json:"rng"`
+	Best      float64        `json:"best"`
+	HaveBest  bool           `json:"have_best"`
+	Worst     float64        `json:"worst"`
+	HaveWorst bool           `json:"have_worst"`
+	FitErrors int            `json:"fit_errors,omitempty"`
+	Pending   map[string]int `json:"pending,omitempty"`
+	GP        *gp.State      `json:"gp"`
+}
+
+// Checkpoint implements Checkpointable.
+func (s *Bayesian) Checkpoint() ([]byte, error) {
+	return json.Marshal(bayesianState{
+		RNG:       s.rng.State(),
+		Best:      s.best,
+		HaveBest:  s.haveBest,
+		Worst:     s.worst,
+		HaveWorst: s.haveWorst,
+		FitErrors: s.fitErrors,
+		Pending:   encodePending(s.pending),
+		GP:        s.model.State(),
+	})
+}
+
+// Restore implements Checkpointable.
+func (s *Bayesian) Restore(data []byte) error {
+	var st bayesianState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("search: bayesian checkpoint: %w", err)
+	}
+	if st.GP == nil {
+		return fmt.Errorf("search: bayesian checkpoint has no surrogate state")
+	}
+	pending, err := decodePending(st.Pending)
+	if err != nil {
+		return err
+	}
+	if err := s.model.RestoreState(st.GP); err != nil {
+		return err
+	}
+	s.rng.SetState(st.RNG)
+	s.best, s.haveBest = st.Best, st.HaveBest
+	s.worst, s.haveWorst = st.Worst, st.HaveWorst
+	s.fitErrors = st.FitErrors
+	s.pending = pending
+	return nil
+}
+
+// deepTuneObs is one replayable observation of a DeepTune checkpoint.
+type deepTuneObs struct {
+	KV      map[string]string `json:"kv"`
+	Metric  float64           `json:"metric"`
+	Crashed bool              `json:"crashed,omitempty"`
+	Stage   string            `json:"stage,omitempty"`
+}
+
+// deepTuneState is the serialized form of DeepTune: the observation
+// history (replayed through a fresh selector to rebuild the DTM's weights,
+// optimizer moments, and training-RNG positions, all pure functions of the
+// Observe sequence) plus the proposal-stream RNG position and the pending
+// multiset, which interleaved Propose calls own.
+type deepTuneState struct {
+	RNG     [4]uint64      `json:"rng"`
+	Pending map[string]int `json:"pending,omitempty"`
+	Obs     []deepTuneObs  `json:"obs"`
+}
+
+// Checkpoint implements Checkpointable.
+func (s *DeepTune) Checkpoint() ([]byte, error) {
+	if s.unreplayable {
+		return nil, fmt.Errorf("search: deeptune history contains an observation without a Config; cannot checkpoint")
+	}
+	st := deepTuneState{
+		RNG:     s.sel.RNGState(),
+		Pending: encodePending(s.pending),
+		Obs:     make([]deepTuneObs, 0, len(s.obs)),
+	}
+	st.Obs = append(st.Obs, s.obs...)
+	return json.Marshal(st)
+}
+
+// Restore implements Checkpointable. Restoring replays the checkpointed
+// observation sequence through the fresh selector — one incremental DTM
+// retrain per observation, the same Updates the live session ran — then
+// overlays the proposal-stream RNG and pending state.
+func (s *DeepTune) Restore(data []byte) error {
+	if len(s.obs) != 0 {
+		return fmt.Errorf("search: deeptune restore onto a used searcher (%d observations)", len(s.obs))
+	}
+	var st deepTuneState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("search: deeptune checkpoint: %w", err)
+	}
+	pending, err := decodePending(st.Pending)
+	if err != nil {
+		return err
+	}
+	space := s.sel.Space()
+	enc := s.sel.Encoder()
+	for i, o := range st.Obs {
+		cfg, err := space.FromKV(o.KV)
+		if err != nil {
+			return fmt.Errorf("search: deeptune checkpoint observation %d: %w", i, err)
+		}
+		s.Observe(Observation{
+			Config:  cfg,
+			X:       enc.Encode(cfg),
+			Metric:  o.Metric,
+			Crashed: o.Crashed,
+			Stage:   o.Stage,
+		})
+	}
+	s.sel.SetRNGState(st.RNG)
+	s.pending = pending
+	s.cost = 0
+	return nil
+}
+
+// PendingSnapshot exports the adapter's pending multiset for session
+// checkpointing — the one piece of batch-protocol state that lives outside
+// a wrapped single-proposal searcher.
+func (b *batchAdapter) PendingSnapshot() map[uint64]int {
+	out := make(map[uint64]int, len(b.pending))
+	for h, c := range b.pending {
+		if c > 0 {
+			out[h] = c
+		}
+	}
+	return out
+}
+
+// RestorePending overwrites the adapter's pending multiset with a snapshot
+// taken by PendingSnapshot.
+func (b *batchAdapter) RestorePending(pending map[uint64]int) {
+	b.pending = make(map[uint64]int, len(pending))
+	for h, c := range pending {
+		if c > 0 {
+			b.pending[h] = c
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package search
+
+import (
+	"testing"
+
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/rng"
+	"wayfinder/internal/simos"
+)
+
+// checkpointSpace builds a small space shared by original and restored
+// searchers.
+func checkpointSpace(t testing.TB) *configspace.Space {
+	t.Helper()
+	m := simos.NewLinux(simos.LinuxOptions{FillerRuntime: 20, FillerBoot: 4, FillerCompile: 6, Seed: 1})
+	return m.Space
+}
+
+// observe feeds a synthetic observation for config c.
+func observe(s Searcher, enc *configspace.Encoder, c *configspace.Config, y float64, crashed bool) {
+	s.Observe(Observation{Config: c, X: enc.Encode(c), Metric: y, Crashed: crashed, Stage: "ok"})
+}
+
+// driveAndCheckpoint runs a propose/observe prefix, checkpoints, restores
+// into fresh, and asserts both searchers propose identically afterwards.
+func assertCheckpointContinuity(t *testing.T, name string, space *configspace.Space,
+	orig Checkpointable, fresh Checkpointable, prefix, tail int) {
+	t.Helper()
+	enc := configspace.NewEncoder(space)
+	noise := rng.New(99)
+	for i := 0; i < prefix; i++ {
+		c := orig.Propose()
+		observe(orig, enc, c, 100+10*noise.Float64(), i%5 == 4)
+	}
+	data, err := orig.Checkpoint()
+	if err != nil {
+		t.Fatalf("%s: checkpoint: %v", name, err)
+	}
+	if err := fresh.Restore(data); err != nil {
+		t.Fatalf("%s: restore: %v", name, err)
+	}
+	// Both must now walk identical propose/observe trajectories.
+	for i := 0; i < tail; i++ {
+		a, b := orig.Propose(), fresh.Propose()
+		if !a.Equal(b) {
+			t.Fatalf("%s: proposal %d diverged after restore:\n got %s\nwant %s", name, i, b, a)
+		}
+		y := 100 + 10*noise.Float64()
+		observe(orig, enc, a, y, false)
+		observe(fresh, enc, b, y, false)
+	}
+}
+
+func TestRandomCheckpoint(t *testing.T) {
+	space := checkpointSpace(t)
+	assertCheckpointContinuity(t, "random", space,
+		NewRandom(space, 7), NewRandom(space, 7), 12, 8)
+	// The restored dedup set must block revisits exactly like the original:
+	// a fresh searcher without Restore would re-propose the same sequence.
+	orig := NewRandom(space, 3)
+	c := orig.Propose()
+	data, _ := orig.Checkpoint()
+	restored := NewRandom(space, 3)
+	if err := restored.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Propose().Equal(c) {
+		t.Fatal("restored random searcher lost its seen set")
+	}
+}
+
+func TestRandomMutateCheckpoint(t *testing.T) {
+	space := checkpointSpace(t)
+	assertCheckpointContinuity(t, "random-mutate", space,
+		NewRandomMutate(space, 3, 7), NewRandomMutate(space, 3, 7), 12, 8)
+}
+
+func TestGridCheckpoint(t *testing.T) {
+	space := checkpointSpace(t)
+	// The observation prefix adopts improvements as the sweep base (via
+	// the engine normally; here the ladder position alone is the state).
+	assertCheckpointContinuity(t, "grid", space, NewGrid(space), NewGrid(space), 10, 10)
+}
+
+func TestBayesianCheckpoint(t *testing.T) {
+	space := checkpointSpace(t)
+	assertCheckpointContinuity(t, "bayesian", space,
+		NewBayesian(space, true, 7), NewBayesian(space, true, 7), 16, 8)
+}
+
+func TestBayesianCheckpointBatchPending(t *testing.T) {
+	// Checkpoint with a non-empty pending set (mid-batch, as an async
+	// session would): the restored searcher must dedup against it.
+	space := checkpointSpace(t)
+	enc := configspace.NewEncoder(space)
+	orig := NewBayesian(space, true, 7)
+	noise := rng.New(5)
+	for i := 0; i < 8; i++ {
+		c := orig.Propose()
+		observe(orig, enc, c, 50+noise.Float64(), false)
+	}
+	batch := orig.ProposeBatch(4) // leaves 4 pending
+	if orig.Pending() != 4 {
+		t.Fatalf("pending %d after batch", orig.Pending())
+	}
+	data, err := orig.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewBayesian(space, true, 7)
+	if err := fresh.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Pending() != 4 {
+		t.Fatalf("restored pending %d, want 4", fresh.Pending())
+	}
+	// Observe the batch on both; trajectories stay aligned.
+	for _, c := range batch {
+		y := 60 + noise.Float64()
+		observe(orig, enc, c, y, false)
+		observe(fresh, enc, c, y, false)
+	}
+	for i := 0; i < 4; i++ {
+		a, b := orig.Propose(), fresh.Propose()
+		if !a.Equal(b) {
+			t.Fatalf("proposal %d diverged after mid-batch restore", i)
+		}
+		y := 70 + noise.Float64()
+		observe(orig, enc, a, y, false)
+		observe(fresh, enc, b, y, false)
+	}
+}
+
+func TestDeepTuneCheckpoint(t *testing.T) {
+	space := checkpointSpace(t)
+	cfg := deeptune.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Epochs = 2 // keep the replay cheap
+	mk := func() *DeepTune { return NewDeepTune(space, true, cfg) }
+	assertCheckpointContinuity(t, "deeptune", space, mk(), mk(), 8, 4)
+}
+
+func TestDeepTuneRestoreRejectsUsedSearcher(t *testing.T) {
+	space := checkpointSpace(t)
+	cfg := deeptune.DefaultConfig()
+	cfg.Seed = 7
+	enc := configspace.NewEncoder(space)
+	orig := NewDeepTune(space, true, cfg)
+	observe(orig, enc, orig.Propose(), 1, false)
+	data, err := orig.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := NewDeepTune(space, true, cfg)
+	observe(used, enc, used.Propose(), 2, false)
+	if err := used.Restore(data); err == nil {
+		t.Fatal("Restore accepted a searcher with prior observations")
+	}
+}
+
+func TestAdapterPendingSnapshot(t *testing.T) {
+	space := checkpointSpace(t)
+	b := AsBatch(NewRandom(space, 4)).(*batchAdapter)
+	batch := b.ProposeBatch(3)
+	if len(batch) != 3 || b.Pending() != 3 {
+		t.Fatalf("batch %d, pending %d", len(batch), b.Pending())
+	}
+	snap := b.PendingSnapshot()
+	b2 := AsBatch(NewRandom(space, 4)).(*batchAdapter)
+	b2.RestorePending(snap)
+	if b2.Pending() != 3 {
+		t.Fatalf("restored pending %d, want 3", b2.Pending())
+	}
+	for _, c := range batch {
+		b2.Observe(Observation{Config: c})
+	}
+	if b2.Pending() != 0 {
+		t.Fatalf("pending %d after observing the batch", b2.Pending())
+	}
+}

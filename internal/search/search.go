@@ -572,8 +572,14 @@ type DeepTune struct {
 	xs      [][]float64
 	ys      []float64
 	crashes []bool
-	cost    time.Duration
-	pending map[uint64]int
+	// obs is the replayable observation history (configs in canonical KV
+	// form) the Checkpointable implementation serializes; the DTM's state
+	// is a pure function of it, so a checkpoint need not version network
+	// weights or optimizer buffers.
+	obs          []deepTuneObs
+	unreplayable bool // an observation carried no Config; checkpointing is off
+	cost         time.Duration
+	pending      map[uint64]int
 }
 
 // NewDeepTune returns a DeepTune searcher.
@@ -632,6 +638,11 @@ func (s *DeepTune) Observe(o Observation) {
 	s.xs = append(s.xs, o.X)
 	s.ys = append(s.ys, o.Metric)
 	s.crashes = append(s.crashes, o.Crashed)
+	if o.Config != nil {
+		s.obs = append(s.obs, deepTuneObs{KV: o.Config.KV(), Metric: o.Metric, Crashed: o.Crashed, Stage: o.Stage})
+	} else {
+		s.unreplayable = true
+	}
 	// Selector.Observe never fails with aligned histories, which this
 	// adapter maintains by construction.
 	_ = s.sel.Observe(o.Config, o.X, o.Metric, o.Crashed, s.xs, s.ys, s.crashes)

@@ -85,6 +85,19 @@ func (w *WallClock) Stall(i int, until float64) {
 	w.stalls[i] += gap
 }
 
+// WorkerStallSec returns worker i's scheduler-imposed stall total — the
+// component of its idle time that is already settled (unlike the drain gap,
+// which depends on the final wall time). Used for checkpointing.
+func (w *WallClock) WorkerStallSec(i int) float64 { return w.stalls[i] }
+
+// RestoreWorker forces worker i's clock and stall total to checkpointed
+// values, re-establishing a serialized session's exact time state. The
+// clock must not move backwards past the wall-clock baseline.
+func (w *WallClock) RestoreWorker(i int, nowSec, stallSec float64) {
+	w.clocks[i].now = nowSec
+	w.stalls[i] = stallSec
+}
+
 // Workers returns the number of worker clocks.
 func (w *WallClock) Workers() int { return len(w.clocks) }
 

@@ -13,46 +13,93 @@
 //
 // # Quick start
 //
+// The one-liner: build a session and run it to completion.
+//
 //	model := wayfinder.NewLinuxModel()                  // simulated kernel
 //	model.Space.Favor(wayfinder.CompileTime, 0)         // runtime search
 //	app := wayfinder.AppNginx()
-//	searcher := wayfinder.NewDeepTuneSearcher(model.Space, true, wayfinder.DefaultDeepTuneConfig())
-//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{Iterations: 250})
+//	session, err := wayfinder.New(model, app,
+//	    wayfinder.WithBudget(250, 0),
+//	    wayfinder.WithSeed(7),
+//	)
+//	report, err := session.Run(context.Background())
+//
+// The default strategy is DeepTune; WithSearcher selects another, and
+// WithMetric another objective (memory footprint, throughput–memory
+// score). Run honors the context: on cancellation or deadline it returns
+// ctx.Err() together with a valid partial report — the exact observation
+// prefix of the uninterrupted run — and the session can be continued
+// afterwards.
+//
+// # Sessions are first-class
+//
+// A Session is an explicit state machine advanced one observation at a
+// time, which is what a multiplexing daemon needs to interleave many
+// sessions over one warm fleet, and what custom stopping rules hook into:
+//
+//	for !session.Done() {
+//	    session.Step(1)                       // exactly one observation
+//	    if session.Report().CrashRate() > 0.5 {
+//	        break                             // custom stopping rule
+//	    }
+//	}
+//
+// Typed events stream in deterministic observation order — EvalDone,
+// NewBest, CacheEvent, RoundBarrier, Progress, SessionDone — for live
+// rendering (wfctl -progress) or fan-out:
+//
+//	events := session.Events() // subscribe before running
+//	go session.Run(ctx)
+//	for ev := range events {
+//	    if best, ok := ev.(wayfinder.NewBest); ok {
+//	        fmt.Println("new best:", best.Result.Metric)
+//	    }
+//	}
+//
+// Sessions checkpoint and resume byte-identically — searcher state
+// included, via the search package's Checkpointable interface (Random,
+// RandomMutate, Grid, Bayesian, DeepTune):
+//
+//	snap, err := session.Snapshot()           // []byte, JSON
+//	...
+//	resumed, err := wayfinder.Resume(model, app, snap,
+//	    wayfinder.WithSearcher(freshSearcherSameArgs))
+//	report, err := resumed.Run(ctx)           // ≡ the uninterrupted run
+//
+// # Parallel evaluation
 //
 // Sessions parallelize across simulated worker VMs, as the paper's
-// platform does, by setting SessionOptions.Workers: W > 1 evaluates W
-// configurations concurrently with deterministic per-worker noise streams
-// and per-worker virtual clocks merged into a wall-clock (the session
-// stays reproducible for a fixed seed and worker count):
+// platform does: WithWorkers(W) evaluates W configurations concurrently
+// with deterministic per-worker noise streams and per-worker virtual
+// clocks merged into a wall-clock. WithAsync(staleness) replaces the round
+// barrier with the event-driven bounded-staleness scheduler (one slow
+// build no longer stalls the pool), and WithHosts(H) splits the fleet
+// across hosts sharing per-host artifact-store partitions with a
+// cross-host transfer cost:
 //
-//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{Iterations: 250, Workers: 8})
+//	session, err := wayfinder.New(model, app,
+//	    wayfinder.WithSearcher(searcher),
+//	    wayfinder.WithWorkers(8),
+//	    wayfinder.WithAsync(-1),              // unbounded asynchrony
+//	    wayfinder.WithHosts(4),
+//	    wayfinder.WithBudget(250, 0),
+//	    wayfinder.WithSeed(7),
+//	)
 //
-// Parallel sessions default to round-based scheduling; SessionOptions.Async
-// enables the event-driven bounded-staleness scheduler, which removes the
-// round barrier (one slow build no longer stalls the pool) while keeping
-// sessions byte-reproducible for a fixed (seed, workers, staleness) triple:
-//
-//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{
-//		Iterations: 250, Workers: 8, Async: true, Staleness: -1,
-//	})
-//
-// Workers share a content-addressed artifact store (built images keyed by
-// the configuration's compile-stage digest), so an image built once is
-// fetched — never rebuilt — by every other worker that needs it.
-// SessionOptions.Hosts splits the fleet across simulated hosts with
-// per-host store partitions and a cross-host transfer cost:
-//
-//	report, err := wayfinder.Specialize(model, app, searcher, wayfinder.SessionOptions{
-//		Iterations: 250, Workers: 8, Hosts: 4,
-//	})
+// Reproducibility is a platform invariant: reports, event streams, and
+// resumed sessions are pure functions of (seed, workers, staleness,
+// hosts), never of goroutine scheduling.
 //
 // The report carries the best configuration found, the full history, and
 // the crash-rate/performance series the paper's figures plot. See the
-// examples/ directory for runnable end-to-end programs and cmd/wfbench for
-// the reproduction of every table and figure in the paper's evaluation.
+// examples/ directory for runnable end-to-end programs (examples/streaming
+// consumes the event stream) and cmd/wfbench for the reproduction of every
+// table and figure in the paper's evaluation.
 package wayfinder
 
 import (
+	"context"
+
 	"wayfinder/internal/apps"
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/core"
@@ -193,16 +240,26 @@ func ParseJob(src string) (*Job, error) { return configspace.ParseJobYAML(src) }
 
 // Specialize runs one search session with the application's own benchmark
 // metric, on a fresh virtual clock, and returns the report.
+//
+// Deprecated: Specialize is the v1 blocking entry point, kept working as a
+// thin wrapper over the Session API. New code should construct a session —
+// wayfinder.New(model, app, WithSearcher(s), WithOptions(opts)) — and call
+// Run(ctx), which adds cancellation, stepping, events, and checkpointing.
 func Specialize(model *Model, app *App, s Searcher, opts SessionOptions) (*Report, error) {
 	return SpecializeMetric(model, app, &core.PerfMetric{App: app}, s, opts)
 }
 
 // SpecializeMetric is Specialize with an explicit optimization metric
 // (memory footprint, throughput–memory score, ...).
+//
+// Deprecated: like Specialize, kept as a wrapper over the Session API. Use
+// wayfinder.New with WithMetric and WithSearcher instead.
 func SpecializeMetric(model *Model, app *App, metric Metric, s Searcher, opts SessionOptions) (*Report, error) {
-	var clock vm.Clock
-	eng := core.NewEngine(model, app, metric, s, &clock, opts.Seed)
-	return eng.Run(opts)
+	session, err := New(model, app, WithMetric(metric), WithSearcher(s), WithOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return session.Run(context.Background())
 }
 
 // CozartDebloat applies the Cozart-style compile-time debloater to a
