@@ -3,7 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet bench bench-cache bench-search smoke ci
+# Lint tooling is pinned so local runs and CI agree on what "clean"
+# means. `make tools` installs both; `make lint` runs whatever is
+# present and prints install instructions for what is not, so a machine
+# without network access (or without the tools) degrades to a warning
+# instead of a red build.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test race fmt vet bench bench-cache bench-search smoke \
+	smoke-wfd tools lint cover ci
 
 all: build
 
@@ -25,6 +34,46 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# lint runs staticcheck and govulncheck when they are installed and
+# degrades to a warning when they are not, so `make lint` is safe to run
+# everywhere while CI (which runs `make tools` first) gets the real
+# checks.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (make tools installs $(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (make tools installs $(GOVULNCHECK_VERSION))"; \
+	fi
+
+# cover enforces coverage floors on the packages that carry the
+# correctness guarantees: the deterministic engine and the daemon's
+# scheduler/journal/recovery machinery.
+COVER_FLOOR_CORE ?= 85
+COVER_FLOOR_WFD  ?= 85
+
+cover:
+	@set -e; \
+	check() { \
+		pkg=$$1; floor=$$2; \
+		pct=$$($(GO) test -cover "$$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+		if [ "$$(awk "BEGIN{print ($$pct < $$floor)}")" = 1 ]; then \
+			echo "cover: $$pkg coverage $$pct% is below the $$floor% floor"; exit 1; \
+		fi; \
+	}; \
+	check ./internal/core $(COVER_FLOOR_CORE); \
+	check ./internal/wfd $(COVER_FLOOR_WFD)
 
 # bench is a smoke pass: one iteration per benchmark, no tests. The
 # scheduler benchmarks (worker pool, async event queue, straggler study)
@@ -58,4 +107,11 @@ smoke:
 	$(GO) run ./examples/quickstart -l 24
 	$(GO) run ./examples/streaming -l 32
 
-ci: fmt vet build race bench bench-cache bench-search smoke
+# smoke-wfd is the daemon's SIGKILL gauntlet: build race-enabled wfd and
+# wfctl binaries, run a journaling daemon, kill -9 it mid-flight, restart
+# it over the same state dir, and assert every job's canonical report is
+# byte-identical to an uninterrupted reference run.
+smoke-wfd:
+	./scripts/smoke_wfd.sh
+
+ci: fmt vet build race bench bench-cache bench-search smoke smoke-wfd

@@ -3,7 +3,11 @@
 // design choices DESIGN.md calls out. Each benchmark runs its experiment
 // at quick scale and reports the key headline number via b.ReportMetric,
 // so `go test -bench=. -benchmem` doubles as a miniature reproduction run.
-package wayfinder
+//
+// This is an external test package (wayfinder_test): the experiments
+// package it drives now pulls in internal/wfd, whose daemon serves
+// wayfinder.Session — an in-package test would be an import cycle.
+package wayfinder_test
 
 import (
 	"strconv"

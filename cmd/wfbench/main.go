@@ -13,10 +13,11 @@
 //	wfbench -exp fleet                # multi-host topology transfer costs
 //	wfbench -exp searcherscale -json  # incremental-surrogate decision-cost snapshot
 //	wfbench -exp searcherscale -obs 512
+//	wfbench -exp serve                # wfd daemon load: many tenants, many sessions
 //
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
 // table3, fig9, fig10, fig11, table4, scaling, straggler, cachehit,
-// fleet, searcherscale.
+// fleet, searcherscale, serve.
 package main
 
 import (

@@ -52,13 +52,28 @@ func main() {
 		cmdCreate(os.Args[2:])
 	case "start":
 		cmdStart(os.Args[2:])
+	case "submit":
+		cmdSubmit(os.Args[2:])
+	case "jobs":
+		cmdJobs(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
+	case "attach":
+		cmdAttach(os.Args[2:])
+	case "report":
+		cmdReport(os.Args[2:])
+	case "cancel":
+		cmdCancel(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfctl <create|start> [flags] job.yaml")
+	fmt.Fprintln(os.Stderr, `usage: wfctl <command> [flags] ...
+  local:  create job.yaml | start [flags] job.yaml
+  daemon: submit -d addr [flags] job.yaml | jobs | status [id] |
+          attach id | report [-wait] id | cancel id   (all take -d addr)`)
 	os.Exit(2)
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/rng"
@@ -94,6 +95,10 @@ type Session struct {
 	// path remains single-driver.
 	done   atomic.Bool
 	folded float64 // wall-clock advance already folded onto the engine clock
+
+	// decisionNS accumulates the searcher's real decision time across the
+	// session — the third axis of the Usage quantum accounting.
+	decisionNS time.Duration
 
 	// Round-barrier scheduler state: the current round's evaluated-but-
 	// unrecorded results, drained one observation per step.
@@ -304,7 +309,9 @@ func (s *Session) record(res Result) {
 		Crashed: res.Crashed,
 		Stage:   res.Stage,
 	})
-	report.History[len(report.History)-1].DecisionCost = s.recorder.DecisionCost()
+	dc := s.recorder.DecisionCost()
+	report.History[len(report.History)-1].DecisionCost = dc
+	s.decisionNS += dc
 	// Grid adopts improvements as its sweep base.
 	if g, ok := e.Searcher.(*search.Grid); ok && report.Best != nil && report.Best.Config != nil {
 		g.AdoptBase(report.Best.Config)
@@ -354,6 +361,42 @@ func (s *Session) SetBudget(iterations int, timeBudgetSec float64) error {
 	s.opts = o
 	s.done.Store(false)
 	return nil
+}
+
+// Usage is the session's cumulative quantum accounting: the three axes a
+// multiplexing daemon charges a tenant for — observations recorded,
+// aggregate virtual compute seconds consumed across the session's workers,
+// and the real time its searcher spent deciding. A daemon reads Usage
+// before and after a Step quantum and charges the tenant the difference.
+type Usage struct {
+	// Observations is the number of recorded observations (== Observed()).
+	Observations int `json:"observations"`
+	// ComputeSec is the aggregate virtual compute time over all workers.
+	ComputeSec float64 `json:"compute_sec"`
+	// DecisionCost is the cumulative real time spent in the searcher.
+	DecisionCost time.Duration `json:"decision_cost_ns"`
+}
+
+// Sub returns the usage delta u − prev: what one quantum consumed, given
+// the accounting read before it.
+func (u Usage) Sub(prev Usage) Usage {
+	return Usage{
+		Observations: u.Observations - prev.Observations,
+		ComputeSec:   u.ComputeSec - prev.ComputeSec,
+		DecisionCost: u.DecisionCost - prev.DecisionCost,
+	}
+}
+
+// Usage returns the session's cumulative quantum accounting at the current
+// position. Like Report, it is valid at any observation boundary; unlike
+// the report it is O(1) to read, sized for a per-quantum charging loop.
+func (s *Session) Usage() Usage {
+	s.finalize()
+	return Usage{
+		Observations: s.observed,
+		ComputeSec:   s.report.ComputeSec,
+		DecisionCost: s.decisionNS,
+	}
 }
 
 // checkpointable returns the searcher's checkpoint interface, or an error

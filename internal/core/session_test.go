@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -390,39 +391,59 @@ func jsonString(t *testing.T, v any) string {
 	return string(b)
 }
 
-// TestOptionsValidate pins the centralized validation the CLIs and the
-// Session constructor share.
+// TestOptionsValidate pins the centralized validation the CLIs, the
+// daemon's spec admission, and the Session constructor share — including
+// the exact failure messages, which surface verbatim to users.
 func TestOptionsValidate(t *testing.T) {
-	bad := []Options{
-		{},                                     // no budget
-		{Iterations: 10, Workers: -1},          // negative workers
-		{Iterations: 10, Staleness: 2},         // staleness without async
-		{Iterations: 10, Staleness: -1},        // ditto, negative
-		{Iterations: 10, Workers: 4, Hosts: 8}, // hosts > workers
-		{Iterations: 10, Hosts: 2},             // hosts > effective workers (1)
-		{TimeBudgetSec: -3},                    // negative time budget
-		{Iterations: 10, Workers: 4, Hosts: 2, DisableCache: true},         // hosts without the store
-		{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, -4}}, // negative speed
+	bad := []struct {
+		name    string
+		opts    Options
+		wantErr string
+	}{
+		{"no budget", Options{}, "no budget"},
+		{"negative iterations", Options{Iterations: -1, TimeBudgetSec: 100}, "negative iteration budget"},
+		{"negative time budget", Options{Iterations: 10, TimeBudgetSec: -3}, "negative time budget"},
+		{"negative workers", Options{Iterations: 10, Workers: -1}, "negative worker count"},
+		{"staleness without async", Options{Iterations: 10, Staleness: 2}, "Staleness only applies to the async scheduler"},
+		{"negative staleness without async", Options{Iterations: 10, Staleness: -1}, "Staleness only applies to the async scheduler"},
+		{"negative hosts", Options{Iterations: 10, Hosts: -2, Workers: 2}, "negative host count"},
+		{"hosts exceed workers", Options{Iterations: 10, Workers: 4, Hosts: 8}, "8 hosts exceed 4 workers"},
+		{"hosts exceed effective workers", Options{Iterations: 10, Hosts: 2}, "2 hosts exceed 1 workers"},
+		{"hosts without the store", Options{Iterations: 10, Workers: 4, Hosts: 2, DisableCache: true}, "artifact-cache locality"},
+		{"negative speed factor", Options{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, -4}}, "negative speed factor -4 for worker 1"},
 	}
-	for i, o := range bad {
-		if err := o.Validate(); err == nil {
-			t.Fatalf("bad options %d (%+v) validated", i, o)
-		}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if err == nil {
+				t.Fatalf("bad options %+v validated", tc.opts)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
-	good := []Options{
-		{Iterations: 10},
-		{TimeBudgetSec: 100},
-		{Iterations: 10, Workers: 8, Async: true, Staleness: -1},
-		{Iterations: 10, Workers: 8, Async: true}, // staleness 0 = sync rounds
-		{Iterations: 10, Workers: 8, Hosts: 8},
-		{Iterations: 10, Workers: 2, DisableCache: true},
-		{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, 4}},
+
+	good := []struct {
+		name string
+		opts Options
+	}{
+		{"iteration budget", Options{Iterations: 10}},
+		{"time budget only", Options{TimeBudgetSec: 100}},
+		{"unbounded async staleness", Options{Iterations: 10, Workers: 8, Async: true, Staleness: -1}},
+		{"async with sync rounds", Options{Iterations: 10, Workers: 8, Async: true}},
+		{"one host per worker", Options{Iterations: 10, Workers: 8, Hosts: 8}},
+		{"cache disabled single host", Options{Iterations: 10, Workers: 2, DisableCache: true}},
+		{"speed factors", Options{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, 4}}},
 	}
-	for i, o := range good {
-		if err := o.Validate(); err != nil {
-			t.Fatalf("good options %d (%+v) rejected: %v", i, o, err)
-		}
+	for _, tc := range good {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.opts.Validate(); err != nil {
+				t.Fatalf("good options %+v rejected: %v", tc.opts, err)
+			}
+		})
 	}
+
 	// Engine.Run routes through the same validation.
 	eng := newSessionEngine(t, "random", 1)
 	if _, err := eng.Run(Options{Iterations: 10, Staleness: 3}); err == nil {

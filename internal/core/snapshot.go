@@ -300,6 +300,11 @@ func (e *Engine) RestoreSession(data []byte) (*Session, error) {
 			return nil, fmt.Errorf("core: best result: %w", err)
 		}
 	}
+	// The cumulative decision-cost accounting is derivable from the
+	// restored history, so it travels implicitly.
+	for i := range s.report.History {
+		s.decisionNS += s.report.History[i].DecisionCost
+	}
 
 	// Workers: clocks, stall accounting, noise streams, skip digests.
 	for i, ws := range snap.Workers {

@@ -50,6 +50,12 @@ type Scale struct {
 	// feeds the GP surrogate when charting incremental-vs-refit decision
 	// cost (the acceptance point sits at 256).
 	SurrogateObs int
+	// ServeJobs/ServeTenants/ServeIterations size the serve experiment's
+	// daemon load: total concurrent jobs, tenants they are spread over,
+	// and each job's observation budget.
+	ServeJobs       int
+	ServeTenants    int
+	ServeIterations int
 	// Linux sizes the simulated Linux profile.
 	Linux simos.LinuxOptions
 }
@@ -57,17 +63,20 @@ type Scale struct {
 // PaperScale matches the paper's experiment sizes.
 func PaperScale() Scale {
 	return Scale{
-		Seeds:         5,
-		Iterations:    250,
-		RandomConfigs: 800,
-		PerAppConfigs: 2000,
-		TimeBudgetSec: 3 * 3600,
-		SynthIters:    300,
-		Workers:       16,
-		Straggler:     4,
-		Hosts:         4,
-		SurrogateObs:  512,
-		Linux:         simos.DefaultLinuxOptions(),
+		Seeds:           5,
+		Iterations:      250,
+		RandomConfigs:   800,
+		PerAppConfigs:   2000,
+		TimeBudgetSec:   3 * 3600,
+		SynthIters:      300,
+		Workers:         16,
+		Straggler:       4,
+		Hosts:           4,
+		SurrogateObs:    512,
+		ServeJobs:       256,
+		ServeTenants:    8,
+		ServeIterations: 120,
+		Linux:           simos.DefaultLinuxOptions(),
 	}
 }
 
@@ -75,17 +84,20 @@ func PaperScale() Scale {
 // qualitative shapes.
 func QuickScale() Scale {
 	return Scale{
-		Seeds:         2,
-		Iterations:    120,
-		RandomConfigs: 200,
-		PerAppConfigs: 400,
-		TimeBudgetSec: 6000,
-		SynthIters:    60,
-		Workers:       8,
-		Straggler:     4,
-		Hosts:         4,
-		SurrogateObs:  256,
-		Linux:         simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1},
+		Seeds:           2,
+		Iterations:      120,
+		RandomConfigs:   200,
+		PerAppConfigs:   400,
+		TimeBudgetSec:   6000,
+		SynthIters:      60,
+		Workers:         8,
+		Straggler:       4,
+		Hosts:           4,
+		SurrogateObs:    256,
+		ServeJobs:       112,
+		ServeTenants:    8,
+		ServeIterations: 60,
+		Linux:           simos.LinuxOptions{FillerRuntime: 80, FillerBoot: 10, FillerCompile: 30, Seed: 1},
 	}
 }
 
@@ -200,7 +212,7 @@ func IDs() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig5", "fig6", "table2", "fig7", "fig8",
 		"table3", "fig9", "fig10", "fig11", "table4", "scaling", "straggler",
-		"cachehit", "fleet", "searcherscale",
+		"cachehit", "fleet", "searcherscale", "serve",
 	}
 }
 
@@ -243,6 +255,8 @@ func Run(id string, scale Scale) (*Result, error) {
 		return Fleet(scale)
 	case "searcherscale":
 		return Searcherscale(scale)
+	case "serve":
+		return Serve(scale)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))

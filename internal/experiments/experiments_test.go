@@ -495,3 +495,33 @@ func TestSearcherscaleIncrementalWins(t *testing.T) {
 		t.Fatalf("gp curve has %d points, want 192", len(series["gp-add-refit-s"].Y))
 	}
 }
+
+func TestServeDaemonLoad(t *testing.T) {
+	// The serve experiment asserts its own acceptance bar internally:
+	// >= min(jobs, 100) concurrent sessions, fair-share service spread
+	// <= 2x between tenants, every cross-tenant report pair byte-identical.
+	// A smaller load keeps the test quick; the concurrency floor scales
+	// with the job count.
+	scale := tinyScale()
+	scale.ServeJobs = 48
+	scale.ServeTenants = 6
+	scale.ServeIterations = 30
+	res, err := Serve(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 6 {
+		t.Fatalf("want one table with 6 tenant rows, got %+v", res.Tables)
+	}
+	for row := range res.Tables[0].Rows {
+		if got := cellF(t, res.Tables[0], row, "served obs"); got != 8*30 {
+			t.Fatalf("tenant row %d served %v observations, want %d", row, got, 8*30)
+		}
+	}
+	if len(res.Series) != 2 || len(res.Series[0].Y) == 0 {
+		t.Fatalf("want served+spread series, got %+v", len(res.Series))
+	}
+	if len(res.Notes) < 5 {
+		t.Fatalf("want the five summary notes, got %d", len(res.Notes))
+	}
+}

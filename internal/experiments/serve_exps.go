@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wayfinder/internal/wfd"
+)
+
+// Serve is the daemon load study: one wfd daemon serving ServeJobs
+// concurrent tuning sessions spread over ServeTenants tenants, with every
+// tenant submitting an identical workload in parallel. It measures what a
+// serve-many-users deployment cares about:
+//
+//   - concurrency: the peak number of jobs simultaneously in flight
+//     (the experiment fails under min(ServeJobs, 100));
+//   - fairness: the max/min spread of per-tenant service, sampled while
+//     the daemon is saturated (fails above 2×);
+//   - aggregate throughput: observations served per real second across
+//     the whole fleet;
+//   - determinism under multiplexing: tenants submit identical specs, so
+//     their canonical final reports must match byte-for-byte regardless of
+//     how the scheduler interleaved them;
+//   - the cross-session build index: identical workloads recompile the
+//     same images, so the duplicate-build count shows what a shared
+//     physical artifact store would save.
+func Serve(scale Scale) (*Result, error) {
+	tenants := scale.ServeTenants
+	if tenants < 1 {
+		tenants = 1
+	}
+	perTenant := scale.ServeJobs / tenants
+	if perTenant < 1 {
+		perTenant = 1
+	}
+	jobs := perTenant * tenants
+	iters := scale.ServeIterations
+	if iters < 1 {
+		iters = 30
+	}
+	demand := jobs * iters
+
+	// Small quantum and a bounded pool keep the service spread tight: the
+	// scheduler's imbalance is at most ~steppers×quantum observations.
+	steppers := runtime.GOMAXPROCS(0)
+	if steppers > 8 {
+		steppers = 8
+	}
+	d, err := wfd.New(wfd.Config{Quantum: 4, Steppers: steppers, EventLogCap: 64})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Kill()
+
+	// Every tenant submits the same workload from its own goroutine — the
+	// parallel-clients shape, and what makes the cross-tenant report
+	// comparison meaningful.
+	start := time.Now()
+	ids := make([][]string, tenants)
+	errs := make([]error, tenants)
+	var wg sync.WaitGroup
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			ids[t] = make([]string, perTenant)
+			for k := 0; k < perTenant; k++ {
+				id, err := d.Submit(wfd.JobSpec{
+					Name:       fmt.Sprintf("load-%02d-%03d", t, k),
+					Tenant:     fmt.Sprintf("tenant%02d", t),
+					Searcher:   "random",
+					Seed:       uint64(k + 1),
+					Iterations: iters,
+				})
+				if err != nil {
+					errs[t] = err
+					return
+				}
+				ids[t][k] = id
+			}
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: submit: %w", err)
+		}
+	}
+	submitted := time.Since(start)
+	st := d.Status()
+	peakActive := st.Queued + st.Running
+
+	// Sample the daemon while it drains: served-total for the throughput
+	// curve, per-tenant service for the fairness spread. Spread only
+	// counts once the daemon is past half its demand — before that the
+	// denominator is warming up.
+	type sample struct {
+		elapsed float64
+		served  int
+		spread  float64
+	}
+	var (
+		samples  []sample
+		sampleWG sync.WaitGroup
+		stop     = make(chan struct{})
+	)
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				st := d.Status()
+				s := sample{elapsed: time.Since(start).Seconds(), served: st.ServedTotal}
+				minSvc, maxSvc := -1, 0
+				for _, t := range st.Tenants {
+					if minSvc < 0 || t.Service < minSvc {
+						minSvc = t.Service
+					}
+					if t.Service > maxSvc {
+						maxSvc = t.Service
+					}
+				}
+				if st.ServedTotal >= demand/2 && st.ServedTotal < demand && minSvc > 0 {
+					s.spread = float64(maxSvc) / float64(minSvc)
+				}
+				samples = append(samples, s)
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	for t := 0; t < tenants; t++ {
+		for _, id := range ids[t] {
+			if err := d.WaitJob(ctx, id); err != nil {
+				return nil, fmt.Errorf("serve: wait: %w", err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	sampleWG.Wait()
+
+	// Every tenant ran the identical workload: job k's canonical report
+	// must be byte-identical across all of them, however the fair-share
+	// scheduler interleaved the quanta.
+	identical := 0
+	for k := 0; k < perTenant; k++ {
+		ref, err := d.ReportJSON(ids[0][k])
+		if err != nil {
+			return nil, fmt.Errorf("serve: report %s: %w", ids[0][k], err)
+		}
+		for t := 1; t < tenants; t++ {
+			got, err := d.ReportJSON(ids[t][k])
+			if err != nil {
+				return nil, fmt.Errorf("serve: report %s: %w", ids[t][k], err)
+			}
+			if !bytes.Equal(ref, got) {
+				return nil, fmt.Errorf("serve: tenant %d job %d report diverged from tenant 0's (scheduling leaked into session state)", t, k)
+			}
+			identical++
+		}
+	}
+
+	maxSpread := 0.0
+	for _, s := range samples {
+		if s.spread > maxSpread {
+			maxSpread = s.spread
+		}
+	}
+	final := d.Status()
+	if final.Done != jobs {
+		return nil, fmt.Errorf("serve: %d of %d jobs done", final.Done, jobs)
+	}
+	if want := min(jobs, 100); peakActive < want {
+		return nil, fmt.Errorf("serve: peak concurrency %d, want >= %d", peakActive, want)
+	}
+	if maxSpread > 2 {
+		return nil, fmt.Errorf("serve: fair-share service spread %.2fx exceeds 2x", maxSpread)
+	}
+
+	res := &Result{ID: "serve", Title: "Daemon load: many tenants, many concurrent sessions"}
+	tbl := Table{
+		Title:   fmt.Sprintf("Per-tenant accounting (%d jobs x %d observations each)", perTenant, iters),
+		Columns: []string{"tenant", "jobs", "served obs", "compute s"},
+	}
+	for _, t := range final.Tenants {
+		tbl.Rows = append(tbl.Rows, []string{
+			t.Name, fmt.Sprintf("%d", perTenant), fmt.Sprintf("%d", t.Served),
+			fmt.Sprintf("%.0f", t.ComputeSec),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+
+	served := Series{Name: "served observations vs real seconds"}
+	spread := Series{Name: "tenant service spread (max/min) vs real seconds"}
+	for _, s := range samples {
+		served.X = append(served.X, s.elapsed)
+		served.Y = append(served.Y, float64(s.served))
+		if s.spread > 0 {
+			spread.X = append(spread.X, s.elapsed)
+			spread.Y = append(spread.Y, s.spread)
+		}
+	}
+	res.Series = append(res.Series, served, spread)
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d jobs over %d tenants; peak concurrency %d sessions; submitted in %.2fs",
+			jobs, tenants, peakActive, submitted.Seconds()),
+		fmt.Sprintf("served %d observations in %.2fs real time — %.0f obs/s over %d quanta (%d steppers, quantum 4)",
+			final.ServedTotal, elapsed.Seconds(), float64(final.ServedTotal)/elapsed.Seconds(), final.Quanta, steppers),
+		fmt.Sprintf("fair-share service spread at saturation: %.2fx (max/min across tenants)", maxSpread),
+		fmt.Sprintf("determinism under multiplexing: %d cross-tenant report pairs byte-identical", identical),
+		fmt.Sprintf("cross-session build index: %d unique images, %d duplicate builds a shared physical store would have saved",
+			final.UniqueBuilds, final.DupBuilds),
+	)
+	return res, nil
+}

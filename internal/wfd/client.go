@@ -1,0 +1,196 @@
+// Client is the Go client for a running daemon — what wfctl's daemon mode
+// and the serve load generator drive the API with.
+package wfd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a daemon over its HTTP API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for addr: "host:port" or an http:// URL
+// connects over TCP, anything else is a unix-socket path.
+func NewClient(addr string) *Client {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return &Client{base: strings.TrimSuffix(addr, "/"), http: &http.Client{}}
+	}
+	if _, _, err := net.SplitHostPort(addr); err == nil {
+		return &Client{base: "http://" + addr, http: &http.Client{}}
+	}
+	// Unix socket: every connection dials the socket; the URL host is a
+	// placeholder.
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", addr)
+		},
+	}
+	return &Client{base: "http://wfd", http: &http.Client{Transport: transport}}
+}
+
+// do issues a request and decodes the JSON response into out (skipped when
+// out is nil), converting API error bodies into errors.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = strings.NewReader(string(data))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError converts an error response into a Go error, recovering the
+// daemon's sentinel classes from the status code.
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	case http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadSpec, msg)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", ErrQuota, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", ErrClosed, msg)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrNotDone, msg)
+	}
+	return fmt.Errorf("wfd: %s", msg)
+}
+
+// Submit submits a job, returning its ID.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Jobs lists all jobs.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Job returns one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Status returns the daemon-wide status.
+func (c *Client) Status(ctx context.Context) (DaemonStatus, error) {
+	var out DaemonStatus
+	err := c.do(ctx, http.MethodGet, "/v1/status", nil, &out)
+	return out, err
+}
+
+// Report fetches a completed job's canonical report bytes; wait blocks
+// until the job terminates.
+func (c *Client) Report(ctx context.Context, id string, wait bool) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/report"
+	if wait {
+		path += "?wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Events streams a job's events from sequence `from`, invoking fn per
+// event until the stream ends (the job terminated), fn returns false, or
+// the context ends. Returns the next sequence number to resume from.
+func (c *Client) Events(ctx context.Context, id string, from int, fn func(WireEvent) bool) (int, error) {
+	path := fmt.Sprintf("/v1/jobs/%s/events?from=%d", id, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return from, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return from, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return from, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	next := from
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev WireEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return next, fmt.Errorf("wfd: bad event line: %w", err)
+		}
+		next = ev.Seq + 1
+		if !fn(ev) {
+			return next, nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return next, err
+	}
+	return next, nil
+}

@@ -1,0 +1,220 @@
+// Event fan-out: each job owns a hub that converts the session's typed
+// events into compact wire events, retains them in a sequence-numbered
+// log, and broadcasts to any number of attached subscribers. The log makes
+// attach a replay: a client can connect mid-flight (or after completion),
+// ask for events from any sequence number, and follow live from there —
+// reconnecting from its last seen sequence after a dropped connection.
+package wfd
+
+import (
+	"sync"
+
+	"wayfinder/internal/core"
+)
+
+// WireEvent is one serialized session event. Type discriminates: "cache",
+// "eval", "best", "round", "progress", "done". Fields are a flattened
+// union — consumers switch on Type and read the fields it implies.
+type WireEvent struct {
+	// Seq is the event's position in the job's stream, starting at 0.
+	Seq int `json:"seq"`
+	// Type is the event kind.
+	Type string `json:"type"`
+
+	// Iteration, Config, Metric, Crashed, and Stage describe the
+	// observation carried by cache/eval/best events.
+	Iteration int     `json:"iteration,omitempty"`
+	Config    string  `json:"config,omitempty"`
+	Metric    float64 `json:"metric,omitempty"`
+	Crashed   bool    `json:"crashed,omitempty"`
+	Stage     string  `json:"stage,omitempty"`
+	// Source is a cache event's hit kind: reuse, local, or remote.
+	Source string `json:"source,omitempty"`
+
+	// Round and Size describe a round event; WallSec its virtual time.
+	Round int `json:"round,omitempty"`
+	Size  int `json:"size,omitempty"`
+
+	// Observed/Iterations/Crashes/ElapsedSec/Utilization summarize a
+	// progress or done event.
+	Observed    int     `json:"observed,omitempty"`
+	Iterations  int     `json:"iterations,omitempty"`
+	Crashes     int     `json:"crashes,omitempty"`
+	WallSec     float64 `json:"wall_sec,omitempty"`
+	ElapsedSec  float64 `json:"elapsed_sec,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+	CacheHits   int     `json:"cache_hits,omitempty"`
+	BuildsSaved int     `json:"builds_saved,omitempty"`
+	// BestMetric/BestConfig carry the running best where the source event
+	// has one.
+	BestMetric float64 `json:"best_metric,omitempty"`
+	BestConfig string  `json:"best_config,omitempty"`
+}
+
+// wireEvent flattens a typed session event; ok is false for event kinds
+// the wire format does not carry.
+func wireEvent(ev core.Event) (WireEvent, bool) {
+	switch e := ev.(type) {
+	case core.CacheEvent:
+		return WireEvent{
+			Type:      "cache",
+			Iteration: e.Result.Iteration,
+			Config:    e.Result.ConfigString,
+			Source:    e.Source,
+		}, true
+	case core.EvalDone:
+		return WireEvent{
+			Type:      "eval",
+			Iteration: e.Result.Iteration,
+			Config:    e.Result.ConfigString,
+			Metric:    e.Result.Metric,
+			Crashed:   e.Result.Crashed,
+			Stage:     e.Result.Stage,
+		}, true
+	case core.NewBest:
+		return WireEvent{
+			Type:      "best",
+			Iteration: e.Result.Iteration,
+			Config:    e.Result.ConfigString,
+			Metric:    e.Result.Metric,
+		}, true
+	case core.RoundBarrier:
+		return WireEvent{
+			Type:    "round",
+			Round:   e.Round,
+			Size:    e.Size,
+			WallSec: e.WallSec,
+		}, true
+	case core.Progress:
+		w := WireEvent{
+			Type:        "progress",
+			Observed:    e.Observed,
+			Iterations:  e.Iterations,
+			Crashes:     e.Crashes,
+			ElapsedSec:  e.ElapsedSec,
+			Utilization: e.Utilization,
+			CacheHits:   e.CacheHits,
+			BuildsSaved: e.BuildsSaved,
+		}
+		if e.Best != nil {
+			w.BestMetric = e.Best.Metric
+			w.BestConfig = e.Best.ConfigString
+		}
+		return w, true
+	case core.SessionDone:
+		w := WireEvent{
+			Type:       "done",
+			Observed:   len(e.Report.History),
+			Crashes:    e.Report.Crashes,
+			ElapsedSec: e.Report.ElapsedSec,
+		}
+		if e.Report.Best != nil {
+			w.BestMetric = e.Report.Best.Metric
+			w.BestConfig = e.Report.Best.ConfigString
+		}
+		return w, true
+	}
+	return WireEvent{}, false
+}
+
+// subChanCap is a subscriber's channel buffer. A subscriber that falls
+// this far behind the live stream is disconnected (its channel closed);
+// the client re-attaches from its last seen sequence and replays the gap
+// from the log.
+const subChanCap = 1024
+
+// hub is one job's event log plus live subscriber set.
+type hub struct {
+	mu     sync.Mutex
+	cap    int // log retention bound
+	base   int // sequence number of log[0]
+	log    []WireEvent
+	subs   map[int]chan WireEvent
+	nextID int
+	closed bool
+	// dropped counts subscribers disconnected for falling behind.
+	dropped int
+}
+
+func newHub(cap int) *hub {
+	return &hub{cap: cap, subs: map[int]chan WireEvent{}}
+}
+
+// publish appends an event (stamping its sequence number) and broadcasts
+// it. Slow subscribers are disconnected rather than blocking the session.
+func (h *hub) publish(ev WireEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	ev.Seq = h.base + len(h.log)
+	h.log = append(h.log, ev)
+	if excess := len(h.log) - h.cap; excess > 0 {
+		h.log = append(h.log[:0:0], h.log[excess:]...)
+		h.base += excess
+	}
+	for id, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			close(ch)
+			delete(h.subs, id)
+			h.dropped++
+		}
+	}
+}
+
+// subscribe returns the retained backlog from sequence `from` (clamped to
+// what the log still holds) plus a live channel carrying every subsequent
+// event, atomically — no event is lost between the two. The channel is
+// closed when the job terminates or the subscriber lags too far; cancel
+// releases the subscription early.
+func (h *hub) subscribe(from int) (backlog []WireEvent, ch <-chan WireEvent, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if from < h.base {
+		from = h.base
+	}
+	if idx := from - h.base; idx < len(h.log) {
+		backlog = append([]WireEvent(nil), h.log[idx:]...)
+	}
+	c := make(chan WireEvent, subChanCap)
+	if h.closed {
+		close(c)
+		return backlog, c, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = c
+	return backlog, c, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if ch, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// close ends the stream: live subscribers see their channels close after
+// the final event. The log stays readable for late attaches.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}
+
+// size reports the number of events published so far.
+func (h *hub) size() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.base + len(h.log)
+}

@@ -1,0 +1,292 @@
+// Job specifications: the declarative description a client submits and
+// the daemon journals. A spec is everything needed to (re)construct its
+// session deterministically — the crash-restart guarantee rests on a
+// session being a pure function of its spec, so specs carry no live
+// state; live state travels separately as session snapshots.
+package wfd
+
+import (
+	"encoding/json"
+	"fmt"
+
+	wayfinder "wayfinder"
+	"wayfinder/internal/apps"
+	"wayfinder/internal/configspace"
+	"wayfinder/internal/core"
+	"wayfinder/internal/deeptune"
+	"wayfinder/internal/search"
+	"wayfinder/internal/simos"
+)
+
+// JobSpec declares one tuning job.
+type JobSpec struct {
+	// Name is a client-chosen label (shown in listings; need not be
+	// unique — the daemon assigns the job ID).
+	Name string `json:"name,omitempty"`
+	// Tenant names the submitting tenant for fair-share scheduling and
+	// quota accounting ("default" when empty).
+	Tenant string `json:"tenant,omitempty"`
+	// OS selects the simulated profile: linux (default), unikraft, or
+	// linux-riscv.
+	OS string `json:"os,omitempty"`
+	// App selects the workload: nginx (default), redis, sqlite, npb.
+	App string `json:"app,omitempty"`
+	// Metric selects the objective: throughput (default, aliases
+	// performance/latency), memory, or score.
+	Metric string `json:"metric,omitempty"`
+	// Searcher selects the strategy: deeptune (default), random, grid,
+	// bayesian, or unicorn. All but unicorn checkpoint, so their jobs
+	// resume from journal snapshots; unicorn jobs restart from scratch
+	// after a crash (same final bytes, wasted work).
+	Searcher string `json:"searcher,omitempty"`
+	// Seed is the session seed.
+	Seed uint64 `json:"seed"`
+	// Iterations is the observation budget. The daemon requires it
+	// (> 0): admission control charges tenants for a job's full budget up
+	// front, so unbounded jobs are not admissible.
+	Iterations int `json:"iterations"`
+	// TimeBudgetSec optionally bounds the session's virtual time too.
+	TimeBudgetSec float64 `json:"time_budget_sec,omitempty"`
+	// Workers, Async, Staleness, and Hosts configure the session's
+	// simulated evaluation fleet exactly as the library options do.
+	Workers   int  `json:"workers,omitempty"`
+	Async     bool `json:"async,omitempty"`
+	Staleness int  `json:"staleness,omitempty"`
+	Hosts     int  `json:"hosts,omitempty"`
+	// DisableCache turns the session's shared artifact store off.
+	DisableCache bool `json:"disable_cache,omitempty"`
+	// Favor maps a parameter class (compile/boot/runtime) to a sampling
+	// weight; Fixed pins parameters to constant values.
+	Favor map[string]float64 `json:"favor,omitempty"`
+	Fixed map[string]string  `json:"fixed,omitempty"`
+}
+
+// SpecFromJob lifts a parsed YAML job file into a JobSpec (the wfctl
+// submit path; daemon-level fields — tenant, seed, searcher — are the
+// caller's).
+func SpecFromJob(job *configspace.Job) JobSpec {
+	return JobSpec{
+		Name:          job.Name,
+		OS:            job.OS,
+		App:           job.App,
+		Metric:        job.Metric,
+		Iterations:    job.Iterations,
+		TimeBudgetSec: job.TimeBudgetSec,
+		Favor:         job.Favor,
+		Fixed:         job.Fixed,
+	}
+}
+
+// withDefaults fills the defaulted fields.
+func (sp JobSpec) withDefaults() JobSpec {
+	if sp.Tenant == "" {
+		sp.Tenant = "default"
+	}
+	if sp.OS == "" {
+		sp.OS = "linux"
+	}
+	if sp.App == "" {
+		sp.App = "nginx"
+	}
+	if sp.Metric == "" {
+		sp.Metric = "throughput"
+	}
+	if sp.Searcher == "" {
+		sp.Searcher = "deeptune"
+	}
+	return sp
+}
+
+// options maps the spec onto session options.
+func (sp JobSpec) options() core.Options {
+	return core.Options{
+		Iterations:    sp.Iterations,
+		TimeBudgetSec: sp.TimeBudgetSec,
+		Seed:          sp.Seed,
+		Workers:       sp.Workers,
+		Async:         sp.Async,
+		Staleness:     sp.Staleness,
+		Hosts:         sp.Hosts,
+		DisableCache:  sp.DisableCache,
+	}
+}
+
+// Validate rejects specs the daemon cannot admit or reconstruct. It
+// builds nothing: the model/searcher construction errors surface at
+// submission via buildSession.
+func (sp JobSpec) Validate() error {
+	sp = sp.withDefaults()
+	switch sp.OS {
+	case "linux", "unikraft", "linux-riscv", "riscv":
+	default:
+		return fmt.Errorf("%w: unknown os %q (linux|unikraft|linux-riscv)", ErrBadSpec, sp.OS)
+	}
+	if _, err := apps.ByName(sp.App); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	switch sp.Metric {
+	case "throughput", "performance", "latency", "memory", "score":
+	default:
+		return fmt.Errorf("%w: unknown metric %q (throughput|memory|score)", ErrBadSpec, sp.Metric)
+	}
+	switch sp.Searcher {
+	case "random", "grid", "bayesian", "deeptune", "unicorn":
+	default:
+		return fmt.Errorf("%w: unknown searcher %q (random|grid|bayesian|deeptune|unicorn)", ErrBadSpec, sp.Searcher)
+	}
+	if sp.Iterations <= 0 {
+		return fmt.Errorf("%w: the daemon requires a positive iteration budget (admission control charges tenants up front)", ErrBadSpec)
+	}
+	for class := range sp.Favor {
+		if _, err := configspace.ParseClass(class); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	opts := sp.options()
+	if err := opts.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return nil
+}
+
+// buildModel constructs the spec's simulated OS model with favor weights
+// and fixed parameters applied — identically on every (re)construction,
+// which the deterministic-resume guarantee requires.
+func (sp JobSpec) buildModel() (*simos.Model, error) {
+	var model *simos.Model
+	switch sp.OS {
+	case "linux":
+		model = simos.NewLinux(simos.DefaultLinuxOptions())
+	case "unikraft":
+		model = simos.NewUnikraft(1)
+	case "linux-riscv", "riscv":
+		model = simos.NewRiscv(simos.DefaultRiscvOptions())
+	default:
+		return nil, fmt.Errorf("%w: unknown os %q", ErrBadSpec, sp.OS)
+	}
+	for class, w := range sp.Favor {
+		cl, err := configspace.ParseClass(class)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		model.Space.Favor(cl, w)
+	}
+	for name, raw := range sp.Fixed {
+		p, _ := model.Space.Lookup(name)
+		if p == nil {
+			return nil, fmt.Errorf("%w: fixed parameter %q not in the %s space", ErrBadSpec, name, sp.OS)
+		}
+		v, err := p.ParseValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		if err := model.Space.Fix(name, v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	return model, nil
+}
+
+// buildMetric constructs the spec's metric.
+func (sp JobSpec) buildMetric(app *simos.App) (core.Metric, error) {
+	switch sp.Metric {
+	case "throughput", "performance", "latency":
+		return &core.PerfMetric{App: app}, nil
+	case "memory":
+		return core.MemoryMetric{}, nil
+	case "score":
+		return &core.ScoreMetric{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown metric %q", ErrBadSpec, sp.Metric)
+}
+
+// buildSearcher constructs a fresh searcher with spec-determined
+// constructor arguments (what Snapshot/Resume requires).
+func (sp JobSpec) buildSearcher(model *simos.Model, maximize bool) (search.Searcher, error) {
+	switch sp.Searcher {
+	case "random":
+		return search.NewRandom(model.Space, sp.Seed), nil
+	case "grid":
+		return search.NewGrid(model.Space), nil
+	case "bayesian":
+		return search.NewBayesian(model.Space, maximize, sp.Seed), nil
+	case "deeptune":
+		cfg := deeptune.DefaultConfig()
+		cfg.Seed = sp.Seed
+		return search.NewDeepTune(model.Space, maximize, cfg), nil
+	case "unicorn":
+		return search.NewUnicorn(model.Space, maximize, sp.Seed), nil
+	}
+	return nil, fmt.Errorf("%w: unknown searcher %q", ErrBadSpec, sp.Searcher)
+}
+
+// assemble builds the construction inputs shared by fresh and resumed
+// sessions.
+func (sp JobSpec) assemble() (*simos.Model, *simos.App, core.Metric, search.Searcher, error) {
+	model, err := sp.buildModel()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	app, err := apps.ByName(sp.App)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	metric, err := sp.buildMetric(app)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	searcher, err := sp.buildSearcher(model, metric.Maximize())
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return model, app, metric, searcher, nil
+}
+
+// buildSession constructs the spec's session from scratch.
+func (sp JobSpec) buildSession(observer func(core.Event)) (*wayfinder.Session, error) {
+	sp = sp.withDefaults()
+	model, app, metric, searcher, err := sp.assemble()
+	if err != nil {
+		return nil, err
+	}
+	return wayfinder.New(model, app,
+		wayfinder.WithMetric(metric),
+		wayfinder.WithSearcher(searcher),
+		wayfinder.WithOptions(sp.options()),
+		wayfinder.WithObserver(observer),
+	)
+}
+
+// resumeSession reconstructs the spec's session from a journal snapshot,
+// continuing byte-identically to an uninterrupted run.
+func (sp JobSpec) resumeSession(snapshot []byte, observer func(core.Event)) (*wayfinder.Session, error) {
+	sp = sp.withDefaults()
+	model, app, metric, searcher, err := sp.assemble()
+	if err != nil {
+		return nil, err
+	}
+	return wayfinder.Resume(model, app, snapshot,
+		wayfinder.WithMetric(metric),
+		wayfinder.WithSearcher(searcher),
+		wayfinder.WithObserver(observer),
+	)
+}
+
+// CanonicalReportJSON marshals a report in the canonical form the daemon's
+// byte-identical crash-restart guarantee is stated over: the wall-time
+// DecisionCost fields — real time spent in the searcher, the one
+// non-virtual quantity a report carries — are zeroed; everything else
+// (history, configurations, virtual timings, cache accounting) is exact.
+func CanonicalReportJSON(rep *core.Report) ([]byte, error) {
+	cp := *rep
+	cp.History = append([]core.Result(nil), rep.History...)
+	for i := range cp.History {
+		cp.History[i].DecisionCost = 0
+	}
+	if rep.Best != nil {
+		best := *rep.Best
+		best.DecisionCost = 0
+		cp.Best = &best
+	}
+	return json.Marshal(&cp)
+}

@@ -1,0 +1,86 @@
+package wfd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wayfinder/internal/configspace"
+)
+
+func TestSpecFromJob(t *testing.T) {
+	job, err := configspace.ParseJobYAML(`
+name: riscv-latency
+os: linux-riscv
+app: redis
+metric: latency
+maximize: false
+iterations: 40
+favor:
+  runtime: 4
+  compile: 1
+fixed:
+  CONFIG_PREEMPT: "y"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := SpecFromJob(job)
+	if sp.Name != "riscv-latency" || sp.OS != "linux-riscv" || sp.App != "redis" ||
+		sp.Metric != "latency" || sp.Iterations != 40 {
+		t.Fatalf("spec %+v does not carry the job fields", sp)
+	}
+	if sp.Favor["runtime"] != 4 || sp.Fixed["CONFIG_PREEMPT"] != "y" {
+		t.Fatalf("favor/fixed not carried: %+v", sp)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("job-derived spec invalid: %v", err)
+	}
+}
+
+// TestSpecVariants runs one small job through every OS model and metric
+// the spec language names, plus the favor/fixed space shaping — each
+// variant must admit, run, and report.
+func TestSpecVariants(t *testing.T) {
+	d, err := New(Config{Steppers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Kill()
+	specs := []JobSpec{
+		{Tenant: "v", OS: "unikraft", App: "redis", Metric: "memory", Searcher: "random", Seed: 1, Iterations: 6},
+		{Tenant: "v", OS: "linux-riscv", App: "npb", Metric: "score", Searcher: "random", Seed: 2, Iterations: 6},
+		{Tenant: "v", OS: "riscv", App: "sqlite", Metric: "latency", Searcher: "grid", Seed: 3, Iterations: 6},
+		{Tenant: "v", Metric: "performance", Searcher: "random", Seed: 4, Iterations: 6,
+			Favor: map[string]float64{"runtime": 4, "compile": 1},
+			Fixed: map[string]string{"CONFIG_PREEMPT": "y", "net.core.somaxconn": "1024"}},
+	}
+	var ids []string
+	for _, sp := range specs {
+		id, err := d.Submit(sp)
+		if err != nil {
+			t.Fatalf("Submit(%s/%s): %v", sp.OS, sp.Metric, err)
+		}
+		ids = append(ids, id)
+	}
+	waitAll(t, d, ids...)
+	for i, id := range ids {
+		rep, err := d.ReportJSON(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(string(rep), `"searcher":"`+specs[i].Searcher+`"`) {
+			t.Errorf("%s report missing searcher %q: %.120s", id, specs[i].Searcher, rep)
+		}
+	}
+
+	// Bad fixed parameters are admission errors, not run failures.
+	for _, sp := range []JobSpec{
+		{Searcher: "random", Iterations: 5, Fixed: map[string]string{"net.core.somaxconn": "not-a-number"}},
+		{Searcher: "random", Iterations: 5, Favor: map[string]float64{"quantum": 2}},
+	} {
+		if _, err := d.Submit(sp); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Submit(%+v): got %v, want ErrBadSpec", sp, err)
+		}
+	}
+}

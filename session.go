@@ -43,6 +43,12 @@ type (
 // it.
 type Checkpointable = search.Checkpointable
 
+// Usage is a session's cumulative quantum accounting — observations,
+// virtual compute seconds, real searcher decision time — the counters a
+// multiplexing daemon charges tenants by (read before and after a Step
+// quantum; Sub gives the delta).
+type Usage = core.Usage
+
 // sessionConfig accumulates functional options before engine assembly.
 type sessionConfig struct {
 	opts      core.Options
@@ -304,6 +310,12 @@ func (s *Session) Step(n int) int {
 
 // Done reports whether the session has exhausted its budget or strategy.
 func (s *Session) Done() bool { return s.core.Done() }
+
+// Usage returns the session's cumulative quantum accounting — the
+// observation, virtual-compute, and decision-time counters a daemon
+// charges a tenant per Step quantum. O(1), valid at any observation
+// boundary; call from the driving goroutine only.
+func (s *Session) Usage() Usage { return s.core.Usage() }
 
 // Observed returns the number of observations recorded so far.
 func (s *Session) Observed() int { return s.core.Observed() }
