@@ -11,8 +11,8 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race fmt vet bench bench-cache bench-search smoke \
-	smoke-wfd tools lint cover ci
+.PHONY: all build test race fmt vet vet-wf bench bench-cache bench-search \
+	smoke smoke-wfd tools lint cover ci
 
 all: build
 
@@ -34,6 +34,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# vet-wf runs the repository's own determinism-invariant analyzers
+# (cmd/wfvet: walltime, globalrand, maprange, floateq) over the whole
+# tree. A finding is a red build; deliberate violations carry a
+# //wfvet:ignore <analyzer> <reason> pragma in source.
+vet-wf:
+	$(GO) run ./cmd/wfvet ./...
 
 tools:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
@@ -114,4 +121,4 @@ smoke:
 smoke-wfd:
 	./scripts/smoke_wfd.sh
 
-ci: fmt vet build race bench bench-cache bench-search smoke smoke-wfd
+ci: fmt vet vet-wf build race bench bench-cache bench-search smoke smoke-wfd

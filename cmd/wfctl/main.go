@@ -32,7 +32,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"maps"
 	"os"
+	"slices"
 
 	"wayfinder/internal/apps"
 	"wayfinder/internal/configspace"
@@ -142,14 +144,15 @@ func cmdStart(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown os %q (linux|unikraft|linux-riscv)", job.OS))
 	}
-	for class, w := range job.Favor {
+	for _, class := range slices.Sorted(maps.Keys(job.Favor)) {
 		cl, err := configspace.ParseClass(class)
 		if err != nil {
 			fatal(err)
 		}
-		model.Space.Favor(cl, w)
+		model.Space.Favor(cl, job.Favor[class])
 	}
-	for name, raw := range job.Fixed {
+	for _, name := range slices.Sorted(maps.Keys(job.Fixed)) {
+		raw := job.Fixed[name]
 		p, _ := model.Space.Lookup(name)
 		if p == nil {
 			fatal(fmt.Errorf("fixed parameter %q not in the %s space", name, job.OS))
@@ -225,7 +228,7 @@ func cmdStart(args []string) {
 	if *iters > 0 {
 		opts.Iterations = *iters
 	}
-	if opts.Iterations == 0 && opts.TimeBudgetSec == 0 {
+	if opts.Iterations == 0 && opts.TimeBudgetSec == 0 { //wfvet:ignore floateq 0 is the unset-flag sentinel, never a computed value
 		opts.Iterations = 100
 	}
 	// The centralized option validation every entry point shares; flag

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureRoot reuses the analysis package's self-contained fixture
+// module as a working directory: the driver walks up to its go.mod and
+// treats it as module "fixture".
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../../internal/analysis/testdata/src/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// runIn invokes the driver body the way main does, from dir.
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, dir, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestExitCodeClean(t *testing.T) {
+	code, stdout, stderr := runIn(t, fixtureRoot(t), "./internal/rng")
+	if code != 0 {
+		t.Fatalf("exit %d on clean package, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" || stderr != "" {
+		t.Errorf("clean run produced output: stdout=%q stderr=%q", stdout, stderr)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	code, stdout, stderr := runIn(t, fixtureRoot(t), "./feq")
+	if code != 1 {
+		t.Fatalf("exit %d on package with findings, want 1; stderr: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSuffix(stdout, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(lines), stdout)
+	}
+	// file:line:col: [analyzer] message, with the file relative to cwd.
+	format := regexp.MustCompile(`^feq/feq\.go:\d+:\d+: \[floateq\] .+$`)
+	for _, line := range lines {
+		if !format.MatchString(filepath.ToSlash(line)) {
+			t.Errorf("finding line does not match the stable format: %q", line)
+		}
+	}
+	if want := "wfvet: 2 finding(s)\n"; stderr != want {
+		t.Errorf("stderr = %q, want %q", stderr, want)
+	}
+}
+
+func TestExitCodeUsageError(t *testing.T) {
+	code, _, stderr := runIn(t, fixtureRoot(t), "./nosuchdir")
+	if code != 2 {
+		t.Fatalf("exit %d on missing directory, want 2", code)
+	}
+	if !strings.HasPrefix(stderr, "wfvet:") {
+		t.Errorf("stderr = %q, want a wfvet: error", stderr)
+	}
+}
+
+// TestRecursiveDeterministic runs ./... twice over the fixture module
+// and demands byte-identical, sorted output.
+func TestRecursiveDeterministic(t *testing.T) {
+	root := fixtureRoot(t)
+	code1, out1, _ := runIn(t, root, "./...")
+	code2, out2, _ := runIn(t, root, "./...")
+	if code1 != 1 || code2 != 1 {
+		t.Fatalf("exit codes %d, %d; want 1, 1", code1, code2)
+	}
+	if out1 != out2 {
+		t.Errorf("two runs diverged:\n%s\nvs:\n%s", out1, out2)
+	}
+	// Findings are grouped by file in ascending position order — the
+	// numeric (file, line, col) sort, not a lexicographic one.
+	files := strings.Split(strings.TrimSuffix(out1, "\n"), "\n")
+	for i := range files {
+		files[i] = files[i][:strings.Index(files[i], ":")]
+	}
+	if !sort.StringsAreSorted(files) {
+		t.Errorf("output not grouped by sorted file:\n%s", out1)
+	}
+}
+
+// TestDefaultPatternIsRecursive checks that no arguments means ./...
+func TestDefaultPatternIsRecursive(t *testing.T) {
+	root := fixtureRoot(t)
+	_, explicit, _ := runIn(t, root, "./...")
+	_, implicit, _ := runIn(t, root)
+	if explicit != implicit {
+		t.Errorf("default run differs from ./...:\n%s\nvs:\n%s", implicit, explicit)
+	}
+}

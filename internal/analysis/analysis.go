@@ -1,0 +1,126 @@
+// Core analyzer/pass/finding types and the Run entry point. The package
+// overview and the guide for adding an analyzer live in doc.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one determinism invariant turned into a check.
+type Analyzer struct {
+	// Name is the analyzer's identifier: it appears bracketed in findings
+	// and names the analyzer in //wfvet:ignore pragmas.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Finding is one invariant violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the stable wfvet output format
+// (file:line:col: [name] message). The file is rendered as stored;
+// callers relativize Pos.Filename first if they want relative paths.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// SortFindings orders findings by (file, line, column, analyzer, message)
+// so output is stable across runs and map-iteration orders.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Pass is one analyzer's view of one type-checked package unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when the checker did
+// not record one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// PkgNameOf reports the import path of the package an identifier names,
+// or "" when the identifier is not a package name. Resolving through the
+// type checker (rather than matching the literal text "time") keeps the
+// analyzers correct under import renaming and local shadowing.
+func (p *Pass) PkgNameOf(id *ast.Ident) string {
+	if obj, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// IsTestFile reports whether the file a position belongs to is a
+// _test.go file. Analyzers whose invariant guards production determinism
+// only (walltime, floateq) use it to skip test code.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run executes the analyzers over the package units, applies pragma
+// suppression, and returns the surviving findings sorted in the stable
+// output order. Malformed pragmas (missing analyzer, unknown analyzer,
+// missing reason) are themselves findings — they are reported under the
+// reserved name "pragma" and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		pragmas, bad := parsePragmas(pkg, known)
+		var found []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &found}
+			a.Run(pass)
+		}
+		for _, f := range found {
+			if !pragmas.suppressed(f.Analyzer, f.Pos) {
+				out = append(out, f)
+			}
+		}
+		out = append(out, bad...)
+	}
+	SortFindings(out)
+	return out
+}

@@ -1,0 +1,54 @@
+// Package analysis is the wfvet analyzer framework: a stdlib-only
+// miniature of golang.org/x/tools/go/analysis, purpose-built to machine-
+// check the determinism invariants every guarantee in this repository
+// rests on (W=1 ≡ sequential, byte-reproducible reports per (seed,
+// workers, staleness, hosts), snapshot/resume and kill-9 restart
+// byte-identity).
+//
+// An Analyzer inspects one type-checked package unit (a Pass) and
+// reports Findings. The driver (cmd/wfvet) loads packages with go/parser
+// and go/types (load.go), runs every registered analyzer, filters
+// findings through the shared //wfvet:ignore pragma syntax (pragma.go),
+// and exits non-zero when any finding survives.
+//
+// # Adding an analyzer
+//
+// An analyzer is one determinism invariant turned into a check. To add
+// one:
+//
+//  1. Create internal/analysis/<name>/<name>.go exporting a New
+//     function that returns an *analysis.Analyzer. Name is the
+//     identifier findings carry in brackets and pragmas reference;
+//     configuration (allowlists, path suffixes) comes in as New's
+//     arguments so the analyzer itself stays policy-free.
+//
+//  2. Write Run against the Pass: walk pass.Pkg.Files with ast.Inspect,
+//     resolve semantics through the type checker — pass.TypeOf for
+//     expression types, pass.PkgNameOf to identify imported packages
+//     robustly under renaming, pass.Pkg.Info.Uses/Selections for
+//     objects and method receivers — and report with pass.Reportf. Never
+//     match source text; the checker already knows what an identifier
+//     means.
+//
+//  3. Decide the test-file policy explicitly. pass.IsTestFile skips
+//     _test.go when the invariant guards production determinism only
+//     (walltime, floateq); analyzers whose violations make tests
+//     themselves flaky (globalrand, maprange) check test files too.
+//     Document the choice in the package comment.
+//
+//  4. Register the analyzer in cmd/wfvet's analyzers() with its
+//     repository configuration, and mention it in the command doc.
+//
+//  5. Add fixtures under internal/analysis/testdata/src/fixture/: a
+//     package exercising hit, miss, and pragma-suppressed cases side by
+//     side, expected findings regenerated into testdata/fixture.golden
+//     with `go test ./internal/analysis -run Golden -update`, and the
+//     per-file counts in TestFixtureInvariants extended.
+//
+// Suppression comes for free: Run filters every finding through the
+// //wfvet:ignore <analyzer> <reason> pragma (inline for the same line,
+// standalone above a statement, stacking), and malformed pragmas are
+// themselves findings under the reserved, unsuppressible name "pragma" —
+// so a new analyzer's name becomes pragma-addressable the moment it is
+// registered.
+package analysis

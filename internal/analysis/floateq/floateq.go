@@ -1,0 +1,74 @@
+// Package floateq flags == and != on floating-point operands.
+// Accumulated rounding makes exact float equality a latent bug: two
+// mathematically-equal values computed along different paths (a resumed
+// session vs an uninterrupted one, an incremental Cholesky extension vs
+// a full refit) can differ in the last ulp, and an equality branch on
+// them forks the session. Where exact comparison is genuinely right —
+// comparing against an exact sentinel like 0 that is only ever assigned,
+// not computed — the site says so with //wfvet:ignore floateq <reason>.
+//
+// Skipped on purpose: *_test.go files (asserting exact reproducibility
+// is the point of the determinism tests), constant-folded comparisons
+// (both operands untyped constants), and self-comparison x != x (the
+// portable NaN check).
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wayfinder/internal/analysis"
+)
+
+// New returns the floateq analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "floateq",
+		Doc:  "flag ==/!= on floating-point operands outside tests; compare with a tolerance instead",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if pass.IsTestFile(bin.Pos()) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			if isConst(pass, bin.X) && isConst(pass, bin.Y) {
+				return true // constant-folded, exact by definition
+			}
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true // x != x: the portable NaN check
+			}
+			pass.Reportf(bin.OpPos,
+				"floating-point %s comparison; use a tolerance (or math.Abs) or annotate //wfvet:ignore floateq <reason>",
+				bin.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether a type's underlying kind is floating point or
+// complex.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isConst reports whether the checker evaluated e to a constant.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,305 @@
+// Package maprange flags `range` over a map on any path whose effect
+// depends on iteration order. Go randomizes map iteration on purpose, so
+// a loop body that emits output, writes JSON, feeds a hash, appends to a
+// slice that outlives the loop, or sends on a channel produces a
+// different artifact on every run — exactly the class of bug that breaks
+// this repository's byte-reproducible reports, canonical snapshots, and
+// stable test failure messages. Order-insensitive bodies (sums, counts,
+// lookups, building another map) are fine and stay silent.
+//
+// The canonical fix — collect the keys, sort them, range over the sorted
+// slice — is recognized: a loop whose only escaping effect is appending
+// to a slice that is subsequently passed to a sort.* or slices.Sort*
+// call in the same function is not flagged. Deliberately order-free
+// emission (e.g. feeding an order-independent accumulator) is annotated
+// with //wfvet:ignore maprange <reason>.
+//
+// Test files are checked too: a map-ordered t.Fatalf means the failure
+// message differs run to run, which makes CI failures needlessly hard to
+// diff.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wayfinder/internal/analysis"
+)
+
+// New returns the maprange analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "maprange",
+		Doc:  "flag range over a map whose body emits, escapes, or hashes in iteration order; sort keys first",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		// Walk function by function so append-then-sort exoneration can
+		// see the statements that follow the loop.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFunc examines every map-range statement directly inside one
+// function body (nested function literals are visited by run separately,
+// with their own sort-exoneration scope).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false // handled in its own scope
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+			return true
+		}
+		if sink := findSink(pass, rng, body); sink != "" {
+			pass.Reportf(rng.Pos(),
+				"range over map %s %s in iteration order; sort the keys first or annotate //wfvet:ignore maprange <reason>",
+				exprString(rng.X), sink)
+		}
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// sinkHit is one order-dependent effect found in a loop body.
+type sinkHit struct {
+	pos  token.Pos
+	desc string
+	// appendTo is set for append sinks: the escaping slice's object,
+	// which a later sort call can exonerate.
+	appendTo types.Object
+}
+
+// findSink scans the loop body for order-dependent effects and returns a
+// description of the first surviving one ("" when the body is order-
+// insensitive). Append sinks are dropped when the target slice is sorted
+// after the loop.
+func findSink(pass *analysis.Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) string {
+	var hits []sinkHit
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if hit, ok := callSink(pass, nn, rng); ok {
+				hits = append(hits, hit)
+			}
+		case *ast.SendStmt:
+			hits = append(hits, sinkHit{pos: nn.Pos(), desc: "sends on a channel"})
+		}
+		return true
+	})
+	for _, h := range hits {
+		if h.appendTo != nil && sortedAfter(pass, fnBody, rng, h.appendTo) {
+			continue
+		}
+		return h.desc
+	}
+	return ""
+}
+
+// callSink classifies one call inside the loop body.
+func callSink(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt) (sinkHit, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "print", "println":
+			if _, ok := pass.Pkg.Info.Uses[fun].(*types.Builtin); ok {
+				return sinkHit{pos: call.Pos(), desc: "prints"}, true
+			}
+		case "append":
+			if _, ok := pass.Pkg.Info.Uses[fun].(*types.Builtin); !ok {
+				return sinkHit{}, false
+			}
+			if len(call.Args) == 0 {
+				return sinkHit{}, false
+			}
+			if obj := rootObject(pass, call.Args[0]); obj != nil && declaredOutside(obj, rng) {
+				return sinkHit{
+					pos:      call.Pos(),
+					desc:     "appends to a slice that escapes the loop",
+					appendTo: obj,
+				}, true
+			}
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		// Package-level sinks: fmt/log emitters, json/binary encoders.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			switch pass.PkgNameOf(id) {
+			case "fmt":
+				if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+					strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append") ||
+					name == "Errorf" {
+					return sinkHit{pos: call.Pos(), desc: "emits via fmt." + name}, true
+				}
+			case "log", "log/slog":
+				return sinkHit{pos: call.Pos(), desc: "logs via log." + name}, true
+			case "encoding/json":
+				if strings.HasPrefix(name, "Marshal") {
+					return sinkHit{pos: call.Pos(), desc: "writes JSON via json." + name}, true
+				}
+			case "encoding/binary":
+				if name == "Write" || strings.HasPrefix(name, "Append") {
+					return sinkHit{pos: call.Pos(), desc: "writes binary via binary." + name}, true
+				}
+			}
+			// Not a package selector sink; fall through to method checks
+			// below (id could also be a variable receiver).
+		}
+		// Method sinks: writers, hashers, encoders, testing emitters.
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Sum", "Sum64", "Sum32":
+			if isMethodCall(pass, fun) {
+				return sinkHit{pos: call.Pos(), desc: "feeds a writer/hash via ." + name}, true
+			}
+		case "Errorf", "Error", "Fatalf", "Fatal", "Logf", "Log", "Skipf":
+			if recvFromPackage(pass, fun, "testing") {
+				return sinkHit{pos: call.Pos(), desc: "emits a test message via t." + name}, true
+			}
+		case "Printf", "Println", "Print":
+			if isMethodCall(pass, fun) {
+				return sinkHit{pos: call.Pos(), desc: "prints via ." + name}, true
+			}
+		}
+	}
+	return sinkHit{}, false
+}
+
+// rootObject resolves the base identifier of x / x.f / x[i] chains.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch ee := e.(type) {
+		case *ast.Ident:
+			return pass.Pkg.Info.Uses[ee]
+		case *ast.SelectorExpr:
+			e = ee.X
+		case *ast.IndexExpr:
+			e = ee.X
+		case *ast.ParenExpr:
+			e = ee.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration precedes the range
+// statement (so values accumulated into it survive the loop).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// isMethodCall reports whether sel is a method selection (not a package
+// function or field access).
+func isMethodCall(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}
+
+// recvFromPackage reports whether sel is a method whose receiver type is
+// declared in the named package (e.g. *testing.T).
+func recvFromPackage(pass *analysis.Pass, sel *ast.SelectorExpr, pkgPath string) bool {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
+// call somewhere after the range statement in the same function — the
+// collect-keys-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg := pass.PkgNameOf(id)
+		isSort := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if mid, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[mid] == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short display form of the ranged expression.
+func exprString(e ast.Expr) string {
+	switch ee := e.(type) {
+	case *ast.Ident:
+		return ee.Name
+	case *ast.SelectorExpr:
+		return exprString(ee.X) + "." + ee.Sel.Name
+	case *ast.CallExpr:
+		return exprString(ee.Fun) + "(...)"
+	case *ast.CompositeLit:
+		return "literal"
+	case *ast.IndexExpr:
+		return exprString(ee.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(ee.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,136 @@
+// The shared suppression pragma: a deliberate invariant violation is
+// annotated in source as
+//
+//	//wfvet:ignore <analyzer> <reason>
+//
+// and the reason is mandatory — a pragma is a reviewed decision, not an
+// off switch, so it must say why the site is safe. A pragma suppresses
+// findings of the named analyzer on its own line; a pragma that stands
+// alone on a line suppresses the line below it instead (stacking: several
+// standalone pragmas above one statement each suppress that statement for
+// their analyzer).
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// pragmaPrefix introduces a suppression comment. The comment must start
+// exactly with this (no space between // and wfvet, mirroring
+// //go:directives).
+const pragmaPrefix = "//wfvet:ignore"
+
+// pragma is one parsed suppression.
+type pragma struct {
+	analyzer   string
+	standalone bool // nothing but whitespace precedes it on its line
+}
+
+// pragmaIndex maps file → line → suppressions declared on that line.
+type pragmaIndex struct {
+	byLine map[string]map[int][]pragma
+}
+
+// parsePragmas scans a package unit's comments for //wfvet:ignore
+// directives. Malformed directives — a missing analyzer name, an analyzer
+// no registered check matches, or a missing reason — are returned as
+// findings under the reserved analyzer name "pragma".
+func parsePragmas(pkg *Package, known map[string]bool) (*pragmaIndex, []Finding) {
+	idx := &pragmaIndex{byLine: make(map[string]map[int][]pragma)}
+	var bad []Finding
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Finding{Pos: pos, Analyzer: "pragma", Message: msg})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, pragmaPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, pragmaPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //wfvet:ignoreXXX — not the directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "wfvet:ignore needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(pos, "wfvet:ignore names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, "wfvet:ignore "+name+" needs a reason")
+					continue
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]pragma)
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], pragma{
+					analyzer:   name,
+					standalone: pos.Column == 1 || onlySpaceBefore(pkg, c.Pos(), pos),
+				})
+			}
+		}
+	}
+	return idx, bad
+}
+
+// onlySpaceBefore reports whether only whitespace precedes the comment on
+// its line, i.e. the pragma stands alone. The file source is consulted
+// through the loader's retained file contents.
+func onlySpaceBefore(pkg *Package, pos token.Pos, p token.Position) bool {
+	src, ok := pkg.Sources[p.Filename]
+	if !ok {
+		return false
+	}
+	start := int(pos) - pkg.Fset.File(pos).Base() // byte offset in file
+	lineStart := start - (p.Column - 1)
+	if lineStart < 0 || start > len(src) {
+		return false
+	}
+	return strings.TrimSpace(src[lineStart:start]) == ""
+}
+
+// suppressed reports whether a finding of the named analyzer at pos is
+// covered by a pragma: one on the finding's own line, or a standalone one
+// on an immediately preceding line (walking up through a stack of
+// standalone pragma lines).
+func (idx *pragmaIndex) suppressed(analyzer string, pos token.Position) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, pr := range lines[pos.Line] {
+		if pr.analyzer == analyzer && !pr.standalone {
+			return true
+		}
+	}
+	// Walk up through standalone pragma lines directly above the finding.
+	for line := pos.Line - 1; line > 0; line-- {
+		prs := lines[line]
+		if len(prs) == 0 {
+			return false
+		}
+		allStandalone := true
+		for _, pr := range prs {
+			if !pr.standalone {
+				allStandalone = false
+				continue
+			}
+			if pr.analyzer == analyzer {
+				return true
+			}
+		}
+		if !allStandalone {
+			return false
+		}
+	}
+	return false
+}

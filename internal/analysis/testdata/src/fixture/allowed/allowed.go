@@ -1,0 +1,9 @@
+// Package allowed is on the fixture test's wall-clock allowlist, the
+// stand-in for packages whose whole business is real time (the daemon's
+// I/O deadlines, the benchmark harnesses). No findings expected.
+package allowed
+
+import "time"
+
+// Uptime reads the wall clock by design.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,16 @@
+// Package badpragma holds malformed suppression pragmas. Each is its
+// own finding under the reserved "pragma" analyzer and cannot be
+// suppressed; a prefix that merely resembles the directive is ignored.
+package badpragma
+
+//wfvet:ignore
+func MissingName() {}
+
+//wfvet:ignore nosuchanalyzer because reasons
+func UnknownAnalyzer() {}
+
+//wfvet:ignore floateq
+func MissingReason() {}
+
+//wfvet:ignoreXXX not the directive at all — silent
+func NotADirective() {}

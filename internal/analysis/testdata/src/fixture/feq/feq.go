@@ -1,0 +1,28 @@
+// Package feq exercises the floateq analyzer: exact ==/!= on computed
+// floats are findings; constant folds, the NaN idiom, and pragma'd
+// sentinel guards are not.
+package feq
+
+// Equal compares computed floats exactly: finding.
+func Equal(a, b float64) bool {
+	return a == b
+}
+
+// Differs compares computed floats exactly: finding.
+func Differs(a, b float64) bool {
+	return a-1 != b+1
+}
+
+// IsNaN is the portable NaN check — self-comparison: silent.
+func IsNaN(x float64) bool { return x != x }
+
+const half = 0.5
+
+// ConstFold compares two untyped constants — exact by definition:
+// silent.
+func ConstFold() bool { return half == 1.0/2.0 }
+
+// ZeroSentinel guards an exact, only-ever-assigned sentinel and says so.
+func ZeroSentinel(span float64) bool {
+	return span == 0 //wfvet:ignore floateq fixture: 0 is an assigned sentinel, never computed
+}

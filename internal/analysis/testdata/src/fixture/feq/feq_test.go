@@ -1,0 +1,20 @@
+// External test package: loaded as its own unit (fixture/feq.test).
+// Float equality in test files is allowed by policy — asserting exact
+// reproducibility is the point of the determinism tests. No finding.
+package feq_test
+
+import (
+	"testing"
+
+	"fixture/feq"
+)
+
+func TestExactReproducibility(t *testing.T) {
+	a, b := 0.1+0.2, 0.3
+	if feq.Equal(a, b) {
+		t.Log("exactly equal")
+	}
+	if a == b {
+		t.Log("still exactly equal")
+	}
+}

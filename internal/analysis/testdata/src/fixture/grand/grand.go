@@ -1,0 +1,44 @@
+// Package grand exercises the globalrand analyzer: top-level math/rand
+// draws and non-rng-derived sources are findings; generators built over
+// an internal/rng stream, and mere references to math/rand types, are
+// not.
+package grand
+
+import (
+	"math/rand"
+
+	"fixture/internal/rng"
+)
+
+// Bad draws from the shared global source: finding.
+func Bad() int {
+	return rand.Intn(10)
+}
+
+// BadSource builds a generator over a non-rng source: two findings, one
+// per constructor (the nested NewSource is vetted as its own call).
+func BadSource() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}
+
+// AsValue references a constructor without calling it, so its eventual
+// source cannot be vetted: finding.
+var AsValue func(rand.Source) *rand.Rand = rand.New
+
+// Derived builds a generator over the module's deterministic stream:
+// silent.
+func Derived(seed uint64) *rand.Rand {
+	return rand.New(rng.New(seed))
+}
+
+// Pragmad draws from the global source deliberately and says so.
+func Pragmad() float64 {
+	return rand.Float64() //wfvet:ignore globalrand fixture: deliberate global draw
+}
+
+// Holder keeps a legitimately-constructed generator: referencing
+// math/rand types is silent.
+type Holder struct {
+	R *rand.Rand
+	S rand.Source
+}

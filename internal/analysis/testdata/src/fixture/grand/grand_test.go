@@ -1,0 +1,14 @@
+package grand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Test files are checked too — a test that draws from the global source
+// is flaky by construction: finding.
+func TestDraws(t *testing.T) {
+	if rand.Intn(2) > 1 {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,20 @@
+// Package rng is a miniature stand-in for the real module's
+// deterministic generator, just enough for the globalrand fixtures: its
+// type satisfies math/rand's Source so fixture code can legitimately
+// build rand.New over it.
+package rng
+
+// RNG is a deterministic stream seeded explicitly.
+type RNG struct{ s uint64 }
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *RNG { return &RNG{s: seed} }
+
+// Int63 implements math/rand.Source.
+func (r *RNG) Int63() int64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return int64(r.s >> 1)
+}
+
+// Seed implements math/rand.Source.
+func (r *RNG) Seed(seed int64) { r.s = uint64(seed) }

@@ -1,0 +1,69 @@
+// Package mrange exercises the maprange analyzer: map-ranged loops that
+// emit, send, or escape in iteration order are findings; order-
+// insensitive bodies and the collect-then-sort idiom are not.
+package mrange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Emit prints in iteration order: finding.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Send delivers keys on a channel in iteration order: finding.
+func Send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// Escape appends to a slice that outlives the loop, unsorted: finding.
+func Escape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the canonical fix — collect then sort: silent.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates order-insensitively: silent.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert builds another map — order-insensitive: silent.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Pragmad emits deliberately order-free output and says so with a
+// standalone pragma above the loop.
+func Pragmad(m map[string]int) {
+	//wfvet:ignore maprange fixture: sink is order-independent by design
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,12 @@
+package mrange
+
+import "testing"
+
+// Test files are checked too — a map-ordered failure message differs run
+// to run: finding.
+func TestKeys(t *testing.T) {
+	m := map[string]int{"a": 1, "b": 2}
+	for k := range m {
+		t.Errorf("unexpected key %q", k)
+	}
+}

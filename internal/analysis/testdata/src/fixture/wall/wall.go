@@ -1,0 +1,26 @@
+// Package wall exercises the walltime analyzer: wall-clock reads are
+// findings; pragma'd sites and pure time-package uses are not.
+package wall
+
+import "time"
+
+// Bad samples and waits on the wall clock: three findings.
+func Bad() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// Pragmad measures real time deliberately and says so inline.
+func Pragmad() time.Time {
+	return time.Now() //wfvet:ignore walltime fixture: deliberately measures real time
+}
+
+// StandalonePragma is suppressed by the pragma line above the read.
+func StandalonePragma() time.Time {
+	//wfvet:ignore walltime fixture: standalone pragma covers the next line
+	return time.Now()
+}
+
+// Fine touches only time types and pure conversions: silent.
+func Fine(d time.Duration) time.Time { return time.Unix(0, d.Nanoseconds()) }

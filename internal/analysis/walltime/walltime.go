@@ -1,0 +1,89 @@
+// Package walltime forbids wall-clock reads outside an explicit
+// allowlist. Every session is meant to be a pure function of (seed,
+// workers, staleness, hosts): virtual time lives in internal/vm's Clock
+// and WallClock, so a stray time.Now or time.Sleep on an evaluation,
+// report, or snapshot path makes reports non-reproducible in a way no
+// test reliably catches. Real wall-clock use is legitimate only where
+// the code genuinely interfaces with the outside world (the wfd daemon's
+// I/O deadlines and uptime accounting, the benchmark harnesses that
+// measure real ns/op) — those packages are allowlisted in the driver —
+// or where a site deliberately measures real compute cost and says so
+// with a //wfvet:ignore walltime pragma (the searchers' decision-cost
+// stopwatches).
+//
+// Test files are skipped: watchdog timeouts and polling deadlines in
+// tests are real time by nature and do not feed any deterministic
+// output.
+package walltime
+
+import (
+	"go/ast"
+
+	"wayfinder/internal/analysis"
+)
+
+// forbidden is the set of time-package functions that read or wait on
+// the wall clock. Types (time.Duration, time.Time) and pure conversions
+// (time.Unix, d.Seconds()) are fine — only entry points that sample or
+// sleep on real time are banned.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// New returns the walltime analyzer. Packages whose import path is in
+// allowed (exactly, or as a path prefix of the unit — external test
+// units of an allowed package are covered) may use the wall clock
+// freely.
+func New(allowed []string) *analysis.Analyzer {
+	allowSet := make(map[string]bool, len(allowed))
+	for _, p := range allowed {
+		allowSet[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "walltime",
+		Doc:  "forbid wall-clock reads (time.Now/Since/Sleep/Tick/...) outside the allowlist; virtual time lives in internal/vm",
+		Run: func(pass *analysis.Pass) {
+			pkgPath := pass.Pkg.PkgPath
+			if allowSet[pkgPath] || allowSet[basePath(pkgPath)] {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || !forbidden[sel.Sel.Name] {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok || pass.PkgNameOf(id) != "time" {
+						return true
+					}
+					if pass.IsTestFile(sel.Pos()) {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock outside the allowlist; use the session's virtual clock (internal/vm) or annotate //wfvet:ignore walltime <reason>",
+						sel.Sel.Name)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// basePath strips the external-test suffix so foo's allowlisting covers
+// foo.test.
+func basePath(pkgPath string) string {
+	const suffix = ".test"
+	if len(pkgPath) > len(suffix) && pkgPath[len(pkgPath)-len(suffix):] == suffix {
+		return pkgPath[:len(pkgPath)-len(suffix)]
+	}
+	return pkgPath
+}

@@ -1,7 +1,9 @@
 package apps
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"testing"
 
 	"wayfinder/internal/simos"
@@ -36,7 +38,8 @@ func TestByName(t *testing.T) {
 func TestTable2Baselines(t *testing.T) {
 	// Base metric values match the paper's Lupine-Linux column (Table 2).
 	cases := map[string]float64{"nginx": 15731, "redis": 58000, "sqlite": 284, "npb": 1497}
-	for name, want := range cases {
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
+		want := cases[name]
 		a, err := ByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -98,7 +101,8 @@ func TestBenchTools(t *testing.T) {
 		"nginx": "wrk", "redis": "redis-benchmark",
 		"sqlite": "db_bench_sqlite3", "npb": "npb-suite",
 	}
-	for name, tool := range want {
+	for _, name := range slices.Sorted(maps.Keys(want)) {
+		tool := want[name]
 		a, _ := ByName(name)
 		if a.BenchTool != tool {
 			t.Errorf("%s bench tool = %q, want %q", name, a.BenchTool, tool)

@@ -96,7 +96,7 @@ func (o *Optimizer) LastStats() FitStats { return o.lastStats }
 // after new observations; there is no incremental path (see the package
 // comment — this is the point).
 func (o *Optimizer) Fit() *Graph {
-	start := time.Now()
+	start := time.Now() //wfvet:ignore walltime causal-fit cost is measured real compute time, never session-visible state
 	t := len(o.xs)
 	d := o.dim
 	g := &Graph{Adj: make([][]bool, d+1), Effect: make([]float64, d)}
@@ -191,6 +191,7 @@ func (o *Optimizer) Fit() *Graph {
 	o.graphs = append(o.graphs, g)
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	//wfvet:ignore walltime causal-fit cost is measured real compute time, never session-visible state
 	o.lastStats = FitStats{Duration: time.Since(start), HeapBytes: ms.HeapAlloc, Tests: tests, Work: work}
 	return g
 }

@@ -3,7 +3,9 @@ package configspace
 import (
 	"fmt"
 	"hash/fnv"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -237,7 +239,8 @@ func (c *Config) KV() map[string]string {
 // silently searching the wrong point.
 func (s *Space) FromKV(kv map[string]string) (*Config, error) {
 	c := s.Default()
-	for name, raw := range kv {
+	for _, name := range slices.Sorted(maps.Keys(kv)) {
+		raw := kv[name]
 		p, _ := s.Lookup(name)
 		if p == nil {
 			return nil, fmt.Errorf("configspace: assignment for unknown parameter %q", name)

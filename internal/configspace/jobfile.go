@@ -2,6 +2,8 @@ package configspace
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"strings"
 )
 
@@ -133,7 +135,8 @@ func ParseJobYAML(src string) (*Job, error) {
 	// profile-based jobs (no params section) defer resolution to the
 	// runner, which knows the target OS profile's space.
 	if space.Len() > 0 {
-		for name, raw := range job.Fixed {
+		for _, name := range slices.Sorted(maps.Keys(job.Fixed)) {
+			raw := job.Fixed[name]
 			p, _ := space.Lookup(name)
 			if p == nil {
 				return nil, fmt.Errorf("configspace: fixed: unknown parameter %q", name)

@@ -273,9 +273,12 @@ func TestBestSoFarSeriesNaNBeforeFirstObservation(t *testing.T) {
 			t.Fatalf("series[%d] = %v before any observation, want NaN", i, series[i])
 		}
 	}
-	for i, want := range map[int]float64{2: 5, 3: 5, 4: 9} {
-		if series[i] != want {
-			t.Fatalf("series[%d] = %v, want %v", i, series[i], want)
+	for _, w := range []struct {
+		i    int
+		want float64
+	}{{2, 5}, {3, 5}, {4, 9}} {
+		if series[w.i] != w.want {
+			t.Fatalf("series[%d] = %v, want %v", w.i, series[w.i], w.want)
 		}
 	}
 	// Same semantics on a minimize metric: the hold value appears only

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wayfinder/internal/snapcover"
+)
+
+// TestSessionSnapshotCoverage pins the Session ↔ sessionSnapshot field
+// mapping: adding session state without serializing it (or without a
+// written reason why restore can rebuild it) fails here, immediately,
+// instead of as a diverging resumed run much later.
+func TestSessionSnapshotCoverage(t *testing.T) {
+	snapcover.Pair(t, reflect.TypeFor[Session](), reflect.TypeFor[sessionSnapshot](), snapcover.Spec{
+		Covered: map[string]string{
+			"opts":      "Options",
+			"mode":      "Mode",
+			"report":    "Report",
+			"base":      "BaseSec",
+			"folded":    "FoldedSec",
+			"next":      "Next",
+			"observed":  "Observed",
+			"done":      "Done",
+			"round":     "Round",
+			"buf":       "Buffer",
+			"inflight":  "Inflight",
+			"exhausted": "Exhausted",
+			"frontier":  "Frontier",
+			"cache":     "Cache",
+			// The per-worker clock and stall positions serialize the wall
+			// clock; workers carry the rest of the evaluator state.
+			"wall":    "Workers",
+			"workers": "Workers",
+			// The recorder is the searcher (or its batch view); its dynamic
+			// state is the searcher checkpoint, the adapter's pending
+			// multiset rides separately.
+			"recorder": "SearcherState",
+			"batcher":  "AdapterPending",
+			// Recomputed on restore by summing Report.History decision costs.
+			"decisionNS": "Report",
+		},
+		Excluded: map[string]string{
+			"eng":        "construction-time: the restore engine is built with the same constructor arguments",
+			"obsMu":      "sync primitive",
+			"observers":  "event callbacks cannot serialize; consumers re-register after restore",
+			"staleBound": "derived from Options in newSession",
+			"busy":       "recomputed on restore by counting non-nil Inflight entries",
+		},
+		Synthesized: map[string]string{
+			"Version":      "snapshot format tag",
+			"SearcherName": "validation: checked against the restore engine's searcher",
+			"MetricName":   "validation: checked against the restore engine's metric",
+			"MetricState":  "the engine metric's CheckpointMetric payload; the metric lives on the (excluded) engine",
+		},
+	})
+}
+
+// TestWorkerSnapshotCoverage pins evalState ↔ workerSnap the same way.
+func TestWorkerSnapshotCoverage(t *testing.T) {
+	snapcover.Pair(t, reflect.TypeFor[evalState](), reflect.TypeFor[workerSnap](), snapcover.Spec{
+		Covered: map[string]string{
+			"clock":     "ClockSec",
+			"wall":      "StallSec",
+			"noise":     "RNG",
+			"imageKey":  "ImageKey",
+			"haveImage": "HaveImage",
+			"bootKey":   "BootKey",
+			"haveBoot":  "HaveBoot",
+			"builds":    "Builds",
+		},
+		Excluded: map[string]string{
+			"worker": "positional: the worker's index in the snapshot's Workers list",
+			"host":   "derived from Options.HostOf at construction",
+			"speed":  "derived from Options.workerSpeed at construction",
+		},
+	})
+}

@@ -1,6 +1,8 @@
 package cozart
 
 import (
+	"maps"
+	"slices"
 	"testing"
 
 	"wayfinder/internal/apps"
@@ -32,7 +34,7 @@ func TestTraceDeterministic(t *testing.T) {
 	if a.UsedCount() != b.UsedCount() {
 		t.Fatal("repeated traces disagree")
 	}
-	for name := range a.Used {
+	for _, name := range slices.Sorted(maps.Keys(a.Used)) {
 		if !b.Used[name] {
 			t.Fatalf("trace disagreement on %s", name)
 		}

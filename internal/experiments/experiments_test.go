@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"maps"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
@@ -92,8 +94,8 @@ func TestTable1MatchesPaper(t *testing.T) {
 		"bool": "7585", "tristate": "10034", "string": "154",
 		"hex": "94", "int": "3405", "boot-time": "231", "runtime": "13328",
 	}
-	for col, wantV := range want {
-		if got := cell(t, tab, 0, col); got != wantV {
+	for _, col := range slices.Sorted(maps.Keys(want)) {
+		if got, wantV := cell(t, tab, 0, col), want[col]; got != wantV {
 			t.Errorf("%s = %s, want %s", col, got, wantV)
 		}
 	}

@@ -109,7 +109,7 @@ func Fig10(scale Scale) (*Result, error) {
 		for seed := uint64(1); seed <= uint64(scale.Seeds); seed++ {
 			m := simos.NewRiscv(simos.DefaultRiscvOptions())
 			m.Space.Favor(configspace.Runtime, 0.2)
-			if defaultMB == 0 {
+			if defaultMB == 0 { //wfvet:ignore floateq 0 is the not-yet-measured sentinel, never a computed value
 				defaultMB = m.MemoryMB(m.Space.Default(), rng.New(1))
 			}
 			rep, err := session(m, app, core.MemoryMetric{}, kind.mk(m, seed),

@@ -159,7 +159,7 @@ func (b *builder) grow(idx []int, depth int) int {
 
 func pure(ys []float64, idx []int) bool {
 	for _, i := range idx[1:] {
-		if ys[i] != ys[idx[0]] {
+		if ys[i] != ys[idx[0]] { //wfvet:ignore floateq purity test over stored targets; equal values are bit-identical copies
 			return false
 		}
 	}
@@ -171,7 +171,7 @@ func pure(ys []float64, idx []int) bool {
 func (b *builder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
 	dim := b.f.dim
 	k := int(b.f.cfg.FeatureFraction * float64(dim))
-	if b.f.cfg.FeatureFraction == 0 {
+	if b.f.cfg.FeatureFraction == 0 { //wfvet:ignore floateq 0 is the config's unset sentinel, never a computed value
 		k = int(math.Sqrt(float64(dim))) + 1
 	}
 	if k < 1 {
@@ -192,7 +192,7 @@ func (b *builder) bestSplit(idx []int) (feature int, threshold float64, ok bool)
 		// Candidate thresholds: midpoints between distinct sorted values,
 		// subsampled for speed.
 		for vi := 0; vi < len(vals)-1; vi++ {
-			if vals[vi] == vals[vi+1] {
+			if vals[vi] == vals[vi+1] { //wfvet:ignore floateq skips duplicate sorted feature values, which are bit-identical stored copies
 				continue
 			}
 			thr := (vals[vi] + vals[vi+1]) / 2

@@ -178,7 +178,7 @@ func (g *GP) refit() error {
 	n := len(g.xs)
 	g.kernelRow(n - 1) // ensure rows 0..n-1 are cached
 	err := g.chol.FactorFromRows(g.kRows[:n], g.NoiseVar+g.jitter)
-	if err != nil && g.jitter == 0 {
+	if err != nil && g.jitter == 0 { //wfvet:ignore floateq jitter is only ever assigned exactly 0 or the escalated constant
 		g.jitter = 1e-6 * g.SignalVar
 		err = g.chol.FactorFromRows(g.kRows[:n], g.NoiseVar+g.jitter)
 	}

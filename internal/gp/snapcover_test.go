@@ -1,0 +1,37 @@
+package gp
+
+import (
+	"reflect"
+	"testing"
+
+	"wayfinder/internal/snapcover"
+)
+
+// TestGPStateCoverage pins the GP ↔ State field mapping: a new piece of
+// surrogate state that is not checkpointed (or not justified as
+// rebuildable) fails here instead of as a diverged resumed session.
+func TestGPStateCoverage(t *testing.T) {
+	snapcover.Pair(t, reflect.TypeFor[GP](), reflect.TypeFor[State](), snapcover.Spec{
+		Covered: map[string]string{
+			"xs":         "Xs",
+			"ys":         "Ys",
+			"fitted":     "Fitted",
+			"sinceRefit": "SinceRefit",
+			"jitter":     "Jitter",
+			"forceRefit": "ForceRefit",
+		},
+		Excluded: map[string]string{
+			"LengthScale": "construction-time hyperparameter: the restore target is built with the same arguments",
+			"SignalVar":   "construction-time hyperparameter: the restore target is built with the same arguments",
+			"NoiseVar":    "construction-time hyperparameter: the restore target is built with the same arguments",
+			"yMean":       "recomputed from Ys when the weights refresh",
+			"kRows":       "kernel-row cache, rebuilt from Xs during restore",
+			"chol":        "rebuilt by replaying the refactorize-then-extend history RestoreState encodes",
+			"alpha":       "rebuilt by refreshWeights once the factor is reconstructed",
+			"frames":      "fantasy frames are popped before State(): a checkpoint is a real-history boundary",
+			"kStar":       "reusable scratch, regrown on demand",
+			"v":           "reusable scratch, regrown on demand",
+			"centered":    "reusable scratch, regrown on demand",
+		},
+	})
+}

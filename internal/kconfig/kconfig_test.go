@@ -1,6 +1,8 @@
 package kconfig
 
 import (
+	"maps"
+	"slices"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -111,8 +113,8 @@ func TestParseTypes(t *testing.T) {
 		"PHYSICAL_START":   TypeHex,
 		"DEFAULT_HOSTNAME": TypeString,
 	}
-	for name, want := range cases {
-		if got := tree.Lookup(name).Type; got != want {
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
+		if got, want := tree.Lookup(name).Type, cases[name]; got != want {
 			t.Errorf("%s type = %v, want %v", name, got, want)
 		}
 	}

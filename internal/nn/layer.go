@@ -96,7 +96,7 @@ func (d *Dense) Backward(grad []float64) []float64 {
 	}
 	for o := 0; o < d.Out; o++ {
 		go_ := grad[o]
-		if go_ == 0 {
+		if go_ == 0 { //wfvet:ignore floateq sparsity skip; only exactly-zero gradients are safe to skip
 			continue
 		}
 		row := d.Weight.W[o*d.In : (o+1)*d.In]

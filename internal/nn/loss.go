@@ -68,7 +68,7 @@ func HeteroscedasticLoss(mu, logVar, y float64) (loss, dMu, dLogVar float64) {
 	loss = 0.5*inv*diff*diff + 0.5*s
 	dMu = inv * diff
 	dLogVar = -0.5*inv*diff*diff + 0.5
-	if logVar != s {
+	if logVar != s { //wfvet:ignore floateq detects whether the clamp fired; s is either logVar itself or the bound
 		// outside the clamp the gradient w.r.t. logVar vanishes
 		dLogVar = 0
 	}

@@ -103,7 +103,7 @@ func ClipGradients(params []*Param, maxNorm float64) {
 		}
 	}
 	norm := math.Sqrt(total)
-	if norm <= maxNorm || norm == 0 {
+	if norm <= maxNorm || norm == 0 { //wfvet:ignore floateq guards the division; only an exactly-zero norm is degenerate
 		return
 	}
 	scale := maxNorm / norm

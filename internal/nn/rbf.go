@@ -59,7 +59,7 @@ func (b *RBFBank) Backward(grad []float64) []float64 {
 	g := make([]float64, b.In)
 	inv := 1 / (b.Gamma * b.Gamma)
 	for j := 0; j < b.K; j++ {
-		if grad[j] == 0 {
+		if grad[j] == 0 { //wfvet:ignore floateq sparsity skip; only exactly-zero gradients are safe to skip
 			continue
 		}
 		c := b.Centroids.W[j*b.In : (j+1)*b.In]

@@ -1,6 +1,8 @@
 package search
 
 import (
+	"maps"
+	"slices"
 	"testing"
 	"time"
 
@@ -39,7 +41,8 @@ func TestAsBatchWrapsEveryStrategy(t *testing.T) {
 		"unicorn":  NewUnicorn(space, true, 1),
 		"deeptune": NewDeepTune(space, true, dt),
 	}
-	for name, s := range searchers {
+	for _, name := range slices.Sorted(maps.Keys(searchers)) {
+		s := searchers[name]
 		b := AsBatch(s)
 		cfgs := b.ProposeBatch(4)
 		if len(cfgs) != 4 {

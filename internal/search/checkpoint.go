@@ -26,6 +26,8 @@ package search
 import (
 	"encoding/json"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -70,12 +72,12 @@ func encodePending(pending map[uint64]int) map[string]int {
 // decodePending inverts encodePending.
 func decodePending(enc map[string]int) (map[uint64]int, error) {
 	out := make(map[uint64]int, len(enc))
-	for s, c := range enc {
+	for _, s := range slices.Sorted(maps.Keys(enc)) {
 		h, err := parseHashKey(s)
 		if err != nil {
 			return nil, fmt.Errorf("search: bad pending hash %q: %w", s, err)
 		}
-		out[h] = c
+		out[h] = enc[s]
 	}
 	return out, nil
 }

@@ -1,7 +1,9 @@
 package search
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"testing"
 	"time"
 
@@ -351,8 +353,8 @@ func TestSearcherNames(t *testing.T) {
 		"deeptune": NewDeepTune(space, true, deeptune.DefaultConfig()),
 		"unicorn":  NewUnicorn(space, true, 1),
 	}
-	for want, s := range names {
-		if s.Name() != want {
+	for _, want := range slices.Sorted(maps.Keys(names)) {
+		if s := names[want]; s.Name() != want {
 			t.Errorf("Name() = %q, want %q", s.Name(), want)
 		}
 	}

@@ -257,7 +257,7 @@ func (m *Model) PerfMultiplier(c *configspace.Config, app *App) float64 {
 	mult := 1.0
 	for _, e := range m.Effects {
 		sens := app.Sens(e.Class)
-		if sens == 0 {
+		if sens == 0 { //wfvet:ignore floateq 0 is the app's declared-insensitive sentinel, never a computed value
 			continue
 		}
 		p, idx := m.Space.Lookup(e.Param)
@@ -278,7 +278,7 @@ func (m *Model) PerfMultiplier(c *configspace.Config, app *App) float64 {
 	}
 	for _, in := range m.Interactions {
 		sens := app.Sens(in.Class)
-		if sens == 0 {
+		if sens == 0 { //wfvet:ignore floateq 0 is the app's declared-insensitive sentinel, never a computed value
 			continue
 		}
 		pa, ia := m.Space.Lookup(in.A)
@@ -411,7 +411,7 @@ func Saturating(def, lo, hi, vstar float64) Shape {
 	g := func(v float64) float64 { return 1 - math.Exp(-v/vstar) }
 	gd := g(def)
 	span := math.Max(math.Abs(g(hi)-gd), math.Abs(g(lo)-gd))
-	if span == 0 {
+	if span == 0 { //wfvet:ignore floateq guards the normalization; an exactly-zero span means a degenerate domain
 		span = 1
 	}
 	return func(v float64) float64 { return (g(v) - gd) / span }
@@ -430,7 +430,7 @@ func Unimodal(def, peak, w float64) Shape {
 	}
 	gd := g(def)
 	span := math.Max(gd, 1-gd)
-	if span == 0 {
+	if span == 0 { //wfvet:ignore floateq guards the normalization; an exactly-zero span means a degenerate domain
 		span = 1
 	}
 	return func(v float64) float64 { return (g(v) - gd) / span }
@@ -454,12 +454,12 @@ func StepLow(threshold float64) Shape {
 func LinearPenalty(def, lo, hi, gainFrac float64) Shape {
 	return func(v float64) float64 {
 		if v <= def {
-			if def == lo {
+			if def == lo { //wfvet:ignore floateq guards the division; equal declared bounds mean a degenerate domain
 				return 0
 			}
 			return gainFrac * (def - v) / (def - lo)
 		}
-		if hi == def {
+		if hi == def { //wfvet:ignore floateq guards the division; equal declared bounds mean a degenerate domain
 			return 0
 		}
 		return -(v - def) / (hi - def)
@@ -480,7 +480,7 @@ func PowerPenalty(hi, exp float64) Shape {
 // OnPenalty returns −1 when a boolean is on, 0 when off.
 func OnPenalty() Shape {
 	return func(v float64) float64 {
-		if v != 0 {
+		if v != 0 { //wfvet:ignore floateq boolean parameters are encoded as exactly 0 or 1
 			return -1
 		}
 		return 0
@@ -490,7 +490,7 @@ func OnPenalty() Shape {
 // OnGain returns +1 when a boolean is on, 0 when off.
 func OnGain() Shape {
 	return func(v float64) float64 {
-		if v != 0 {
+		if v != 0 { //wfvet:ignore floateq boolean parameters are encoded as exactly 0 or 1
 			return 1
 		}
 		return 0
@@ -501,7 +501,7 @@ func OnGain() Shape {
 // options whose removal improves performance.
 func OffGain() Shape {
 	return func(v float64) float64 {
-		if v == 0 {
+		if v == 0 { //wfvet:ignore floateq boolean parameters are encoded as exactly 0 or 1
 			return 1
 		}
 		return 0

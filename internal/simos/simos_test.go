@@ -1,7 +1,9 @@
 package simos
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -32,7 +34,8 @@ func TestShapesZeroAtDefault(t *testing.T) {
 		"ongain":        {OnGain(), 0},
 		"offgain":       {OffGain(), 1},
 	}
-	for name, tc := range shapes {
+	for _, name := range slices.Sorted(maps.Keys(shapes)) {
+		tc := shapes[name]
 		if f := tc.s(tc.def); math.Abs(f) > 1e-9 {
 			t.Errorf("%s: shape(default) = %v, want 0", name, f)
 		}

@@ -1,0 +1,142 @@
+// Package snapcover guards snapshot completeness by reflection. The
+// repository's resume guarantee — a restored session proposes
+// byte-identically to an uninterrupted one — silently breaks the moment
+// someone adds a stateful field to a checkpointed struct and forgets to
+// serialize it: nothing fails until a resumed run diverges, usually far
+// from the missing field. Pair turns that omission into an immediate
+// test failure: every field of the live struct must be explicitly
+// mapped onto a snapshot field or excluded with a written reason, and
+// stale entries on either side fail too, so the declared coverage can
+// never drift from the structs it describes.
+package snapcover
+
+import (
+	"fmt"
+	"maps"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// Spec declares how a live struct's fields map onto its serialized
+// snapshot form.
+type Spec struct {
+	// Covered maps a live field to the snapshot field that carries its
+	// state. Several live fields may share one snapshot field (a wall
+	// clock whose per-worker positions land in the workers list), and a
+	// live field may map to a snapshot field it is recomputed from.
+	Covered map[string]string
+	// Excluded maps a live field to the reason it need not be
+	// checkpointed: construction-time constants, sync primitives,
+	// scratch buffers, state derived on restore. The reason is
+	// mandatory — an exclusion is a reviewed decision.
+	Excluded map[string]string
+	// Synthesized maps a snapshot field that no single live field
+	// produces (format version tags, validation names) to how it is
+	// derived.
+	Synthesized map[string]string
+}
+
+// Pair asserts that spec completely and currently describes the
+// live → snap field mapping: every live field is covered or excluded,
+// every snapshot field is a coverage target or declared synthesized,
+// and every spec entry still names an existing field.
+func Pair(t *testing.T, live, snap reflect.Type, spec Spec) {
+	t.Helper()
+	problems, err := check(live, snap, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// check computes the coverage problems for one live/snap pair. Problems
+// come back sorted by live-struct field iteration (declaration-
+// independent: names are sorted), so output is stable.
+func check(live, snap reflect.Type, spec Spec) ([]string, error) {
+	live, err := deref(live)
+	if err != nil {
+		return nil, err
+	}
+	snap, err = deref(snap)
+	if err != nil {
+		return nil, err
+	}
+	liveFields := fieldSet(live)
+	snapFields := fieldSet(snap)
+	var problems []string
+	add := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	for _, name := range slices.Sorted(maps.Keys(liveFields)) {
+		_, cov := spec.Covered[name]
+		_, exc := spec.Excluded[name]
+		switch {
+		case cov && exc:
+			add("%s.%s is both Covered and Excluded — pick one", live.Name(), name)
+		case !cov && !exc:
+			add("%s.%s is not accounted for: serialize it in %s (and map it in Covered) or justify skipping it in Excluded",
+				live.Name(), name, snap.Name())
+		}
+	}
+	for _, name := range slices.Sorted(maps.Keys(spec.Covered)) {
+		if !liveFields[name] {
+			add("Covered lists %s.%s, which no longer exists — stale entry", live.Name(), name)
+		}
+		if target := spec.Covered[name]; !snapFields[target] {
+			add("Covered maps %s.%s to %s.%s, which does not exist", live.Name(), name, snap.Name(), target)
+		}
+	}
+	for _, name := range slices.Sorted(maps.Keys(spec.Excluded)) {
+		if !liveFields[name] {
+			add("Excluded lists %s.%s, which no longer exists — stale entry", live.Name(), name)
+		}
+		if spec.Excluded[name] == "" {
+			add("Excluded entry for %s.%s needs a reason", live.Name(), name)
+		}
+	}
+	targets := make(map[string]bool, len(spec.Covered)+len(spec.Synthesized))
+	for _, target := range spec.Covered {
+		targets[target] = true
+	}
+	for name := range spec.Synthesized {
+		targets[name] = true
+	}
+	for _, name := range slices.Sorted(maps.Keys(snapFields)) {
+		if !targets[name] {
+			add("snapshot field %s.%s carries no live field and is not declared Synthesized — stale?", snap.Name(), name)
+		}
+	}
+	for _, name := range slices.Sorted(maps.Keys(spec.Synthesized)) {
+		if !snapFields[name] {
+			add("Synthesized lists %s.%s, which no longer exists — stale entry", snap.Name(), name)
+		}
+		if spec.Synthesized[name] == "" {
+			add("Synthesized entry for %s.%s needs a derivation note", snap.Name(), name)
+		}
+	}
+	return problems, nil
+}
+
+// deref unwraps pointer types and insists on a struct.
+func deref(typ reflect.Type) (reflect.Type, error) {
+	for typ.Kind() == reflect.Pointer {
+		typ = typ.Elem()
+	}
+	if typ.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("snapcover: %s is not a struct type", typ)
+	}
+	return typ, nil
+}
+
+// fieldSet collects a struct's field names, exported and unexported.
+func fieldSet(typ reflect.Type) map[string]bool {
+	out := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		out[typ.Field(i).Name] = true
+	}
+	return out
+}

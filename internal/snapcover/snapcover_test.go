@@ -1,0 +1,119 @@
+package snapcover
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type live struct {
+	a int
+	b string
+	c []float64
+}
+
+type snap struct {
+	Version int
+	A       int
+	B       string
+}
+
+func goodSpec() Spec {
+	return Spec{
+		Covered:     map[string]string{"a": "A", "b": "B"},
+		Excluded:    map[string]string{"c": "scratch buffer, rebuilt lazily"},
+		Synthesized: map[string]string{"Version": "format tag"},
+	}
+}
+
+func mustCheck(t *testing.T, spec Spec) []string {
+	t.Helper()
+	problems, err := check(reflect.TypeFor[live](), reflect.TypeFor[snap](), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problems
+}
+
+func TestCompleteSpecIsClean(t *testing.T) {
+	if problems := mustCheck(t, goodSpec()); len(problems) != 0 {
+		t.Errorf("complete spec reported problems: %v", problems)
+	}
+}
+
+func TestPointerTypesUnwrap(t *testing.T) {
+	problems, err := check(reflect.TypeFor[*live](), reflect.TypeFor[*snap](), goodSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("pointer pair reported problems: %v", problems)
+	}
+}
+
+func TestNonStructIsAnError(t *testing.T) {
+	if _, err := check(reflect.TypeFor[int](), reflect.TypeFor[snap](), goodSpec()); err == nil {
+		t.Error("non-struct live type: no error")
+	}
+}
+
+// expectProblem mutates the good spec and asserts it yields exactly
+// want problems, one of which mentions every fragment.
+func expectProblem(t *testing.T, want int, mutate func(*Spec), fragments ...string) {
+	t.Helper()
+	spec := goodSpec()
+	mutate(&spec)
+	problems := mustCheck(t, spec)
+	if len(problems) != want {
+		t.Fatalf("got %d problems, want %d: %v", len(problems), want, problems)
+	}
+	for _, p := range problems {
+		matched := true
+		for _, frag := range fragments {
+			if !strings.Contains(p, frag) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			return
+		}
+	}
+	t.Errorf("no problem mentions all of %v: %v", fragments, problems)
+}
+
+func TestUnaccountedLiveField(t *testing.T) {
+	expectProblem(t, 2, func(s *Spec) { delete(s.Covered, "b") }, "live.b", "not accounted for")
+}
+
+func TestDoubleAccountedLiveField(t *testing.T) {
+	expectProblem(t, 1, func(s *Spec) { s.Excluded["a"] = "also here" }, "live.a", "both Covered and Excluded")
+}
+
+func TestStaleCoveredEntry(t *testing.T) {
+	expectProblem(t, 1, func(s *Spec) { s.Covered["gone"] = "A" }, "live.gone", "no longer exists")
+}
+
+func TestCoveredTargetMissing(t *testing.T) {
+	expectProblem(t, 2, func(s *Spec) { s.Covered["a"] = "NoSuch" }, "snap.NoSuch", "does not exist")
+}
+
+func TestStaleExcludedEntry(t *testing.T) {
+	expectProblem(t, 1, func(s *Spec) {
+		delete(s.Excluded, "c")
+		s.Covered["c"] = "A"
+		s.Excluded["gone"] = "reason"
+	}, "live.gone", "stale")
+}
+
+func TestExclusionNeedsReason(t *testing.T) {
+	expectProblem(t, 1, func(s *Spec) { s.Excluded["c"] = "" }, "live.c", "needs a reason")
+}
+
+func TestOrphanSnapshotField(t *testing.T) {
+	expectProblem(t, 1, func(s *Spec) { delete(s.Synthesized, "Version") }, "snap.Version", "Synthesized")
+}
+
+func TestStaleSynthesizedEntry(t *testing.T) {
+	expectProblem(t, 1, func(s *Spec) { s.Synthesized["Gone"] = "tag" }, "snap.Gone", "stale")
+}

@@ -82,7 +82,7 @@ func MinMaxNorm(xs []float64) []float64 {
 	}
 	lo, hi := Min(xs), Max(xs)
 	span := hi - lo
-	if span == 0 {
+	if span == 0 { //wfvet:ignore floateq guards the division; only an exactly-zero span is degenerate
 		return out
 	}
 	for i, x := range xs {
@@ -110,7 +110,7 @@ func NormalizedMAE(pred, target []float64) float64 {
 		return 0
 	}
 	span := Max(target) - Min(target)
-	if span == 0 {
+	if span == 0 { //wfvet:ignore floateq guards the division; only an exactly-zero span is degenerate
 		return 0
 	}
 	return MAE(pred, target) / span
@@ -529,7 +529,7 @@ func PearsonCorrelation(xs, ys []float64) float64 {
 		vx += dx * dx
 		vy += dy * dy
 	}
-	if vx == 0 || vy == 0 {
+	if vx == 0 || vy == 0 { //wfvet:ignore floateq guards the division; only exactly-zero variance is degenerate
 		return 0
 	}
 	return cov / math.Sqrt(vx*vy)

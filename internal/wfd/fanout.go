@@ -154,6 +154,7 @@ func (h *hub) publish(ev WireEvent) {
 		h.log = append(h.log[:0:0], h.log[excess:]...)
 		h.base += excess
 	}
+	//wfvet:ignore maprange each subscriber's stream is independently ordered under h.mu; cross-subscriber delivery order is unobservable
 	for id, ch := range h.subs {
 		select {
 		case ch <- ev:

@@ -3,6 +3,8 @@ package wfd
 import (
 	"context"
 	"errors"
+	"maps"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -78,7 +80,7 @@ func TestFairShare(t *testing.T) {
 		if step.tenant == "b" {
 			seenB = true
 		}
-		for tenant := range service {
+		for _, tenant := range slices.Sorted(maps.Keys(service)) {
 			if tenant == step.tenant || !seenB || remaining[tenant] == 0 {
 				continue
 			}

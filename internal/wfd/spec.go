@@ -8,6 +8,8 @@ package wfd
 import (
 	"encoding/json"
 	"fmt"
+	"maps"
+	"slices"
 
 	wayfinder "wayfinder"
 	"wayfinder/internal/apps"
@@ -137,7 +139,7 @@ func (sp JobSpec) Validate() error {
 	if sp.Iterations <= 0 {
 		return fmt.Errorf("%w: the daemon requires a positive iteration budget (admission control charges tenants up front)", ErrBadSpec)
 	}
-	for class := range sp.Favor {
+	for _, class := range slices.Sorted(maps.Keys(sp.Favor)) {
 		if _, err := configspace.ParseClass(class); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadSpec, err)
 		}
@@ -164,14 +166,15 @@ func (sp JobSpec) buildModel() (*simos.Model, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown os %q", ErrBadSpec, sp.OS)
 	}
-	for class, w := range sp.Favor {
+	for _, class := range slices.Sorted(maps.Keys(sp.Favor)) {
 		cl, err := configspace.ParseClass(class)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 		}
-		model.Space.Favor(cl, w)
+		model.Space.Favor(cl, sp.Favor[class])
 	}
-	for name, raw := range sp.Fixed {
+	for _, name := range slices.Sorted(maps.Keys(sp.Fixed)) {
+		raw := sp.Fixed[name]
 		p, _ := model.Space.Lookup(name)
 		if p == nil {
 			return nil, fmt.Errorf("%w: fixed parameter %q not in the %s space", ErrBadSpec, name, sp.OS)
