@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: all build test race fmt vet vet-wf bench bench-cache bench-search \
-	smoke smoke-wfd tools lint cover ci
+	smoke smoke-wfd smoke-window tools lint cover ci
 
 all: build
 
@@ -99,11 +99,14 @@ bench-cache:
 	$(GO) test -race -bench='CacheHit|Fleet' -benchtime=1x -run='^$$' .
 
 # bench-search races the incremental-surrogate hot paths: the in-place
-# Cholesky extension vs the full-refit baseline, the native constant-liar
-# Bayesian batch proposal, and the DeepTune observe path — so the model
-# side of the search loop gets its own race-detector smoke on every push.
+# Cholesky extension vs the full-refit baseline, the sliding-window add
+# (extend + rank-1 downdate), the batched acquisition paths (batch EI and
+# the DTM pool pass, each with a 0-alloc steady-state assertion), the
+# native constant-liar Bayesian batch proposal, and the DeepTune observe
+# path — so the model side of the search loop gets its own race-detector
+# smoke on every push.
 bench-search:
-	$(GO) test -race -bench='GPAdd|BayesianProposeBatch|DeepTuneObserve' -benchtime=1x -run='^$$' .
+	$(GO) test -race -bench='GPAdd|GPWindowed|EIBatch|DTMScorePool|BayesianProposeBatch|DeepTuneObserve' -benchtime=1x -run='^$$' .
 
 # smoke builds and runs the end-to-end example programs with a small
 # budget: quickstart exercises the blocking Session lifecycle, streaming
@@ -121,4 +124,13 @@ smoke:
 smoke-wfd:
 	./scripts/smoke_wfd.sh
 
-ci: fmt vet vet-wf build race bench bench-cache bench-search smoke smoke-wfd
+# smoke-window runs the sliding-window flat-cost study at a small stream:
+# the experiment itself fails (non-zero exit) if the batched acquisition
+# paths diverge bit-for-bit from the scalar loops, so this is a
+# correctness gate as much as a perf snapshot. The committed BENCH_PR8.json
+# is the same experiment at quick scale (`wfbench -exp searcherscale-window
+# -json`).
+smoke-window:
+	$(GO) run ./cmd/wfbench -exp searcherscale-window -obs 600 -gp-window 64
+
+ci: fmt vet vet-wf build race bench bench-cache bench-search smoke smoke-wfd smoke-window

@@ -131,6 +131,117 @@ func BenchmarkGPAddIncremental(b *testing.B) { gpAddSession(b, false) }
 // BenchmarkGPAddRefit is the full-refactorization baseline session.
 func BenchmarkGPAddRefit(b *testing.B) { gpAddSession(b, true) }
 
+// BenchmarkGPWindowedAdd streams 512 observations through a 128-window
+// surrogate — four windows past the bound, where every add is an extend
+// plus a rank-1 downdate. The ns/add figure is the flat steady-state cost
+// an unbounded session pays forever; compare BenchmarkGPAddIncremental,
+// whose per-add cost is still growing when its session ends.
+func BenchmarkGPWindowedAdd(b *testing.B) {
+	const obs, window = 512, 128
+	for i := 0; i < b.N; i++ {
+		g := gp.New(0.5, 1, 1e-3)
+		if err := g.SetWindow(window); err != nil {
+			b.Fatal(err)
+		}
+		r := rng.New(1)
+		probe := []float64{0.5, 0.5, 0.5, 0.5}
+		for j := 0; j < obs; j++ {
+			g.Add([]float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}, r.Float64())
+			if _, _, err := g.Predict(probe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*obs), "ns/add")
+}
+
+// BenchmarkEIBatch scores a 96-candidate pool against a warm 128-window
+// surrogate with one kernel-matrix build and one batched triangular solve
+// per op — the acquisition inner loop of every Bayesian proposal. Steady
+// state must not allocate: the batch scratch is owned by the surrogate.
+func BenchmarkEIBatch(b *testing.B) {
+	const window, pool = 128, 96
+	g := gp.New(0.5, 1, 1e-3)
+	if err := g.SetWindow(window); err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	best := 0.0
+	for i := 0; i < window+window/2; i++ {
+		y := r.Float64() * 100
+		if y > best {
+			best = y
+		}
+		g.Add([]float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}, y)
+	}
+	cands := make([][]float64, pool)
+	for j := range cands {
+		cands[j] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+	out := make([]float64, pool)
+	if err := g.ExpectedImprovementBatch(cands, best, 0.01, out); err != nil {
+		b.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(8, func() {
+		if err := g.ExpectedImprovementBatch(cands, best, 0.01, out); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("steady-state batch EI allocated %.0f times per op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.ExpectedImprovementBatch(cands, best, 0.01, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pool), "ns/candidate")
+}
+
+// BenchmarkDTMScorePoolBatch runs the DTM over a 96-candidate pool in one
+// matrix-shaped forward pass — the DeepTune selector's per-proposal pool
+// scoring. Steady state must not allocate: the batch rows are DTM-owned
+// scratch, grown once.
+func BenchmarkDTMScorePoolBatch(b *testing.B) {
+	const dim, hist, pool = 6, 64, 96
+	cfg := deeptune.DefaultConfig()
+	cfg.Seed = 1
+	d := deeptune.New(dim, cfg)
+	r := rng.New(3)
+	vec := func() []float64 {
+		x := make([]float64, dim)
+		for k := range x {
+			x[k] = r.Float64()
+		}
+		return x
+	}
+	xs := make([][]float64, hist)
+	ys := make([]float64, hist)
+	crashed := make([]bool, hist)
+	for i := range xs {
+		xs[i], ys[i], crashed[i] = vec(), r.Float64()*100, i%7 == 0
+	}
+	if err := d.Update(xs, ys, crashed); err != nil {
+		b.Fatal(err)
+	}
+	cands := make([][]float64, pool)
+	for j := range cands {
+		cands[j] = vec()
+	}
+	out := make([]deeptune.Prediction, pool)
+	d.PredictBatch(cands, out)
+	if allocs := testing.AllocsPerRun(8, func() { d.PredictBatch(cands, out) }); allocs != 0 {
+		b.Fatalf("steady-state batch scoring allocated %.0f times per op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PredictBatch(cands, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pool), "ns/candidate")
+}
+
 // BenchmarkBayesianProposeBatch measures the native 8-slot batch proposal
 // on a warm surrogate: one shared 96-candidate pool scored per slot, with
 // constant-liar fantasized observations conditioning later slots.

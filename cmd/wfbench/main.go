@@ -13,11 +13,12 @@
 //	wfbench -exp fleet                # multi-host topology transfer costs
 //	wfbench -exp searcherscale -json  # incremental-surrogate decision-cost snapshot
 //	wfbench -exp searcherscale -obs 512
+//	wfbench -exp searcherscale-window -gp-window 512  # flat-cost sliding-window study
 //	wfbench -exp serve                # wfd daemon load: many tenants, many sessions
 //
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
 // table3, fig9, fig10, fig11, table4, scaling, straggler, cachehit,
-// fleet, searcherscale, serve.
+// fleet, searcherscale, searcherscale-window, serve.
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	straggler := flag.Float64("straggler", 0, "override the straggler experiment's slowdown factor")
 	hosts := flag.Int("hosts", 0, "override the cachehit experiment's multi-host fleet size")
 	obs := flag.Int("obs", 0, "override the searcherscale experiment's surrogate observation count")
+	gpWindow := flag.Int("gp-window", 0, "override the searcherscale-window experiment's sliding-window bound (min 8)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of rendered tables")
 	flag.Parse()
 
@@ -63,11 +65,16 @@ func main() {
 	}
 	if *obs > 0 {
 		scale.SurrogateObs = *obs
+		scale.SurrogateStream = *obs
+	}
+	if *gpWindow > 0 {
+		scale.SurrogateWindow = *gpWindow
 	}
 	// The centralized option validation the library and wfctl share:
 	// override combinations the experiments would otherwise clamp or
 	// misrun (-hosts beyond -workers, negative counts) die here.
-	probe := core.Options{Iterations: 1, Workers: scale.Workers, Hosts: scale.Hosts}
+	probe := core.Options{Iterations: 1, Workers: scale.Workers, Hosts: scale.Hosts,
+		SurrogateWindow: scale.SurrogateWindow}
 	if scale.Straggler > 1 && scale.Workers > 1 {
 		probe.WorkerSpeedFactors = core.StragglerFleet(scale.Workers, scale.Straggler)
 	}

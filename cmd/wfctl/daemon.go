@@ -33,6 +33,7 @@ func cmdSubmit(args []string) {
 	staleness := fs.Int("staleness", 0, "async staleness bound")
 	hosts := fs.Int("hosts", 0, "simulated host count")
 	noCache := fs.Bool("no-cache", false, "disable the session's artifact store")
+	gpWindow := fs.Int("gp-window", 0, "bound the learned surrogate to a sliding window of recent observations (min 8; 0 = unbounded; bayesian/deeptune only)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -50,6 +51,7 @@ func cmdSubmit(args []string) {
 	spec.Staleness = *staleness
 	spec.Hosts = *hosts
 	spec.DisableCache = *noCache
+	spec.SurrogateWindow = *gpWindow
 
 	id, err := wfd.NewClient(*addr).Submit(context.Background(), spec)
 	if err != nil {

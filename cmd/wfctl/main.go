@@ -12,6 +12,7 @@
 //	wfctl start -s random -workers 8 -hosts 4 job.yaml
 //	wfctl start -s random -workers 8 -no-cache job.yaml
 //	wfctl start -s bayesian -gp-refit job.yaml
+//	wfctl start -s bayesian -gp-window 512 job.yaml
 //	wfctl start -s random -json job.yaml
 //	wfctl start -s random -progress job.yaml    # live one-line status
 //	wfctl start -s random -timeout 30s job.yaml # wall-clock bound, partial report
@@ -120,6 +121,7 @@ func cmdStart(args []string) {
 	hosts := fs.Int("hosts", 1, "split the workers across this many simulated hosts (each with its own artifact-store partition)")
 	noCache := fs.Bool("no-cache", false, "disable the shared content-addressed artifact store (per-worker image reuse only)")
 	gpRefit := fs.Bool("gp-refit", false, "force the bayesian surrogate back to full O(n³) refits per observation (the pre-incremental baseline, for decision-cost comparisons)")
+	gpWindow := fs.Int("gp-window", 0, "bound the learned surrogate to a sliding window of this many recent observations (min 8; 0 = unbounded); keeps per-decision cost flat on long sessions (bayesian/deeptune only)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	progress := fs.Bool("progress", false, "render a live one-line status from the session event stream")
 	timeout := fs.Duration("timeout", 0, "real-time limit for the session; when it fires the partial report is printed")
@@ -127,7 +129,7 @@ func cmdStart(args []string) {
 	if fs.NArg() != 1 {
 		usage()
 	}
-	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *gpRefit, *strategy)
+	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *gpRefit, *gpWindow, *strategy)
 	job := loadJob(fs.Arg(0))
 
 	// Select the OS model. Jobs with their own parameter list search that
@@ -215,6 +217,7 @@ func cmdStart(args []string) {
 		Hosts:         *hosts,
 		DisableCache:  *noCache,
 	}
+	opts.SurrogateWindow = *gpWindow
 	if *async {
 		opts.Async = true
 		opts.Staleness = *staleness
@@ -301,13 +304,14 @@ func cmdStart(args []string) {
 }
 
 // validateStartFlags rejects the flag combinations only the flag layer can
-// see: whether -staleness was explicitly passed, which strategy -gp-refit
-// rides on, and explicit non-positive -workers/-hosts (the library treats
-// zero as "default", so only the CLI can tell `-workers 0` from the flag
-// being omitted). Everything else expressible over core.Options —
-// hosts > workers, staleness vs async, -no-cache vs -hosts — is validated
-// centrally by Options.Validate, shared with wfbench and library callers.
-func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, gpRefit bool, strategy string) {
+// see: whether -staleness was explicitly passed, which strategy
+// -gp-refit/-gp-window ride on, and explicit non-positive -workers/-hosts
+// (the library treats zero as "default", so only the CLI can tell
+// `-workers 0` from the flag being omitted). Everything else expressible
+// over core.Options — hosts > workers, staleness vs async, -no-cache vs
+// -hosts, window < 8 — is validated centrally by Options.Validate, shared
+// with wfbench and library callers.
+func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, gpRefit bool, gpWindow int, strategy string) {
 	stalenessSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "staleness" {
@@ -316,6 +320,9 @@ func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, ho
 	})
 	if gpRefit && strategy != "bayesian" {
 		fatal(fmt.Errorf("-gp-refit only applies to the bayesian strategy's GP surrogate (got -s %s)", strategy))
+	}
+	if gpWindow != 0 && strategy != "bayesian" && strategy != "deeptune" {
+		fatal(fmt.Errorf("-gp-window only applies to the learned strategies' surrogates (bayesian, deeptune; got -s %s)", strategy))
 	}
 	if stalenessSet && !async {
 		fatal(fmt.Errorf("-staleness only applies to the async scheduler; add -async"))

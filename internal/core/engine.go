@@ -75,6 +75,15 @@ type Options struct {
 	// per-host image-cache disk budget, in artifacts); beyond it the
 	// least-recently-used artifact is evicted. 0 or below = unbounded.
 	CacheCapacity int
+	// SurrogateWindow bounds a learned searcher's surrogate to a sliding
+	// window of the most recent observations (0 = unbounded history, the
+	// historical behavior). With a window, per-decision cost stops growing
+	// with session length: the GP downdates the oldest observation out of
+	// its factor in O(n²) instead of refitting, and DeepTune retrains over
+	// the window only. Requires a searcher implementing search.Windowed
+	// (bayesian, deeptune); minimum 8 — smaller windows leave the
+	// surrogate nothing to learn from.
+	SurrogateWindow int
 }
 
 // Validate rejects option combinations that would otherwise run a
@@ -112,6 +121,10 @@ func (o *Options) Validate() error {
 		if f < 0 {
 			return fmt.Errorf("core: negative speed factor %g for worker %d", f, i)
 		}
+	}
+	if o.SurrogateWindow != 0 && o.SurrogateWindow < 8 {
+		return fmt.Errorf("core: surrogate window %d is too small for a surrogate to learn from (minimum 8; 0 disables)",
+			o.SurrogateWindow)
 	}
 	return nil
 }

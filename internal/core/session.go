@@ -119,7 +119,26 @@ func (e *Engine) NewSession(opts Options) (*Session, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if err := e.applySurrogateWindow(opts); err != nil {
+		return nil, err
+	}
 	return e.newSession(opts, modeFor(opts)), nil
+}
+
+// applySurrogateWindow pushes Options.SurrogateWindow onto the engine's
+// searcher. It runs during session assembly — and, on restore, before the
+// searcher checkpoint is replayed, so a windowed DeepTune restore re-trims
+// its history exactly as the live session did.
+func (e *Engine) applySurrogateWindow(opts Options) error {
+	if opts.SurrogateWindow == 0 {
+		return nil
+	}
+	w, ok := e.Searcher.(search.Windowed)
+	if !ok {
+		return fmt.Errorf("core: SurrogateWindow set, but searcher %q has no learned surrogate to bound",
+			e.Searcher.Name())
+	}
+	return w.SetSurrogateWindow(opts.SurrogateWindow)
 }
 
 // newSession assembles a session with a forced scheduler mode (the

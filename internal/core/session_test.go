@@ -411,6 +411,8 @@ func TestOptionsValidate(t *testing.T) {
 		{"hosts exceed effective workers", Options{Iterations: 10, Hosts: 2}, "2 hosts exceed 1 workers"},
 		{"hosts without the store", Options{Iterations: 10, Workers: 4, Hosts: 2, DisableCache: true}, "artifact-cache locality"},
 		{"negative speed factor", Options{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, -4}}, "negative speed factor -4 for worker 1"},
+		{"small surrogate window", Options{Iterations: 10, SurrogateWindow: 4}, "surrogate window 4 is too small"},
+		{"negative surrogate window", Options{Iterations: 10, SurrogateWindow: -8}, "surrogate window -8 is too small"},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
@@ -435,6 +437,7 @@ func TestOptionsValidate(t *testing.T) {
 		{"one host per worker", Options{Iterations: 10, Workers: 8, Hosts: 8}},
 		{"cache disabled single host", Options{Iterations: 10, Workers: 2, DisableCache: true}},
 		{"speed factors", Options{Iterations: 10, Workers: 2, WorkerSpeedFactors: []float64{1, 4}}},
+		{"surrogate window at the floor", Options{Iterations: 10, SurrogateWindow: 8}},
 	}
 	for _, tc := range good {
 		t.Run(tc.name, func(t *testing.T) {

@@ -281,6 +281,13 @@ func (e *Engine) RestoreSession(data []byte) (*Session, error) {
 	e.Clock.Advance(snap.BaseSec - e.Clock.Now())
 
 	s := e.newSession(snap.Options, mode)
+	// The surrogate window must be in place before the searcher checkpoint
+	// is restored: a windowed GP restore keeps its packed factor windowed,
+	// and a windowed DeepTune restore replays its history through the same
+	// sliding-window trimming the live session applied.
+	if err := e.applySurrogateWindow(snap.Options); err != nil {
+		return nil, err
+	}
 	wantWorkers := len(s.workers)
 	if len(snap.Workers) != wantWorkers {
 		return nil, fmt.Errorf("core: snapshot has %d workers, options imply %d", len(snap.Workers), wantWorkers)

@@ -348,6 +348,60 @@ func TestSelectorColdStartIsRandomish(t *testing.T) {
 	}
 }
 
+func TestPredictBatchBitIdentical(t *testing.T) {
+	dtm, _, _, _ := trainedDTM(t, 200)
+	r := rng.New(21)
+	cands := make([][]float64, 96)
+	for i := range cands {
+		x := make([]float64, 8)
+		for d := range x {
+			x[d] = 4*r.Float64() - 1 // includes out-of-distribution points
+		}
+		cands[i] = x
+	}
+	batch := make([]Prediction, len(cands))
+	dtm.PredictBatch(cands, batch)
+	for i, x := range cands {
+		want := dtm.Predict(x)
+		got := batch[i]
+		if math.Float64bits(got.CrashProb) != math.Float64bits(want.CrashProb) ||
+			math.Float64bits(got.Perf) != math.Float64bits(want.Perf) ||
+			math.Float64bits(got.Sigma) != math.Float64bits(want.Sigma) ||
+			math.Float64bits(got.Uncertainty) != math.Float64bits(want.Uncertainty) {
+			t.Fatalf("cand %d: batch %+v != scalar %+v", i, got, want)
+		}
+	}
+}
+
+func TestPredictBatchUntrainedModel(t *testing.T) {
+	// Before the first Update there is no z-scorer and no target stats; the
+	// batch path must mirror the scalar path (raw features, sd = 1).
+	dtm := New(4, DefaultConfig())
+	xs := [][]float64{{0.1, 0.2, 0.3, 0.4}, {0.9, 0.8, 0.7, 0.6}}
+	out := make([]Prediction, len(xs))
+	dtm.PredictBatch(xs, out)
+	for i, x := range xs {
+		want := dtm.Predict(x)
+		if math.Float64bits(out[i].Perf) != math.Float64bits(want.Perf) ||
+			math.Float64bits(out[i].CrashProb) != math.Float64bits(want.CrashProb) {
+			t.Fatalf("cand %d: untrained batch %+v != scalar %+v", i, out[i], want)
+		}
+	}
+	dtm.PredictBatch(nil, nil) // empty batch is a no-op, not a panic
+}
+
+func TestPredictBatchNoAllocsSteadyState(t *testing.T) {
+	dtm, xs, _, _ := trainedDTM(t, 100)
+	out := make([]Prediction, len(xs))
+	dtm.PredictBatch(xs, out) // grow scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		dtm.PredictBatch(xs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PredictBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func BenchmarkDTMUpdate(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.Epochs = 4

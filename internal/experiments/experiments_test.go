@@ -527,3 +527,50 @@ func TestServeDaemonLoad(t *testing.T) {
 		t.Fatalf("want the five summary notes, got %d", len(res.Notes))
 	}
 }
+
+func TestSearcherscaleWindowFlatCost(t *testing.T) {
+	// The experiment verifies bit-identity of both batched paths
+	// internally (it errors on any divergence); the test pins the
+	// flat-cost shape. The asymptotic gap is wide — the unbounded
+	// surrogate's per-add cost grows ~16x over a 4-window span while the
+	// windowed one stays put — so even noisy wall-clock at tiny scale
+	// clears these thresholds.
+	scale := tinyScale()
+	scale.SurrogateStream = 600
+	scale.SurrogateWindow = 64
+	scale.Iterations = 40
+	res, err := SearcherscaleWindow(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("want cost, batch, and session tables, got %d", len(res.Tables))
+	}
+	costs := res.Tables[0]
+	if r := cellF(t, costs, 1, "tail ratio"); r > 1.5 {
+		t.Fatalf("windowed tail ratio %vx, want ≤1.5x (flat decision cost)\n%s", r, res.Render())
+	}
+	if r := cellF(t, costs, 0, "tail ratio"); r < 1.5 {
+		t.Fatalf("unbounded tail ratio %vx, want the Θ(n²) growth visible (≥1.5x)\n%s", r, res.Render())
+	}
+	series := map[string]Series{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	for _, name := range []string{"gp-add-unbounded-s", "gp-add-windowed-s"} {
+		if len(series[name].Y) == 0 {
+			t.Fatalf("missing series %q", name)
+		}
+	}
+	for row := range res.Tables[2].Rows {
+		if d := cellF(t, res.Tables[2], row, "decision s"); d <= 0 {
+			t.Fatalf("session row %d decision cost %v, want > 0", row, d)
+		}
+	}
+	if len(res.Notes) < 3 {
+		t.Fatalf("want the three summary notes, got %d", len(res.Notes))
+	}
+	if !strings.Contains(res.Notes[0], "PASS") {
+		t.Fatalf("flat-cost note did not pass: %s", res.Notes[0])
+	}
+}

@@ -35,6 +35,22 @@ type State struct {
 	Jitter float64 `json:"jitter"`
 	// ForceRefit preserves the from-scratch-refit baseline mode.
 	ForceRefit bool `json:"force_refit,omitempty"`
+	// Window is the sliding-window bound (0 = unbounded history).
+	Window int `json:"window,omitempty"`
+	// LengthScale and SignalVar are serialized because online adaptation
+	// (SetHyperAdapt) can move them off their construction-time values; 0
+	// means "keep the restore target's constructor value" so legacy
+	// checkpoints restore unchanged.
+	LengthScale float64 `json:"length_scale,omitempty"`
+	SignalVar   float64 `json:"signal_var,omitempty"`
+	// SinceAdapt is the adaptation-cadence position.
+	SinceAdapt int `json:"since_adapt,omitempty"`
+	// Chol is the packed factor itself, serialized only for windowed
+	// models: once a downdate has dropped an observation, the factor's
+	// construction history can no longer be replayed from Xs — the dropped
+	// rows' kernel values are gone — so the windowed checkpoint carries
+	// the numbers instead of the recipe.
+	Chol []float64 `json:"chol,omitempty"`
 }
 
 // State captures the model's full state. Active fantasy frames are popped
@@ -42,15 +58,22 @@ type State struct {
 func (g *GP) State() *State {
 	g.PopAllFantasies()
 	st := &State{
-		Xs:         make([][]float64, len(g.xs)),
-		Ys:         append([]float64(nil), g.ys...),
-		Fitted:     g.fitted,
-		SinceRefit: g.sinceRefit,
-		Jitter:     g.jitter,
-		ForceRefit: g.forceRefit,
+		Xs:          make([][]float64, len(g.xs)),
+		Ys:          append([]float64(nil), g.ys...),
+		Fitted:      g.fitted,
+		SinceRefit:  g.sinceRefit,
+		Jitter:      g.jitter,
+		ForceRefit:  g.forceRefit,
+		Window:      g.window,
+		LengthScale: g.LengthScale,
+		SignalVar:   g.SignalVar,
+		SinceAdapt:  g.sinceAdapt,
 	}
 	for i, x := range g.xs {
 		st.Xs[i] = append([]float64(nil), x...)
+	}
+	if g.window > 0 && g.fitted > 0 {
+		st.Chol = g.chol.PackedData()
 	}
 	return st
 }
@@ -65,7 +88,12 @@ func (g *GP) RestoreState(st *State) error {
 	if len(st.Ys) != n {
 		return fmt.Errorf("gp: checkpoint has %d inputs for %d targets", n, len(st.Ys))
 	}
-	if st.Fitted < 0 || st.Fitted > n || st.SinceRefit < 0 || st.SinceRefit > st.Fitted {
+	// A windowed checkpoint carries the packed factor directly; its
+	// sinceRefit may exceed fitted (downdates count toward the refit
+	// cadence without growing the factor), so the replay-path invariant
+	// applies only when the factor must be replayed.
+	direct := len(st.Chol) > 0
+	if st.Fitted < 0 || st.Fitted > n || st.SinceRefit < 0 || (!direct && st.SinceRefit > st.Fitted) {
 		return fmt.Errorf("gp: checkpoint factor state fitted=%d sinceRefit=%d over %d observations",
 			st.Fitted, st.SinceRefit, n)
 	}
@@ -81,7 +109,27 @@ func (g *GP) RestoreState(st *State) error {
 	g.fitted, g.sinceRefit = 0, 0
 	g.jitter = st.Jitter
 	g.forceRefit = st.ForceRefit
+	g.sinceAdapt = st.SinceAdapt
+	if st.Window > 0 {
+		g.window = st.Window
+	}
+	if st.LengthScale > 0 {
+		g.LengthScale = st.LengthScale
+	}
+	if st.SignalVar > 0 {
+		g.SignalVar = st.SignalVar
+	}
 	if st.Fitted == 0 {
+		return nil
+	}
+	if direct {
+		if err := g.chol.SetPacked(st.Fitted, st.Chol); err != nil {
+			return fmt.Errorf("gp: restoring packed factor: %w", err)
+		}
+		g.fitted, g.sinceRefit = st.Fitted, st.SinceRefit
+		if g.fitted == n {
+			return g.refreshWeights()
+		}
 		return nil
 	}
 	g.kernelRow(st.Fitted - 1) // rebuild the cached rows the factor covers

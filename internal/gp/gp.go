@@ -32,6 +32,7 @@ package gp
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"wayfinder/internal/stats"
@@ -74,12 +75,27 @@ type GP struct {
 	// searcherscale experiment and the BenchmarkGPAddRefit benchmark.
 	forceRefit bool
 
+	// window, when positive, bounds the observation history: once the
+	// factor covers more than window rows, each sync downdates the oldest
+	// one away (stats.TriFactor.Downdate, O(n²)), so memory and per-add
+	// cost stay constant over an unbounded observation stream.
+	window int
+	// hyperEvery, when positive, grid-probes a small (LengthScale,
+	// SignalVar) neighborhood every hyperEvery adds and refits on log-
+	// marginal-likelihood improvement — deterministic online adaptation.
+	hyperEvery int
+	// sinceAdapt counts adds since the last hyperparameter probe.
+	sinceAdapt int
+
 	// frames is the stack of active fantasized observations.
 	frames []fantasyFrame
 
 	// Reusable scratch (Predict/solve paths are allocation-free once the
 	// buffers have grown to the model size).
 	kStar, v, centered []float64
+	// kStarB, vB are the batch-acquisition scratch matrices (n×m row-major),
+	// regrown on demand like the scalar scratch.
+	kStarB, vB []float64
 }
 
 // fantasyFrame is the copy-on-write state one PushFantasy saves: the
@@ -100,6 +116,30 @@ func New(lengthScale, signalVar, noiseVar float64) *GP {
 // the incremental layer replaces, kept as the measurable baseline.
 func (g *GP) SetForceRefit(on bool) { g.forceRefit = on }
 
+// SetWindow bounds the observation history to the latest n observations
+// (0 disables the bound). A window below 2 would make the posterior
+// degenerate — Predict needs at least a pair to say anything — so it is
+// rejected, as is changing the window while fantasy frames are active
+// (the frames' pop bookkeeping assumes a stable history boundary).
+func (g *GP) SetWindow(n int) error {
+	if len(g.frames) > 0 {
+		return errors.New("gp: SetWindow with active fantasy frames")
+	}
+	if n != 0 && n < 2 {
+		return fmt.Errorf("gp: window %d is below the 2-observation minimum (0 disables)", n)
+	}
+	g.window = n
+	return nil
+}
+
+// Window returns the sliding-window bound (0 = unbounded).
+func (g *GP) Window() int { return g.window }
+
+// SetHyperAdapt enables online hyperparameter adaptation: every `every`
+// adds, a small (LengthScale, SignalVar) neighborhood is grid-probed via
+// the log marginal likelihood and adopted only on improvement. 0 disables.
+func (g *GP) SetHyperAdapt(every int) { g.hyperEvery = every }
+
 // Len returns the number of observations (fantasized ones included while
 // their frames are active).
 func (g *GP) Len() int { return len(g.xs) }
@@ -115,6 +155,7 @@ func (g *GP) Add(x []float64, y float64) {
 	g.PopAllFantasies()
 	g.xs = append(g.xs, append([]float64(nil), x...))
 	g.ys = append(g.ys, y)
+	g.sinceAdapt++
 }
 
 func (g *GP) kernel(a, b []float64) float64 {
@@ -139,10 +180,9 @@ func (g *GP) kernelRow(i int) []float64 {
 // ErrNoData is returned when predicting from an empty model.
 var ErrNoData = errors.New("gp: no observations")
 
-// sync brings the factor and weights up to date with the observation list:
-// incremental extensions for the common one-observation delta, a full
-// refactorization when forced, overdue for hygiene, or rescued after a
-// failed extension.
+// sync brings the factor and weights up to date with the observation list
+// (incremental extensions, window downdates, refactorizations — see
+// syncFactor), then runs the periodic hyperparameter probe.
 func (g *GP) sync() error {
 	n := len(g.xs)
 	if n == 0 {
@@ -154,10 +194,23 @@ func (g *GP) sync() error {
 	if g.chol == nil {
 		g.chol = &stats.TriFactor{}
 	}
-	if g.forceRefit || g.chol.Len() != g.fitted || g.sinceRefit+(n-g.fitted) > fullRefitEvery {
+	if err := g.syncFactor(); err != nil {
+		return err
+	}
+	return g.adaptHypers()
+}
+
+// syncFactor brings the factor and weights up to date with the
+// observation list: incremental extensions for the common one-observation
+// delta, a full refactorization when forced, overdue for hygiene, or
+// rescued after a failed extension. With a window set, each extension
+// past the bound is followed by a downdate of the oldest row, so the
+// factor slides over the stream at constant size.
+func (g *GP) syncFactor() error {
+	if g.forceRefit || g.chol.Len() != g.fitted || g.sinceRefit+(len(g.xs)-g.fitted) > fullRefitEvery {
 		return g.refit()
 	}
-	for g.fitted < n {
+	for g.fitted < len(g.xs) {
 		i := g.fitted
 		row := g.kernelRow(i)
 		if err := g.chol.Extend(row[:i], row[i]+g.NoiseVar+g.jitter); err != nil {
@@ -167,14 +220,69 @@ func (g *GP) sync() error {
 		}
 		g.fitted++
 		g.sinceRefit++
+		// A loop, not an if: a window set below the already-covered history
+		// (SetWindow on a warm model) must drain down to the bound, not
+		// shrink by a net zero per add.
+		for g.window > 0 && len(g.frames) == 0 && g.fitted > g.window {
+			if err := g.dropOldest(); err != nil {
+				return err
+			}
+		}
 	}
 	return g.refreshWeights()
 }
 
+// dropOldest slides the window forward by one: downdate the factor's
+// first row (O(n²)), shift the observation history, and count the
+// rotation sweep toward the refit-hygiene cadence (its rounding
+// accumulates exactly like an extension's).
+func (g *GP) dropOldest() error {
+	if err := g.chol.Downdate(); err != nil {
+		return err
+	}
+	g.shiftHistory(1)
+	g.fitted--
+	g.sinceRefit++
+	return nil
+}
+
+// shiftHistory drops the oldest `drop` observations from xs/ys and
+// re-anchors the kernel-row cache: kernel values are pure functions of
+// point pairs, so surviving rows reslice instead of recompute.
+func (g *GP) shiftHistory(drop int) {
+	n := len(g.xs)
+	copy(g.xs, g.xs[drop:])
+	for i := n - drop; i < n; i++ {
+		g.xs[i] = nil
+	}
+	g.xs = g.xs[:n-drop]
+	copy(g.ys, g.ys[drop:])
+	g.ys = g.ys[:n-drop]
+	if len(g.kRows) > drop {
+		kept := len(g.kRows) - drop
+		for i := 0; i < kept; i++ {
+			g.kRows[i] = g.kRows[i+drop][drop : i+drop+1]
+		}
+		for i := kept; i < len(g.kRows); i++ {
+			g.kRows[i] = nil
+		}
+		g.kRows = g.kRows[:kept]
+	} else {
+		for i := range g.kRows {
+			g.kRows[i] = nil
+		}
+		g.kRows = g.kRows[:0]
+	}
+}
+
 // refit rebuilds the factor from the cached kernel rows — O(n³) arithmetic
 // but no kernel evaluations — escalating to the persistent jitter on the
-// first failure.
+// first failure. With a window set the history is trimmed to the bound
+// first, so the refactorization is O(window³) regardless of stream length.
 func (g *GP) refit() error {
+	if g.window > 0 && len(g.frames) == 0 && len(g.xs) > g.window {
+		g.shiftHistory(len(g.xs) - g.window)
+	}
 	n := len(g.xs)
 	g.kernelRow(n - 1) // ensure rows 0..n-1 are cached
 	err := g.chol.FactorFromRows(g.kRows[:n], g.NoiseVar+g.jitter)
@@ -188,6 +296,91 @@ func (g *GP) refit() error {
 	}
 	g.fitted, g.sinceRefit = n, 0
 	return g.refreshWeights()
+}
+
+// hyperProbeFactors is the deterministic (LengthScale, SignalVar)
+// neighborhood adaptHypers scans: one step down and up per axis.
+var hyperProbeFactors = [4][2]float64{{0.8, 1}, {1.25, 1}, {1, 0.8}, {1, 1.25}}
+
+// adaptHypers is the online hyperparameter probe: every hyperEvery adds,
+// score the current hypers and four neighbors by log marginal likelihood
+// and adopt the best only on strict improvement, refitting the factor
+// under the adopted kernel. Purely a function of the observation history
+// — no wall-clock, no randomness — so sessions stay byte-reproducible.
+func (g *GP) adaptHypers() error {
+	if g.hyperEvery <= 0 || g.sinceAdapt < g.hyperEvery || len(g.frames) > 0 {
+		return nil
+	}
+	g.sinceAdapt = 0
+	bestLL := g.lmlFromFactor()
+	bestLS, bestSV := g.LengthScale, g.SignalVar
+	improved := false
+	for _, f := range hyperProbeFactors {
+		ls, sv := g.LengthScale*f[0], g.SignalVar*f[1]
+		ll, err := g.probeLML(ls, sv)
+		if err != nil {
+			continue // a probe that fails to factor is just not adopted
+		}
+		if ll > bestLL+1e-9 {
+			bestLL, bestLS, bestSV, improved = ll, ls, sv, true
+		}
+	}
+	if !improved {
+		return nil
+	}
+	g.LengthScale, g.SignalVar = bestLS, bestSV
+	g.kRows = nil // kernel changed: every cached row is stale
+	return g.refit()
+}
+
+// lmlFromFactor computes the log marginal likelihood from the current
+// factor and weights without re-syncing (the caller just did).
+func (g *GP) lmlFromFactor() float64 {
+	n := len(g.xs)
+	ll := 0.0
+	for i := 0; i < n; i++ {
+		ll -= math.Log(g.chol.At(i, i))
+	}
+	for i := 0; i < n; i++ {
+		ll -= 0.5 * (g.ys[i] - g.yMean) * g.alpha[i]
+	}
+	ll -= 0.5 * float64(n) * math.Log(2*math.Pi)
+	return ll
+}
+
+// probeLML evaluates the log marginal likelihood the model would have
+// under candidate hyperparameters, on scratch storage — the live factor,
+// caches, and weights are untouched.
+func (g *GP) probeLML(ls, sv float64) (float64, error) {
+	n := len(g.xs)
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = make([]float64, i+1)
+		for j := 0; j <= i; j++ {
+			d2 := stats.SquaredDistance(g.xs[i], g.xs[j])
+			rows[i][j] = sv * math.Exp(-d2/(2*ls*ls))
+		}
+	}
+	var tf stats.TriFactor
+	if err := tf.FactorFromRows(rows, g.NoiseVar+g.jitter); err != nil {
+		return 0, err
+	}
+	mean := stats.Mean(g.ys)
+	centered := make([]float64, n)
+	for i, y := range g.ys {
+		centered[i] = y - mean
+	}
+	alpha := make([]float64, n)
+	tf.Solve(centered, alpha)
+	ll := 0.0
+	for i := 0; i < n; i++ {
+		ll -= math.Log(tf.At(i, i))
+	}
+	for i := 0; i < n; i++ {
+		ll -= 0.5 * centered[i] * alpha[i]
+	}
+	ll -= 0.5 * float64(n) * math.Log(2*math.Pi)
+	return ll, nil
 }
 
 // refreshWeights recomputes the target mean and alpha = (K+σ²I)⁻¹(y−mean)
@@ -297,14 +490,67 @@ func (g *GP) ExpectedImprovement(x []float64, best, xi float64) (float64, error)
 	if err != nil {
 		return 0, err
 	}
+	return eiFromMoments(mean, std, best, xi), nil
+}
+
+// eiFromMoments computes EI from posterior moments — the one formula both
+// the scalar and batch acquisition paths share, so their results are the
+// same floating-point operations, not merely close.
+func eiFromMoments(mean, std, best, xi float64) float64 {
 	if std < 1e-12 {
 		if mean > best+xi {
-			return mean - best - xi, nil
+			return mean - best - xi
 		}
-		return 0, nil
+		return 0
 	}
 	z := (mean - best - xi) / std
-	return (mean-best-xi)*stdNormCDF(z) + std*stdNormPDF(z), nil
+	return (mean-best-xi)*stdNormCDF(z) + std*stdNormPDF(z)
+}
+
+// ExpectedImprovementBatch scores a whole candidate pool with one kernel-
+// matrix build and one triangular batch solve, writing EI(cands[j]) to
+// out[j]. Column j of the batch solve performs bit-for-bit the scalar
+// ForwardSolve of candidate j, and the moment and EI arithmetic is shared
+// with the scalar path, so out[j] equals ExpectedImprovement(cands[j])
+// exactly. Steady state (scratch grown, model synced) allocates nothing.
+func (g *GP) ExpectedImprovementBatch(cands [][]float64, best, xi float64, out []float64) error {
+	m := len(cands)
+	if m == 0 {
+		return nil
+	}
+	if len(out) < m {
+		return fmt.Errorf("gp: batch EI output has %d slots for %d candidates", len(out), m)
+	}
+	if err := g.sync(); err != nil {
+		return err
+	}
+	n := len(g.xs)
+	g.kStarB = resize(g.kStarB, n*m)
+	for i := 0; i < n; i++ {
+		xp := g.xs[i]
+		row := g.kStarB[i*m : i*m+m]
+		for j, c := range cands {
+			row[j] = g.kernel(c, xp)
+		}
+	}
+	g.vB = resize(g.vB, n*m)
+	g.chol.ForwardSolveBatch(g.kStarB, g.vB, m)
+	for j, c := range cands {
+		mean := g.yMean
+		for i := 0; i < n; i++ {
+			mean += g.kStarB[i*m+j] * g.alpha[i]
+		}
+		variance := g.kernel(c, c)
+		for i := 0; i < n; i++ {
+			vi := g.vB[i*m+j]
+			variance -= vi * vi
+		}
+		if variance < 0 {
+			variance = 0
+		}
+		out[j] = eiFromMoments(mean, math.Sqrt(variance), best, xi)
+	}
+	return nil
 }
 
 func stdNormPDF(z float64) float64 {

@@ -19,19 +19,30 @@ func TestGPStateCoverage(t *testing.T) {
 			"sinceRefit": "SinceRefit",
 			"jitter":     "Jitter",
 			"forceRefit": "ForceRefit",
+			"window":     "Window",
+			"sinceAdapt": "SinceAdapt",
+			// Online adaptation can move the hyperparameters off their
+			// construction-time values, so they serialize (0 = keep the
+			// constructor's, for legacy checkpoints).
+			"LengthScale": "LengthScale",
+			"SignalVar":   "SignalVar",
+			// Unbounded models replay the refactorize-then-extend history;
+			// windowed models carry the packed factor in Chol (a downdate
+			// destroys the replay recipe).
+			"chol": "Chol",
 		},
 		Excluded: map[string]string{
-			"LengthScale": "construction-time hyperparameter: the restore target is built with the same arguments",
-			"SignalVar":   "construction-time hyperparameter: the restore target is built with the same arguments",
-			"NoiseVar":    "construction-time hyperparameter: the restore target is built with the same arguments",
-			"yMean":       "recomputed from Ys when the weights refresh",
-			"kRows":       "kernel-row cache, rebuilt from Xs during restore",
-			"chol":        "rebuilt by replaying the refactorize-then-extend history RestoreState encodes",
-			"alpha":       "rebuilt by refreshWeights once the factor is reconstructed",
-			"frames":      "fantasy frames are popped before State(): a checkpoint is a real-history boundary",
-			"kStar":       "reusable scratch, regrown on demand",
-			"v":           "reusable scratch, regrown on demand",
-			"centered":    "reusable scratch, regrown on demand",
+			"NoiseVar":   "construction-time hyperparameter: the restore target is built with the same arguments",
+			"hyperEvery": "construction-time adaptation cadence: reapplied by the owner (SetSurrogateWindow) before Restore",
+			"yMean":      "recomputed from Ys when the weights refresh",
+			"kRows":      "kernel-row cache, rebuilt from Xs during restore",
+			"alpha":      "rebuilt by refreshWeights once the factor is reconstructed",
+			"frames":     "fantasy frames are popped before State(): a checkpoint is a real-history boundary",
+			"kStar":      "reusable scratch, regrown on demand",
+			"v":          "reusable scratch, regrown on demand",
+			"centered":   "reusable scratch, regrown on demand",
+			"kStarB":     "batch-acquisition scratch, regrown on demand",
+			"vB":         "batch-acquisition scratch, regrown on demand",
 		},
 	})
 }

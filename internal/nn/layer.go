@@ -89,6 +89,29 @@ func (d *Dense) Forward(x []float64, _ bool) []float64 {
 	return d.y
 }
 
+// ForwardBatch computes y = W·x + b for a whole batch of inputs in one
+// matrix-shaped pass, writing row j of ys for row j of xs. The sweep is
+// sample-major — the weight matrix (small, L1-resident) is rescanned per
+// sample while each batch row is streamed exactly once, which beats the
+// output-major order once the batch outgrows L1 — and each per-sample dot
+// accumulates in the identical order to Forward, so the results are
+// bit-identical to len(xs) scalar Forward calls. The layer's Backward
+// caches are untouched: ForwardBatch is inference-only and safe to
+// interleave with training Forward/Backward pairs.
+func (d *Dense) ForwardBatch(xs, ys [][]float64) {
+	for j, x := range xs {
+		y := ys[j]
+		for o := 0; o < d.Out; o++ {
+			sum := d.Bias.W[o]
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			for i, xi := range x {
+				sum += row[i] * xi
+			}
+			y[o] = sum
+		}
+	}
+}
+
 // Backward implements Layer.
 func (d *Dense) Backward(grad []float64) []float64 {
 	for i := range d.g {

@@ -73,6 +73,21 @@ type Searcher interface {
 	DecisionCost() time.Duration
 }
 
+// Windowed is the optional extension of searchers whose learned surrogate
+// can run over a bounded sliding window of recent observations instead of
+// the full history — the knob that turns an O(n²)-per-decision session
+// into a constant-cost one on long runs. SetSurrogateWindow(0) restores
+// unbounded history; implementations reject degenerate windows with an
+// explicit error. Bayesian and DeepTune implement it; memoryless
+// strategies (random, grid) have nothing to bound and do not.
+type Windowed interface {
+	Searcher
+	// SetSurrogateWindow bounds the surrogate's training history to the
+	// most recent n observations (0 = unbounded). It must be called before
+	// or between decisions, never mid-batch.
+	SetSurrogateWindow(n int) error
+}
+
 // Random is the random-search baseline: every proposal is drawn uniformly
 // from the space, deduplicated against history ("continuously generating
 // unique configurations with random values for each parameter").
@@ -356,6 +371,14 @@ type Bayesian struct {
 	cost      time.Duration
 	fitErrors int
 	pending   map[uint64]int
+
+	// Reusable proposal scratch: the candidate pool, its encodings and
+	// hashes, and the batched-EI output, regrown once and reused so a
+	// steady-state proposal allocates only the candidates themselves.
+	pool       []*configspace.Config
+	poolXs     [][]float64
+	poolHashes []uint64
+	poolEIs    []float64
 }
 
 // NewBayesian returns a Bayesian-optimization searcher.
@@ -379,6 +402,29 @@ func (s *Bayesian) Name() string { return "bayesian" }
 // searcherscale experiment charts decision cost against.
 func (s *Bayesian) SetSurrogateRefit(on bool) { s.model.SetForceRefit(on) }
 
+// hyperAdaptEvery is the online hyperparameter-adaptation cadence a
+// windowed Bayesian searcher runs at: every this-many observations the
+// surrogate grid-probes the (lengthScale, signalVar) neighborhood by log
+// marginal likelihood and adopts an improvement. Windowed models need it —
+// with only a recent slice of history in view, the construction-time
+// hyperparameters can drift arbitrarily far from what the window supports.
+const hyperAdaptEvery = 32
+
+// SetSurrogateWindow implements Windowed: the GP trains on (and downdates
+// out of) a sliding window of the most recent n observations, and online
+// hyperparameter adaptation is switched on alongside (off again at n=0).
+func (s *Bayesian) SetSurrogateWindow(n int) error {
+	if err := s.model.SetWindow(n); err != nil {
+		return err
+	}
+	if n > 0 {
+		s.model.SetHyperAdapt(hyperAdaptEvery)
+	} else {
+		s.model.SetHyperAdapt(0)
+	}
+	return nil
+}
+
 // FitErrors returns how many surrogate fit failures proposals have
 // absorbed (each one falls back to the best candidate scored so far, or a
 // random draw when the failure hits before any candidate was scored).
@@ -398,34 +444,47 @@ func (s *Bayesian) Propose() *configspace.Config {
 	return s.proposeOne()
 }
 
+// drawPool fills the reusable proposal scratch with poolSize fresh random
+// candidates, their encodings, and their hashes — the same RNG draws and
+// encode order the per-candidate loop consumed, just performed upfront so
+// the pool can be scored with one kernel-matrix build and one triangular
+// batch solve instead of poolSize scalar solves.
+func (s *Bayesian) drawPool() {
+	if s.pool == nil {
+		s.pool = make([]*configspace.Config, s.poolSize)
+		s.poolXs = make([][]float64, s.poolSize)
+		s.poolHashes = make([]uint64, s.poolSize)
+		s.poolEIs = make([]float64, s.poolSize)
+	}
+	for i := range s.pool {
+		s.pool[i] = s.space.Random(s.rng)
+		s.poolXs[i] = s.enc.Encode(s.pool[i])
+		s.poolHashes[i] = s.pool[i].Hash()
+	}
+}
+
 // proposeOne draws and scores one candidate pool — the single-proposal
-// path Propose and the batch cold-start share. On an ExpectedImprovement
-// failure mid-pool it returns the best-scored candidate so far (not the
-// current random draw) and counts the fit error; with no candidate scored
-// yet the current draw is all there is.
+// path Propose and the batch cold-start share. The whole pool is scored
+// with one batched EI sweep (bit-identical to the scalar loop); on a
+// surrogate fit failure the batch is all-or-nothing, so the fallback is
+// the pool's first candidate — a random draw, exactly what the caller
+// would get from an unscored pool — and the fit error is counted.
 func (s *Bayesian) proposeOne() *configspace.Config {
 	if s.model.Len() < 3 {
 		return s.space.Random(s.rng)
 	}
-	bestEI, bestCand := -1.0, (*configspace.Config)(nil)
-	for i := 0; i < s.poolSize; i++ {
-		c := s.space.Random(s.rng)
-		ei, err := s.model.ExpectedImprovement(s.enc.Encode(c), s.best, 0.01)
-		if err != nil {
-			s.fitErrors++
-			if bestCand != nil {
-				return bestCand
-			}
-			return c
-		}
+	s.drawPool()
+	if err := s.model.ExpectedImprovementBatch(s.poolXs, s.best, 0.01, s.poolEIs); err != nil {
+		s.fitErrors++
+		return s.pool[0]
+	}
+	bestEI, bestIdx := -1.0, 0
+	for i, ei := range s.poolEIs {
 		if ei > bestEI {
-			bestEI, bestCand = ei, c
+			bestEI, bestIdx = ei, i
 		}
 	}
-	if bestCand == nil {
-		return s.space.Random(s.rng)
-	}
-	return bestCand
+	return s.pool[bestIdx]
 }
 
 // ProposeBatch implements BatchSearcher natively. One shared pool of
@@ -466,43 +525,43 @@ func (s *Bayesian) ProposeBatch(n int) []*configspace.Config {
 		}
 		return out
 	}
-	pool := make([]*configspace.Config, s.poolSize)
-	xs := make([][]float64, s.poolSize)
-	hashes := make([]uint64, s.poolSize)
-	for i := range pool {
-		pool[i] = s.space.Random(s.rng)
-		xs[i] = s.enc.Encode(pool[i])
-		hashes[i] = pool[i].Hash()
-	}
+	s.drawPool()
 	defer s.model.PopAllFantasies()
 	for slot := 0; slot < n; slot++ {
+		// One batched EI sweep per slot: the fantasy pushed for the
+		// previous pick changes the surrogate, so each slot re-scores the
+		// shared pool — still one solve per slot instead of poolSize.
 		bestEI, bestIdx := -1.0, -1
-		for i := range pool {
-			if s.pending[hashes[i]] > 0 {
-				continue
-			}
-			ei, err := s.model.ExpectedImprovement(xs[i], s.best, 0.01)
-			if err != nil {
-				s.fitErrors++
-				if bestIdx < 0 {
+		if err := s.model.ExpectedImprovementBatch(s.poolXs, s.best, 0.01, s.poolEIs); err != nil {
+			// All-or-nothing batch failure: fall back to the first
+			// non-pending pool candidate (a random draw) and count it.
+			s.fitErrors++
+			for i := range s.pool {
+				if s.pending[s.poolHashes[i]] == 0 {
 					bestIdx = i
+					break
 				}
-				break
 			}
-			if ei > bestEI {
-				bestEI, bestIdx = ei, i
+		} else {
+			for i := range s.pool {
+				if s.pending[s.poolHashes[i]] > 0 {
+					continue
+				}
+				if s.poolEIs[i] > bestEI {
+					bestEI, bestIdx = s.poolEIs[i], i
+				}
 			}
 		}
 		var c *configspace.Config
 		var h uint64
 		if bestIdx >= 0 {
-			c, h = pool[bestIdx], hashes[bestIdx]
+			c, h = s.pool[bestIdx], s.poolHashes[bestIdx]
 			if slot < n-1 {
 				// Constant liar: fantasize the pick at the incumbent best
 				// (signed), so the next slot's EI avoids its neighborhood.
 				// A push failure just skips the fantasy — the slot still
 				// proposes, the pool is merely scored unconditioned.
-				if err := s.model.PushFantasy(xs[bestIdx], s.best); err != nil {
+				if err := s.model.PushFantasy(s.poolXs[bestIdx], s.best); err != nil {
 					s.fitErrors++
 				}
 			}
@@ -597,6 +656,11 @@ type DeepTune struct {
 	unreplayable bool // an observation carried no Config; checkpointing is off
 	cost         time.Duration
 	pending      map[uint64]int
+	// window bounds the training history handed to the DTM (0 = full
+	// history). The obs replay log stays complete regardless: a restore
+	// replays every observation through the same trimming, reproducing the
+	// windowed Update sequence exactly.
+	window int
 }
 
 // NewDeepTune returns a DeepTune searcher.
@@ -609,6 +673,18 @@ func (s *DeepTune) Name() string { return "deeptune" }
 
 // Selector exposes the underlying selector (for transfer learning).
 func (s *DeepTune) Selector() *deeptune.Selector { return s.sel }
+
+// SetSurrogateWindow implements Windowed: the DTM retrains on (and the
+// selector's dissimilarity term remembers) only the most recent n
+// observations, bounding the per-iteration retrain cost that otherwise
+// grows with the session.
+func (s *DeepTune) SetSurrogateWindow(n int) error {
+	if err := s.sel.SetWindow(n); err != nil {
+		return err
+	}
+	s.window = n
+	return nil
+}
 
 // Propose implements Searcher.
 func (s *DeepTune) Propose() *configspace.Config {
@@ -652,6 +728,15 @@ func (s *DeepTune) Observe(o Observation) {
 	s.xs = append(s.xs, o.X)
 	s.ys = append(s.ys, o.Metric)
 	s.crashes = append(s.crashes, o.Crashed)
+	if s.window > 0 && len(s.xs) > s.window {
+		// Slide the training window: copy-shift in place so the backing
+		// arrays stop growing with the session. The obs replay log below
+		// stays complete — it is the checkpoint recipe, not training state.
+		drop := len(s.xs) - s.window
+		s.xs = shiftTail(s.xs, drop)
+		s.ys = shiftTail(s.ys, drop)
+		s.crashes = shiftTail(s.crashes, drop)
+	}
 	if o.Config != nil {
 		s.obs = append(s.obs, deepTuneObs{KV: o.Config.KV(), Metric: o.Metric, Crashed: o.Crashed, Stage: o.Stage})
 	} else {
@@ -669,6 +754,19 @@ func (s *DeepTune) DecisionCost() time.Duration {
 	c := s.cost
 	s.cost = 0
 	return c
+}
+
+// shiftTail drops the first drop elements of s in place — copy-shift, zero
+// the vacated tail (releasing pointed-to memory), reslice — so a sliding
+// window reuses its backing array instead of leaking it one append at a
+// time.
+func shiftTail[T any](s []T, drop int) []T {
+	var zero T
+	n := copy(s, s[drop:])
+	for i := n; i < len(s); i++ {
+		s[i] = zero
+	}
+	return s[:n]
 }
 
 // Unicorn adapts the causal-inference optimizer to the Searcher interface

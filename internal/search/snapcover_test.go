@@ -73,6 +73,12 @@ func TestBayesianStateCoverage(t *testing.T) {
 			"maximize": "construction-time optimization direction",
 			"poolSize": "construction-time candidate-pool size",
 			"cost":     "accumulating decision stopwatch, reported not replayed",
+			// The surrogate's window/adaptation knobs live inside gp.State;
+			// the proposal scratch is redrawn from the RNG every proposal.
+			"pool":       "reusable proposal scratch, redrawn every proposal",
+			"poolXs":     "reusable proposal scratch, redrawn every proposal",
+			"poolHashes": "reusable proposal scratch, redrawn every proposal",
+			"poolEIs":    "reusable proposal scratch, redrawn every proposal",
 		},
 	})
 }
@@ -95,6 +101,7 @@ func TestDeepTuneStateCoverage(t *testing.T) {
 		Excluded: map[string]string{
 			"unreplayable": "checkpoint-eligibility flag: true makes Checkpoint fail, so a written checkpoint implies false",
 			"cost":         "accumulating decision stopwatch, reported not replayed; Restore resets it",
+			"window":       "session-level knob: reapplied by the session (SetSurrogateWindow from Options) before Restore replays the history",
 		},
 	})
 }

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -265,6 +266,18 @@ func (z *ZScorer) Transform(v []float64) []float64 {
 	return out
 }
 
+// TransformInto z-scores v into dst (len(dst) ≥ len(v)), allocation-free
+// — the batch-prediction path's Transform. The arithmetic is identical.
+func (z *ZScorer) TransformInto(v, dst []float64) {
+	if len(z.mean) == 0 {
+		copy(dst, v)
+		return
+	}
+	for i := range v {
+		dst[i] = (v[i] - z.mean[i]) / z.std[i]
+	}
+}
+
 // Euclidean returns the L2 distance between two equal-length vectors.
 func Euclidean(a, b []float64) float64 {
 	sum := 0.0
@@ -372,10 +385,15 @@ func SolveCholesky(l *Matrix, b []float64) []float64 {
 // the backing array and touches nothing already written, so the factor of
 // a growing SPD matrix (a GP kernel matrix gaining one observation per
 // iteration) is extended in place with one O(n²) forward solve instead of
-// an O(n³) refactorization.
+// an O(n³) refactorization. The converse operation, Downdate, removes the
+// *oldest* row in O(n²) via a rank-1 rotation sweep — together they give a
+// sliding window over an unbounded observation stream at constant memory.
 type TriFactor struct {
 	n    int
 	data []float64
+	// dscratch is Downdate's reusable rotation column (the deleted row's
+	// subdiagonal), regrown on demand.
+	dscratch []float64
 }
 
 // Len returns the factor's current dimension.
@@ -490,6 +508,69 @@ func (t *TriFactor) FactorFromRows(rows [][]float64, diagAdd float64) error {
 	return nil
 }
 
+// Downdate removes the factor's first row and column in O(n²): if L
+// factors the SPD matrix A, the result factors A with its first row and
+// column deleted — the "forget the oldest observation" half of a sliding
+// window. Partitioning L = [[ℓ₁₁, 0], [v, L₁]], the trailing block of A
+// satisfies A₁ = L₁L₁ᵀ + vvᵀ, so the new factor is the rank-1 *update* of
+// L₁ by v, computed with the classic LINPACK rotation sweep. Every
+// rotation has hypotenuse r = √(d² + vₖ²) ≥ d > 0, so — unlike a rank-1
+// *downdate* — the sweep cannot fail on a valid factor; the only error is
+// an empty one.
+func (t *TriFactor) Downdate() error {
+	if t.n == 0 {
+		return errors.New("stats: Downdate of an empty factor")
+	}
+	m := t.n - 1
+	if cap(t.dscratch) < m {
+		t.dscratch = make([]float64, m)
+	}
+	v := t.dscratch[:m]
+	// Save the deleted row's subdiagonal column v, then repack rows 1..n-1
+	// as rows 0..n-2 with their leading entry dropped. Ascending order is
+	// in-place safe: row i's destination starts at (i-1)i/2, strictly below
+	// its source at i(i+1)/2 + 1.
+	for i := 1; i <= m; i++ {
+		src := i * (i + 1) / 2
+		v[i-1] = t.data[src]
+		copy(t.data[(i-1)*i/2:], t.data[src+1:src+i+1])
+	}
+	t.n = m
+	t.data = t.data[:m*(m+1)/2]
+	// Rank-1 update: rotate v into the repacked L₁, column by column.
+	for k := 0; k < m; k++ {
+		diag := k*(k+1)/2 + k
+		dkk := t.data[diag]
+		r := math.Sqrt(dkk*dkk + v[k]*v[k])
+		c, s := r/dkk, v[k]/dkk
+		t.data[diag] = r
+		for i := k + 1; i < m; i++ {
+			idx := i*(i+1)/2 + k
+			t.data[idx] = (t.data[idx] + s*v[i]) / c
+			v[i] = c*v[i] - s*t.data[idx]
+		}
+	}
+	return nil
+}
+
+// PackedData returns a copy of the factor's packed storage (row-major
+// lower triangle, n(n+1)/2 entries) — the serialization checkpoints use
+// when the factor's construction history can no longer be replayed.
+func (t *TriFactor) PackedData() []float64 {
+	return append([]float64(nil), t.data...)
+}
+
+// SetPacked overwrites the factor with packed storage previously produced
+// by PackedData for an n×n factor.
+func (t *TriFactor) SetPacked(n int, data []float64) error {
+	if n < 0 || len(data) != n*(n+1)/2 {
+		return fmt.Errorf("stats: SetPacked got %d entries for dimension %d (want %d)", len(data), n, n*(n+1)/2)
+	}
+	t.n = n
+	t.data = append(t.data[:0], data...)
+	return nil
+}
+
 // ForwardSolve solves L v = b into dst (len ≥ t.Len()), allocation-free.
 func (t *TriFactor) ForwardSolve(b, dst []float64) {
 	for i := 0; i < t.n; i++ {
@@ -512,6 +593,53 @@ func (t *TriFactor) Solve(b, dst []float64) {
 			sum -= t.At(k, i) * dst[k]
 		}
 		dst[i] = sum / t.At(i, i)
+	}
+}
+
+// ForwardSolveBatch solves L V = B for an n×m right-hand-side matrix in
+// one factor sweep: b and dst are row-major n×m (entry (i,j) at i*m+j and
+// dst may alias b). Each column undergoes exactly the scalar
+// ForwardSolve's operation sequence — same additions in the same order,
+// same final division — so column j of the result is bit-identical to
+// ForwardSolve on column j. Allocation-free.
+func (t *TriFactor) ForwardSolveBatch(b, dst []float64, m int) {
+	for i := 0; i < t.n; i++ {
+		ri := t.data[i*(i+1)/2:]
+		bi := b[i*m : i*m+m]
+		di := dst[i*m : i*m+m]
+		copy(di, bi)
+		for k := 0; k < i; k++ {
+			lik := ri[k]
+			dk := dst[k*m : k*m+m]
+			for j, dkj := range dk {
+				di[j] -= lik * dkj
+			}
+		}
+		lii := ri[i]
+		for j := range di {
+			di[j] /= lii
+		}
+	}
+}
+
+// SolveBatch solves (L Lᵀ) X = B for an n×m right-hand-side matrix
+// (row-major, dst may alias b), column-bit-identical to m scalar Solve
+// calls. Allocation-free.
+func (t *TriFactor) SolveBatch(b, dst []float64, m int) {
+	t.ForwardSolveBatch(b, dst, m)
+	for i := t.n - 1; i >= 0; i-- {
+		di := dst[i*m : i*m+m]
+		for k := i + 1; k < t.n; k++ {
+			lki := t.data[k*(k+1)/2+i]
+			dk := dst[k*m : k*m+m]
+			for j, dkj := range dk {
+				di[j] -= lki * dkj
+			}
+		}
+		lii := t.data[i*(i+1)/2+i]
+		for j := range di {
+			di[j] /= lii
+		}
 	}
 }
 

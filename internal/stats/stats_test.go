@@ -512,3 +512,207 @@ func TestTriFactorExtendRejectsNonPD(t *testing.T) {
 		t.Fatalf("clamped pivot = %v, want %v", got, want)
 	}
 }
+
+// reconstruct returns the packed SPD matrix the factor represents:
+// A[i][j] = Σ_k L[i][k]·L[j][k]. For a clamped factor this is the
+// *effective* matrix — the one the clamp silently substituted — which is
+// the matrix a downdate must stay consistent with.
+func reconstruct(tf *TriFactor) [][]float64 {
+	n := tf.Len()
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = make([]float64, i+1)
+		for j := 0; j <= i; j++ {
+			sum := 0.0
+			for k := 0; k <= j; k++ {
+				sum += tf.At(i, k) * tf.At(j, k)
+			}
+			rows[i][j] = sum
+		}
+	}
+	return rows
+}
+
+// suffixRows drops the first `drop` rows/columns of a packed matrix.
+func suffixRows(rows [][]float64, drop int) [][]float64 {
+	out := make([][]float64, len(rows)-drop)
+	for i := range out {
+		out[i] = rows[i+drop][drop : drop+i+1]
+	}
+	return out
+}
+
+func TestTriFactorDowndateMatchesSuffixRefit(t *testing.T) {
+	// Downdating the oldest row must reproduce the from-scratch
+	// factorization of the matrix with that row and column deleted —
+	// repeatedly, across random SPD matrices of varying conditioning.
+	for seed := uint64(1); seed <= 6; seed++ {
+		r := rng.New(seed)
+		const n = 20
+		rows := randomSPDRows(n, r)
+		tf := &TriFactor{}
+		if err := tf.FactorFromRows(rows, 0); err != nil {
+			t.Fatal(err)
+		}
+		for drop := 1; drop < n; drop++ {
+			if err := tf.Downdate(); err != nil {
+				t.Fatalf("seed %d drop %d: %v", seed, drop, err)
+			}
+			want := &TriFactor{}
+			if err := want.FactorFromRows(suffixRows(rows, drop), 0); err != nil {
+				t.Fatalf("seed %d drop %d suffix refit: %v", seed, drop, err)
+			}
+			m := n - drop
+			if tf.Len() != m {
+				t.Fatalf("Len = %d after %d downdates, want %d", tf.Len(), drop, m)
+			}
+			for i := 0; i < m; i++ {
+				for j := 0; j <= i; j++ {
+					if d := math.Abs(tf.At(i, j) - want.At(i, j)); d > 1e-9 {
+						t.Fatalf("seed %d drop %d: L[%d][%d] downdated %v vs refit %v (|Δ|=%g)",
+							seed, drop, i, j, tf.At(i, j), want.At(i, j), d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTriFactorDowndateNearSingular(t *testing.T) {
+	// A nearly-rank-deficient matrix (tiny diagonal boost): the rotation
+	// sweep must still track the suffix refit within tolerance.
+	r := rng.New(77)
+	const n = 12
+	rows := randomSPDRows(n, r)
+	for i := range rows {
+		rows[i][i] += 1e-7 - 1 // undo the unit boost, leave 1e-7
+	}
+	tf := &TriFactor{}
+	if err := tf.FactorFromRows(rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	for drop := 1; drop <= n/2; drop++ {
+		if err := tf.Downdate(); err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+		want := &TriFactor{}
+		if err := want.FactorFromRows(suffixRows(rows, drop), 0); err != nil {
+			t.Fatalf("drop %d suffix refit: %v", drop, err)
+		}
+		for i := 0; i < tf.Len(); i++ {
+			for j := 0; j <= i; j++ {
+				if d := math.Abs(tf.At(i, j) - want.At(i, j)); d > 1e-9 {
+					t.Fatalf("drop %d: L[%d][%d] off by %g", drop, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTriFactorDowndateClampedPivot(t *testing.T) {
+	// A factor that went through the clamped-pivot rescue represents an
+	// effective matrix slightly different from the requested one; the
+	// downdate must stay consistent with *that* matrix's suffix.
+	tf := &TriFactor{}
+	if err := tf.Extend(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Extend([]float64{0.5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The third row duplicates the first exactly, so the Schur complement
+	// is zero and the clamp must engage.
+	if !tf.ExtendClamped([]float64{1, 0.5}, 1, 1e-6) {
+		t.Fatal("duplicate row should force the pivot clamp")
+	}
+	eff := reconstruct(tf)
+	if err := tf.Downdate(); err != nil {
+		t.Fatal(err)
+	}
+	want := &TriFactor{}
+	if err := want.FactorFromRows(suffixRows(eff, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tf.Len(); i++ {
+		for j := 0; j <= i; j++ {
+			if d := math.Abs(tf.At(i, j) - want.At(i, j)); d > 1e-9 {
+				t.Fatalf("L[%d][%d] off by %g after clamped-factor downdate", i, j, d)
+			}
+		}
+	}
+}
+
+func TestTriFactorDowndateEmpty(t *testing.T) {
+	tf := &TriFactor{}
+	if err := tf.Downdate(); err == nil {
+		t.Fatal("Downdate of an empty factor should error")
+	}
+}
+
+func TestTriFactorPackedRoundTrip(t *testing.T) {
+	r := rng.New(21)
+	const n = 10
+	rows := randomSPDRows(n, r)
+	tf := &TriFactor{}
+	if err := tf.FactorFromRows(rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	packed := tf.PackedData()
+	got := &TriFactor{}
+	if err := got.SetPacked(n, packed); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != n {
+		t.Fatalf("Len = %d, want %d", got.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if got.At(i, j) != tf.At(i, j) {
+				t.Fatalf("L[%d][%d] not restored exactly", i, j)
+			}
+		}
+	}
+	if err := got.SetPacked(n, packed[:len(packed)-1]); err == nil {
+		t.Fatal("SetPacked should reject a length mismatch")
+	}
+}
+
+func TestTriFactorBatchSolvesBitIdentical(t *testing.T) {
+	// Column j of ForwardSolveBatch/SolveBatch must be bit-for-bit the
+	// scalar ForwardSolve/Solve of column j: the batch layout reorders the
+	// sweep across columns but never the FP operations within one.
+	r := rng.New(33)
+	const n, m = 18, 7
+	rows := randomSPDRows(n, r)
+	tf := &TriFactor{}
+	if err := tf.FactorFromRows(rows, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n*m)
+	for i := range b {
+		b[i] = r.Normal(0, 1)
+	}
+	fwd := make([]float64, n*m)
+	tf.ForwardSolveBatch(b, fwd, m)
+	full := make([]float64, n*m)
+	tf.SolveBatch(b, full, m)
+	col := make([]float64, n)
+	scratch := make([]float64, n)
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b[i*m+j]
+		}
+		tf.ForwardSolve(col, scratch)
+		for i := 0; i < n; i++ {
+			if math.Float64bits(fwd[i*m+j]) != math.Float64bits(scratch[i]) {
+				t.Fatalf("ForwardSolveBatch col %d row %d: %v != scalar %v", j, i, fwd[i*m+j], scratch[i])
+			}
+		}
+		tf.Solve(col, scratch)
+		for i := 0; i < n; i++ {
+			if math.Float64bits(full[i*m+j]) != math.Float64bits(scratch[i]) {
+				t.Fatalf("SolveBatch col %d row %d: %v != scalar %v", j, i, full[i*m+j], scratch[i])
+			}
+		}
+	}
+}

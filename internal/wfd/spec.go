@@ -57,6 +57,10 @@ type JobSpec struct {
 	Hosts     int  `json:"hosts,omitempty"`
 	// DisableCache turns the session's shared artifact store off.
 	DisableCache bool `json:"disable_cache,omitempty"`
+	// SurrogateWindow bounds a learned searcher's surrogate to a sliding
+	// window of recent observations (min 8; 0 = unbounded); bayesian and
+	// deeptune only, exactly as the library option.
+	SurrogateWindow int `json:"surrogate_window,omitempty"`
 	// Favor maps a parameter class (compile/boot/runtime) to a sampling
 	// weight; Fixed pins parameters to constant values.
 	Favor map[string]float64 `json:"favor,omitempty"`
@@ -102,14 +106,15 @@ func (sp JobSpec) withDefaults() JobSpec {
 // options maps the spec onto session options.
 func (sp JobSpec) options() core.Options {
 	return core.Options{
-		Iterations:    sp.Iterations,
-		TimeBudgetSec: sp.TimeBudgetSec,
-		Seed:          sp.Seed,
-		Workers:       sp.Workers,
-		Async:         sp.Async,
-		Staleness:     sp.Staleness,
-		Hosts:         sp.Hosts,
-		DisableCache:  sp.DisableCache,
+		Iterations:      sp.Iterations,
+		TimeBudgetSec:   sp.TimeBudgetSec,
+		Seed:            sp.Seed,
+		Workers:         sp.Workers,
+		Async:           sp.Async,
+		Staleness:       sp.Staleness,
+		Hosts:           sp.Hosts,
+		DisableCache:    sp.DisableCache,
+		SurrogateWindow: sp.SurrogateWindow,
 	}
 }
 
@@ -138,6 +143,10 @@ func (sp JobSpec) Validate() error {
 	}
 	if sp.Iterations <= 0 {
 		return fmt.Errorf("%w: the daemon requires a positive iteration budget (admission control charges tenants up front)", ErrBadSpec)
+	}
+	if sp.SurrogateWindow != 0 && sp.Searcher != "bayesian" && sp.Searcher != "deeptune" {
+		return fmt.Errorf("%w: surrogate_window only applies to the learned searchers (bayesian, deeptune; got %q)",
+			ErrBadSpec, sp.Searcher)
 	}
 	for _, class := range slices.Sorted(maps.Keys(sp.Favor)) {
 		if _, err := configspace.ParseClass(class); err != nil {

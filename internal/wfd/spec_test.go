@@ -78,9 +78,34 @@ func TestSpecVariants(t *testing.T) {
 	for _, sp := range []JobSpec{
 		{Searcher: "random", Iterations: 5, Fixed: map[string]string{"net.core.somaxconn": "not-a-number"}},
 		{Searcher: "random", Iterations: 5, Favor: map[string]float64{"quantum": 2}},
+		// A surrogate window needs a learned surrogate and a usable size.
+		{Searcher: "random", Iterations: 5, SurrogateWindow: 64},
+		{Searcher: "bayesian", Iterations: 5, SurrogateWindow: 4},
 	} {
 		if _, err := d.Submit(sp); !errors.Is(err, ErrBadSpec) {
 			t.Errorf("Submit(%+v): got %v, want ErrBadSpec", sp, err)
 		}
+	}
+}
+
+// TestSpecSurrogateWindowRuns: a windowed learned-searcher job admits and
+// completes — the daemon path of the session-level window option.
+func TestSpecSurrogateWindowRuns(t *testing.T) {
+	d, err := New(Config{Steppers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Kill()
+	id, err := d.Submit(JobSpec{Tenant: "w", Searcher: "bayesian", Seed: 7, Iterations: 16, SurrogateWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, d, id)
+	rep, err := d.ReportJSON(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rep), `"searcher":"bayesian"`) {
+		t.Errorf("report missing searcher: %.120s", rep)
 	}
 }

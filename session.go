@@ -145,6 +145,18 @@ func WithCacheCapacity(n int) Option {
 	return func(c *sessionConfig) { c.opts.CacheCapacity = n; c.topologySet = true }
 }
 
+// WithSurrogateWindow bounds a learned searcher's surrogate to a sliding
+// window of the n most recent observations (minimum 8; 0 = unbounded, the
+// default), keeping per-decision cost flat on unbounded sessions: the
+// Bayesian GP downdates the oldest observation out of its Cholesky factor
+// in O(n²) — and adapts its hyperparameters online, since a window can
+// drift away from construction-time assumptions — while DeepTune retrains
+// over the window only. Requires a windowed-capable searcher (the default
+// DeepTune, or Bayesian).
+func WithSurrogateWindow(n int) Option {
+	return func(c *sessionConfig) { c.opts.SurrogateWindow = n; c.topologySet = true }
+}
+
 // WithObserver registers a synchronous event observer, invoked on the
 // session's stepping goroutine in deterministic observation order. Multiple
 // observers run in registration order.
