@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: all build test race fmt vet vet-wf bench bench-cache bench-search \
-	smoke smoke-wfd smoke-window tools lint cover ci
+	smoke smoke-wfd smoke-window smoke-faults tools lint cover ci
 
 all: build
 
@@ -133,4 +133,13 @@ smoke-wfd:
 smoke-window:
 	$(GO) run ./cmd/wfbench -exp searcherscale-window -obs 600 -gp-window 64
 
-ci: fmt vet vet-wf build race bench bench-cache bench-search smoke smoke-wfd smoke-window
+# smoke-faults is the fault-injection gauntlet under the race detector:
+# the churn byte-identity and mid-fault snapshot/resume tests, then the
+# elasticity and locality experiments end to end (complete histories
+# under host churn; locality-dispatch transfer recovery).
+smoke-faults:
+	$(GO) test -race -count=1 -run 'TestFaultDeterminism|TestFaultSnapshotResume|TestRetryElsewhere|TestEmptyScheduleGolden' ./internal/core
+	$(GO) run -race ./cmd/wfbench -exp elasticity
+	$(GO) run -race ./cmd/wfbench -exp locality
+
+ci: fmt vet vet-wf build race bench bench-cache bench-search smoke smoke-wfd smoke-window smoke-faults

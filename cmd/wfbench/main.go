@@ -11,6 +11,10 @@
 //	wfbench -exp straggler -straggler 8
 //	wfbench -exp cachehit -hosts 4    # shared artifact store vs per-worker caches
 //	wfbench -exp fleet                # multi-host topology transfer costs
+//	wfbench -exp fleet -dispatch locality
+//	wfbench -exp elasticity           # host-churn outage ladder, retry-elsewhere
+//	wfbench -exp elasticity -faults "down:1@600,up:1@1800,retry:3/20/2"
+//	wfbench -exp locality             # locality dispatch vs static placement
 //	wfbench -exp searcherscale -json  # incremental-surrogate decision-cost snapshot
 //	wfbench -exp searcherscale -obs 512
 //	wfbench -exp searcherscale-window -gp-window 512  # flat-cost sliding-window study
@@ -18,7 +22,8 @@
 //
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
 // table3, fig9, fig10, fig11, table4, scaling, straggler, cachehit,
-// fleet, searcherscale, searcherscale-window, serve.
+// fleet, elasticity, locality, searcherscale, searcherscale-window,
+// serve.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"wayfinder/internal/core"
 	"wayfinder/internal/experiments"
+	"wayfinder/internal/fault"
 )
 
 func main() {
@@ -41,6 +47,8 @@ func main() {
 	hosts := flag.Int("hosts", 0, "override the cachehit experiment's multi-host fleet size")
 	obs := flag.Int("obs", 0, "override the searcherscale experiment's surrogate observation count")
 	gpWindow := flag.Int("gp-window", 0, "override the searcherscale-window experiment's sliding-window bound (min 8)")
+	faults := flag.String("faults", "", "replace the elasticity experiment's outage ladder with this fault-DSL schedule")
+	dispatch := flag.String("dispatch", "", "override the fleet experiment's placement policy: static or locality")
 	asJSON := flag.Bool("json", false, "emit JSON instead of rendered tables")
 	flag.Parse()
 
@@ -70,11 +78,19 @@ func main() {
 	if *gpWindow > 0 {
 		scale.SurrogateWindow = *gpWindow
 	}
+	scale.FaultSchedule = *faults
+	scale.Dispatch = *dispatch
 	// The centralized option validation the library and wfctl share:
 	// override combinations the experiments would otherwise clamp or
-	// misrun (-hosts beyond -workers, negative counts) die here.
+	// misrun (-hosts beyond -workers, negative counts, fault events out of
+	// fleet range, an unknown dispatch policy) die here.
+	sched, err := fault.Parse(scale.FaultSchedule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfbench: -faults: %v\n", err)
+		os.Exit(2)
+	}
 	probe := core.Options{Iterations: 1, Workers: scale.Workers, Hosts: scale.Hosts,
-		SurrogateWindow: scale.SurrogateWindow}
+		SurrogateWindow: scale.SurrogateWindow, Faults: sched, Dispatch: scale.Dispatch}
 	if scale.Straggler > 1 && scale.Workers > 1 {
 		probe.WorkerSpeedFactors = core.StragglerFleet(scale.Workers, scale.Straggler)
 	}

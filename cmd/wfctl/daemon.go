@@ -34,6 +34,8 @@ func cmdSubmit(args []string) {
 	hosts := fs.Int("hosts", 0, "simulated host count")
 	noCache := fs.Bool("no-cache", false, "disable the session's artifact store")
 	gpWindow := fs.Int("gp-window", 0, "bound the learned surrogate to a sliding window of recent observations (min 8; 0 = unbounded; bayesian/deeptune only)")
+	faults := fs.String("faults", "", "deterministic fault schedule in the fault DSL (part of the spec; a resumed job replays the same churn)")
+	dispatch := fs.String("dispatch", "", "placement policy: static (default) or locality")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -52,6 +54,8 @@ func cmdSubmit(args []string) {
 	spec.Hosts = *hosts
 	spec.DisableCache = *noCache
 	spec.SurrogateWindow = *gpWindow
+	spec.FaultSchedule = *faults
+	spec.Dispatch = *dispatch
 
 	id, err := wfd.NewClient(*addr).Submit(context.Background(), spec)
 	if err != nil {
@@ -135,6 +139,18 @@ func cmdAttach(args []string) {
 		case "progress":
 			fmt.Printf("#%-6d %d/%d observed, best=%g, t=%.1fs, util=%.2f\n",
 				ev.Seq, ev.Observed, ev.Iterations, ev.BestMetric, ev.ElapsedSec, ev.Utilization)
+		case "fault":
+			fmt.Printf("#%-6d fault %s it=%-5d attempt=%d worker=%d t=%.1fs\n",
+				ev.Seq, ev.Kind, ev.Iteration, ev.Attempt, ev.Worker, ev.AtSec)
+		case "retry":
+			fmt.Printf("#%-6d retry it=%-5d attempt=%d not-before=%.1fs\n",
+				ev.Seq, ev.Iteration, ev.Attempt, ev.AtSec)
+		case "host":
+			state := "down"
+			if ev.Up {
+				state = "up"
+			}
+			fmt.Printf("#%-6d host  %d %s t=%.1fs\n", ev.Seq, ev.Host, state, ev.AtSec)
 		case "done":
 			fmt.Printf("#%-6d done: %d observed, best=%g @ %s\n", ev.Seq, ev.Observed, ev.BestMetric, ev.BestConfig)
 		}

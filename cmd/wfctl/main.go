@@ -10,6 +10,8 @@
 //	wfctl start -s random -workers 8 -async job.yaml
 //	wfctl start -s random -workers 8 -async -staleness 2 -straggler 4 job.yaml
 //	wfctl start -s random -workers 8 -hosts 4 job.yaml
+//	wfctl start -s random -workers 8 -hosts 4 -faults "down:1@300,up:1@900,retry:3/20/2" job.yaml
+//	wfctl start -s random -workers 8 -hosts 4 -dispatch locality job.yaml
 //	wfctl start -s random -workers 8 -no-cache job.yaml
 //	wfctl start -s bayesian -gp-refit job.yaml
 //	wfctl start -s bayesian -gp-window 512 job.yaml
@@ -41,6 +43,7 @@ import (
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/core"
 	"wayfinder/internal/deeptune"
+	"wayfinder/internal/fault"
 	"wayfinder/internal/search"
 	"wayfinder/internal/simos"
 	"wayfinder/internal/vm"
@@ -122,6 +125,8 @@ func cmdStart(args []string) {
 	noCache := fs.Bool("no-cache", false, "disable the shared content-addressed artifact store (per-worker image reuse only)")
 	gpRefit := fs.Bool("gp-refit", false, "force the bayesian surrogate back to full O(n³) refits per observation (the pre-incremental baseline, for decision-cost comparisons)")
 	gpWindow := fs.Int("gp-window", 0, "bound the learned surrogate to a sliding window of this many recent observations (min 8; 0 = unbounded); keeps per-decision cost flat on long sessions (bayesian/deeptune only)")
+	faults := fs.String("faults", "", "deterministic fault schedule in the fault DSL, e.g. \"down:1@300,up:1@900,preempt:3@120,buildfail:7#1,retry:3/20/2\"")
+	dispatch := fs.String("dispatch", "", "placement policy: static (default) or locality (prefer hosts that already hold the configuration's image)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	progress := fs.Bool("progress", false, "render a live one-line status from the session event stream")
 	timeout := fs.Duration("timeout", 0, "real-time limit for the session; when it fires the partial report is printed")
@@ -129,7 +134,13 @@ func cmdStart(args []string) {
 	if fs.NArg() != 1 {
 		usage()
 	}
-	validateStartFlags(fs, *workers, *async, *staleness, *hosts, *gpRefit, *gpWindow, *strategy)
+	if err := checkStartFlags(fs, startFlags{
+		Workers: *workers, Async: *async, Staleness: *staleness, Hosts: *hosts,
+		GPRefit: *gpRefit, GPWindow: *gpWindow, Strategy: *strategy,
+		Faults: *faults, Dispatch: *dispatch,
+	}); err != nil {
+		fatal(err)
+	}
 	job := loadJob(fs.Arg(0))
 
 	// Select the OS model. Jobs with their own parameter list search that
@@ -218,6 +229,12 @@ func cmdStart(args []string) {
 		DisableCache:  *noCache,
 	}
 	opts.SurrogateWindow = *gpWindow
+	opts.Dispatch = *dispatch
+	if sched, err := fault.Parse(*faults); err != nil {
+		fatal(err)
+	} else {
+		opts.Faults = sched
+	}
 	if *async {
 		opts.Async = true
 		opts.Staleness = *staleness
@@ -303,45 +320,91 @@ func cmdStart(args []string) {
 	}
 }
 
-// validateStartFlags rejects the flag combinations only the flag layer can
+// startFlags carries the flag values checkStartFlags inspects.
+type startFlags struct {
+	Workers   int
+	Async     bool
+	Staleness int
+	Hosts     int
+	GPRefit   bool
+	GPWindow  int
+	Strategy  string
+	Faults    string
+	Dispatch  string
+}
+
+// checkStartFlags rejects the flag combinations only the flag layer can
 // see: whether -staleness was explicitly passed, which strategy
-// -gp-refit/-gp-window ride on, and explicit non-positive -workers/-hosts
+// -gp-refit/-gp-window ride on, explicit non-positive -workers/-hosts
 // (the library treats zero as "default", so only the CLI can tell
-// `-workers 0` from the flag being omitted). Everything else expressible
-// over core.Options — hosts > workers, staleness vs async, -no-cache vs
-// -hosts, window < 8 — is validated centrally by Options.Validate, shared
-// with wfbench and library callers.
-func validateStartFlags(fs *flag.FlagSet, workers int, async bool, staleness, hosts int, gpRefit bool, gpWindow int, strategy string) {
-	stalenessSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "staleness" {
-			stalenessSet = true
-		}
-	})
-	if gpRefit && strategy != "bayesian" {
-		fatal(fmt.Errorf("-gp-refit only applies to the bayesian strategy's GP surrogate (got -s %s)", strategy))
+// `-workers 0` from the flag being omitted), an unparseable -faults DSL,
+// and an unknown -dispatch name. Everything else expressible over
+// core.Options — hosts > workers, staleness vs async, -no-cache vs -hosts,
+// window < 8, fault events out of fleet range, locality without a cache —
+// is validated centrally by Options.Validate, shared with wfbench and
+// library callers. fs may be nil (table tests) — then -staleness is
+// treated as passed whenever it differs from its -1 default.
+func checkStartFlags(fs *flag.FlagSet, f startFlags) error {
+	stalenessSet := f.Staleness != -1
+	if fs != nil {
+		stalenessSet = false
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "staleness" {
+				stalenessSet = true
+			}
+		})
 	}
-	if gpWindow != 0 && strategy != "bayesian" && strategy != "deeptune" {
-		fatal(fmt.Errorf("-gp-window only applies to the learned strategies' surrogates (bayesian, deeptune; got -s %s)", strategy))
+	if f.GPRefit && f.Strategy != "bayesian" {
+		return fmt.Errorf("-gp-refit only applies to the bayesian strategy's GP surrogate (got -s %s)", f.Strategy)
 	}
-	if stalenessSet && !async {
-		fatal(fmt.Errorf("-staleness only applies to the async scheduler; add -async"))
+	if f.GPWindow != 0 && f.Strategy != "bayesian" && f.Strategy != "deeptune" {
+		return fmt.Errorf("-gp-window only applies to the learned strategies' surrogates (bayesian, deeptune; got -s %s)", f.Strategy)
 	}
-	if stalenessSet && staleness < 0 {
-		fatal(fmt.Errorf("-staleness must be ≥ 0 (omit the flag for unbounded asynchrony)"))
+	if stalenessSet && !f.Async {
+		return fmt.Errorf("-staleness only applies to the async scheduler; add -async")
 	}
-	if workers < 1 {
-		fatal(fmt.Errorf("-workers must be ≥ 1 (got %d)", workers))
+	if stalenessSet && f.Staleness < 0 {
+		return fmt.Errorf("-staleness must be ≥ 0 (omit the flag for unbounded asynchrony)")
 	}
-	if hosts < 1 {
-		fatal(fmt.Errorf("-hosts must be ≥ 1 (got %d)", hosts))
+	if f.Workers < 1 {
+		return fmt.Errorf("-workers must be ≥ 1 (got %d)", f.Workers)
 	}
+	if f.Hosts < 1 {
+		return fmt.Errorf("-hosts must be ≥ 1 (got %d)", f.Hosts)
+	}
+	if _, err := fault.Parse(f.Faults); err != nil {
+		return fmt.Errorf("-faults: %v", err)
+	}
+	switch f.Dispatch {
+	case "", core.DispatchStatic, core.DispatchLocality:
+	default:
+		return fmt.Errorf("-dispatch must be %s or %s (got %q)", core.DispatchStatic, core.DispatchLocality, f.Dispatch)
+	}
+	return nil
 }
 
 // renderProgress renders the live one-line session status from the typed
 // event stream: observation position, incumbent best, utilization, and
-// cache effectiveness, updated in place on stderr.
+// cache effectiveness, updated in place on stderr. Fault-injection events
+// scroll past as their own lines; the status line redraws beneath them.
 func renderProgress(ev core.Event) {
+	switch e := ev.(type) {
+	case core.HostStateChanged:
+		state := "down"
+		if e.Up {
+			state = "up"
+		}
+		fmt.Fprintf(os.Stderr, "\r\033[Khost %d %s at t=%.0fs\n", e.Host, state, e.AtSec)
+		return
+	case core.FaultInjected:
+		fmt.Fprintf(os.Stderr, "\r\033[Kfault %s hit iter %d (attempt %d, worker %d) at t=%.0fs\n",
+			e.Kind, e.Iter, e.Attempt, e.Worker, e.AtSec)
+		return
+	case core.RetryScheduled:
+		fmt.Fprintf(os.Stderr, "\r\033[Kretry iter %d (attempt %d) not before t=%.0fs\n",
+			e.Iter, e.Attempt, e.NotBeforeSec)
+		return
+	}
 	p, ok := ev.(core.Progress)
 	if !ok {
 		return

@@ -28,6 +28,27 @@ func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr s
 	return code, out.String(), errw.String()
 }
 
+// TestFaultPackageNotWallClockAllowed pins the determinism review the
+// fault subsystem rests on: internal/fault (and internal/core, which
+// consumes it) must stay OUT of the wall-clock allowlist — a fault
+// schedule is virtual-time data, and the moment either package reads the
+// real clock, schedules stop being reproducible.
+func TestFaultPackageNotWallClockAllowed(t *testing.T) {
+	const module = "wayfinder"
+	allowed := map[string]bool{}
+	for _, pkg := range walltimeAllowlist(module) {
+		allowed[pkg] = true
+	}
+	for _, banned := range []string{module + "/internal/fault", module + "/internal/core"} {
+		if allowed[banned] {
+			t.Fatalf("%s is on the wall-clock allowlist; fault schedules must stay in virtual time", banned)
+		}
+	}
+	if !allowed[module+"/internal/vm"] {
+		t.Fatal("the virtual-clock package itself should remain allowlisted")
+	}
+}
+
 func TestExitCodeClean(t *testing.T) {
 	code, stdout, stderr := runIn(t, fixtureRoot(t), "./internal/rng")
 	if code != 0 {

@@ -130,6 +130,26 @@ func (s *Store) Lookup(host int, key uint64) (Artifact, Locality) {
 	return Artifact{}, Miss
 }
 
+// Contains reports whether the host's partition holds the digest, without
+// touching recency or counters — the read-only probe dispatch policies
+// use, so a placement question never perturbs a later lookup's outcome.
+func (s *Store) Contains(host int, key uint64) bool {
+	_, ok := s.part(host).byKey[key]
+	return ok
+}
+
+// ClearHost empties a host's partition — the artifact loss of a host-down
+// fault — and returns how many artifacts were lost. Counters are
+// unchanged: loss is not eviction, and the monotone stats keep describing
+// lookup traffic only.
+func (s *Store) ClearHost(host int) int {
+	p := s.part(host)
+	n := len(p.byKey)
+	p.byKey = map[uint64]*list.Element{}
+	p.order.Init()
+	return n
+}
+
 // touch returns the partition's artifact for key, moving it to the front
 // of the LRU order.
 func (p *partition) touch(key uint64) (Artifact, bool) {

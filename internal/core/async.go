@@ -56,11 +56,20 @@ import (
 )
 
 // stepAsync refills idle workers (staleness bound permitting), pops the
-// earliest completion event, and records it.
+// earliest completion event, and records it. Under a fault schedule a
+// dispatch may produce no in-flight work (everything killed, or the
+// session waiting out a backoff or a host outage with an advanced
+// frontier); the loop re-dispatches until an event exists or the
+// dispatcher reports no way to make progress.
 func (s *Session) stepAsync() bool {
-	s.dispatchAsync()
-	if s.busy == 0 {
-		return false
+	for {
+		progressed := s.dispatchAsync()
+		if s.busy > 0 {
+			break
+		}
+		if !progressed {
+			return false
+		}
 	}
 	// Pop the earliest completion event: minimum virtual finish time,
 	// lowest worker index on ties. Strict < keeps the first (lowest index)
@@ -102,11 +111,12 @@ func (s *Session) stepAsync() bool {
 // clock lags it (it sat out waiting for the staleness bound) stalls
 // forward to the frontier, so no evaluation starts before the observation
 // that admitted it and the wait is charged as idle time.
-func (s *Session) dispatchAsync() {
+// It reports whether it made progress — dispatched work, or advanced the
+// frontier over dead air (a backoff deadline or a host outage with no
+// event to pop) — so stepAsync knows when the session truly cannot move.
+func (s *Session) dispatchAsync() bool {
 	e, o := s.eng, &s.opts
-	if s.exhausted || s.busy > s.staleBound {
-		return
-	}
+	s.advanceFaults(s.frontier)
 	w := len(s.workers)
 	idle := make([]int, 0, w)
 	for i, ev := range s.inflight {
@@ -114,49 +124,100 @@ func (s *Session) dispatchAsync() {
 			continue
 		}
 		// A refilled worker starts no earlier than max(own clock,
-		// frontier) — the budget check uses that effective start.
+		// frontier) — the budget and liveness checks use that effective
+		// start, so a worker whose host is down at dispatch time is
+		// simply not refilled (its proposals are never burned).
 		start := s.workers[i].clock.Now()
 		if start < s.frontier {
 			start = s.frontier
+		}
+		if !s.workerLive(i, start) {
+			continue
 		}
 		if o.TimeBudgetSec > 0 && start >= o.TimeBudgetSec {
 			continue
 		}
 		idle = append(idle, i)
 	}
-	n := len(idle)
-	if o.Iterations > 0 && o.Iterations-s.next < n {
-		n = o.Iterations - s.next
+	// Ready retries dispatch first; they are re-dispatches of proposals
+	// the searcher already conditioned on, so the staleness bound does not
+	// gate them.
+	slots := make([]roundSlot, 0, len(idle))
+	for _, r := range s.takeReadyRetries(s.frontier, len(idle)) {
+		slots = append(slots, roundSlot{iter: r.iter, attempt: r.attempt, cfg: r.cfg})
+		s.report.Retries++
 	}
-	if n <= 0 {
-		return
+	if fresh := len(idle) - len(slots); fresh > 0 && !s.exhausted && s.busy <= s.staleBound {
+		n := fresh
+		if o.Iterations > 0 && o.Iterations-s.next < n {
+			n = o.Iterations - s.next
+		}
+		if n > 0 {
+			cfgs := make([]*configspace.Config, 0, n)
+			if o.WarmStart && s.next == 0 {
+				cfgs = append(cfgs, e.Model.Space.Default())
+			}
+			if want := n - len(cfgs); want > 0 {
+				cfgs = append(cfgs, s.batcher.ProposeBatch(want)...)
+			}
+			if len(cfgs) == 0 {
+				s.exhausted = true
+			}
+			for _, cfg := range cfgs {
+				slots = append(slots, roundSlot{iter: s.next, cfg: cfg})
+				s.next++
+			}
+		}
 	}
-	cfgs := make([]*configspace.Config, 0, n)
-	if o.WarmStart && s.next == 0 {
-		cfgs = append(cfgs, e.Model.Space.Default())
-	}
-	if want := n - len(cfgs); want > 0 {
-		cfgs = append(cfgs, s.batcher.ProposeBatch(want)...)
-	}
-	if len(cfgs) == 0 {
-		s.exhausted = true
-		return
+	if len(slots) == 0 {
+		if s.busy > 0 {
+			return false // an event is pending; popping it advances the frontier
+		}
+		// Idle session: jump the frontier to the next actionable instant —
+		// the earliest backoff deadline or host revival strictly ahead.
+		target, ok := 0.0, false
+		if at, has := s.earliestRetry(); has && at > s.frontier {
+			target, ok = at, true
+		}
+		if at, has := s.nextRevival(s.frontier); has && at > s.frontier && (!ok || at < target) {
+			target, ok = at, true
+		}
+		if ok {
+			s.frontier = target
+			return true
+		}
+		return false
 	}
 	// Plan builds in dispatch order (coordinator-only store access,
 	// pipeline.go), then execute the batch. An in-flight build from an
 	// earlier dispatch is already resolved — its goroutines joined before
 	// this dispatch — so an awaiter planned here reads a settled ticket;
-	// same-batch duplicates run in runBatch's second wave.
-	batch := make([]*batchEval, 0, len(cfgs))
-	for k, cfg := range cfgs {
-		worker := idle[k]
-		s.wall.Stall(worker, s.frontier)
-		st := s.workers[worker]
-		ev := &batchEval{iter: s.next, cfg: cfg, st: st, plan: s.planBuild(cfg, st)}
-		s.inflight[worker] = ev
-		s.busy++
-		s.next++
-		batch = append(batch, ev)
+	// same-batch duplicates run in runBatch's second wave. Placement draws
+	// from the idle live workers (ascending index statically; the locality
+	// policy may reorder to chase image digests).
+	avail := make([]bool, w)
+	for _, i := range idle {
+		avail[i] = true
+	}
+	batch := make([]*batchEval, 0, len(slots))
+	for _, sl := range slots {
+		wi := s.placeSlot(avail, sl.iter, sl.cfg, false)
+		if wi < 0 {
+			break
+		}
+		avail[wi] = false
+		s.wall.Stall(wi, s.frontier)
+		st := s.workers[wi]
+		plan := s.planBuild(sl.cfg, st)
+		plan.inject = s.injectFor(sl.iter, sl.attempt+1)
+		batch = append(batch, &batchEval{iter: sl.iter, cfg: sl.cfg, st: st, plan: plan,
+			attempt: sl.attempt, preImageKey: st.imageKey, preHaveImage: st.haveImage,
+			preBuilds: st.builds, preStall: s.wall.WorkerStallSec(wi)})
 	}
 	e.runBatch(batch)
+	for _, ev := range s.resolveFaults(batch) {
+		s.inflight[ev.st.worker] = ev
+		s.busy++
+	}
+	return true
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wayfinder/internal/configspace"
+	"wayfinder/internal/fault"
 	"wayfinder/internal/rng"
 	"wayfinder/internal/search"
 	"wayfinder/internal/simos"
@@ -75,6 +76,20 @@ type Options struct {
 	// per-host image-cache disk budget, in artifacts); beyond it the
 	// least-recently-used artifact is evicted. 0 or below = unbounded.
 	CacheCapacity int
+	// Faults is the deterministic fault schedule injected into the session
+	// (nil = fault-free, today's behavior exactly). Host-down events lose
+	// the host's artifacts and kill its in-flight evaluations; preemptions
+	// kill one worker's evaluation; build/boot injections fail a specific
+	// (iteration, attempt). Killed or injected-failed evaluations are
+	// retried under the schedule's RetryPolicy — on another host when the
+	// original is down — and the session stays a pure function of (Seed,
+	// Workers, Staleness, Hosts, Faults, Dispatch).
+	Faults *fault.Schedule
+	// Dispatch selects the worker-placement policy: "" or "static" keeps
+	// the historical i-mod-W placement; "locality" routes an evaluation to
+	// a live worker whose host already holds the image artifact (falling
+	// back to static), recovering most of the cross-host transfer cost.
+	Dispatch string
 	// SurrogateWindow bounds a learned searcher's surrogate to a sliding
 	// window of the most recent observations (0 = unbounded history, the
 	// historical behavior). With a window, per-decision cost stops growing
@@ -126,8 +141,31 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("core: surrogate window %d is too small for a surrogate to learn from (minimum 8; 0 disables)",
 			o.SurrogateWindow)
 	}
+	switch o.Dispatch {
+	case "", DispatchStatic:
+	case DispatchLocality:
+		if o.DisableCache {
+			return fmt.Errorf("core: locality dispatch routes builds by artifact-store contents, which DisableCache disables")
+		}
+	default:
+		return fmt.Errorf("core: unknown dispatch policy %q (want %q or %q)", o.Dispatch, DispatchStatic, DispatchLocality)
+	}
+	if err := o.Faults.Validate(o.effHosts(), o.effWorkers()); err != nil {
+		return fmt.Errorf("core: fault schedule: %w", err)
+	}
 	return nil
 }
+
+// Dispatch policy names (Options.Dispatch).
+const (
+	// DispatchStatic is the historical placement: iteration i prefers
+	// worker i mod W (round scheduler) or the first idle worker (async).
+	DispatchStatic = "static"
+	// DispatchLocality prefers a live worker already holding the image —
+	// its own disk first, then a worker whose host store has the digest —
+	// falling back to static placement.
+	DispatchLocality = "locality"
+)
 
 // effWorkers returns the effective worker count (sequential = 1).
 func (o *Options) effWorkers() int {
@@ -222,6 +260,10 @@ type Result struct {
 	Host int `json:"host"`
 	// DecisionCost is the real time the searcher spent deciding.
 	DecisionCost time.Duration `json:"decision_cost_ns"`
+	// Retries is the number of prior faulted attempts this observation
+	// survived (0 in fault-free sessions — the field stays absent, keeping
+	// empty-schedule reports byte-identical to historical ones).
+	Retries int `json:"retries,omitempty"`
 
 	// artifactKey is the image digest the build stage resolved; ticket the
 	// in-flight-build registration (builders only); buildEndSec the
@@ -290,6 +332,74 @@ type Report struct {
 	// BuildsSaved counts every avoided image build: §3.1 same-worker skips
 	// plus CacheHits.
 	BuildsSaved int `json:"builds_saved"`
+	// Retries counts re-dispatches of faulted evaluations (each retry
+	// attempt, not each retried iteration). 0 — and absent — in fault-free
+	// sessions.
+	Retries int `json:"retries,omitempty"`
+	// LostObservations counts evaluations still awaiting a retry when the
+	// session ended — iterations the fault schedule cost the report. The
+	// elasticity acceptance criterion is that this stays 0.
+	LostObservations int `json:"lost_observations,omitempty"`
+	// HostDowntimeSec sums, over hosts, the virtual time spent down within
+	// the session span — the independent variable wall-clock degradation
+	// is measured against.
+	HostDowntimeSec float64 `json:"host_downtime_sec,omitempty"`
+	// TransferSavedSec estimates the cross-host transfer seconds locality
+	// dispatch avoided versus static placement (accumulated at placement
+	// time; 0 under static dispatch).
+	TransferSavedSec float64 `json:"transfer_saved_sec,omitempty"`
+}
+
+// HostStats is one host's slice of a report — the per-host build/fetch
+// breakdown the fleet and locality experiments print.
+type HostStats struct {
+	Host       int     `json:"host"`
+	Evals      int     `json:"evals"`
+	Builds     int     `json:"builds"`      // full builds charged on this host
+	CacheHits  int     `json:"cache_hits"`  // store-served builds (local + remote)
+	RemoteHits int     `json:"remote_hits"` // subset fetched from another host
+	BuildSkips int     `json:"build_skips"` // §3.1 same-worker reuses
+	Crashes    int     `json:"crashes"`
+	ComputeSec float64 `json:"compute_sec"` // end−start summed over the host's evals
+}
+
+// HostBreakdown aggregates the report history per host. The slice is
+// indexed by host (length Hosts).
+func (r *Report) HostBreakdown() []HostStats {
+	hosts := r.Hosts
+	if hosts < 1 {
+		hosts = 1
+	}
+	out := make([]HostStats, hosts)
+	for h := range out {
+		out[h].Host = h
+	}
+	for i := range r.History {
+		res := &r.History[i]
+		if res.Host < 0 || res.Host >= hosts {
+			continue
+		}
+		hs := &out[res.Host]
+		hs.Evals++
+		switch {
+		case res.CacheHit:
+			hs.CacheHits++
+			if res.CacheRemote {
+				hs.RemoteHits++
+			}
+		case res.BuildSkipped:
+			hs.BuildSkips++
+		default:
+			hs.Builds++
+		}
+		if res.Crashed {
+			hs.Crashes++
+		}
+		if d := res.EndSec - res.StartSec; d > 0 {
+			hs.ComputeSec += d
+		}
+	}
+	return out
 }
 
 // utilization is the shared ComputeSec/(ComputeSec+IdleSec) helper.

@@ -7,10 +7,13 @@
 // for consumers that want to range over a stream instead.
 package core
 
+import "wayfinder/internal/fault"
+
 // Event is one typed session notification. The concrete types are
-// EvalDone, NewBest, CacheEvent, RoundBarrier, Progress, and SessionDone.
-// Events carry Result copies; observers must not retain pointers into
-// them across calls if they mutate.
+// EvalDone, NewBest, CacheEvent, RoundBarrier, Progress, SessionDone,
+// HostStateChanged, FaultInjected, and RetryScheduled. Events carry
+// Result copies; observers must not retain pointers into them across
+// calls if they mutate.
 type Event interface{ isEvent() }
 
 // EvalDone is emitted for every recorded observation, in deterministic
@@ -79,12 +82,62 @@ type SessionDone struct {
 	Report *Report
 }
 
-func (EvalDone) isEvent()     {}
-func (NewBest) isEvent()      {}
-func (CacheEvent) isEvent()   {}
-func (RoundBarrier) isEvent() {}
-func (Progress) isEvent()     {}
-func (SessionDone) isEvent()  {}
+// HostStateChanged is emitted when the fault schedule takes a host down
+// or brings it back up, at the moment the scheduler's decision time
+// passes the event (schedule-timeline order).
+type HostStateChanged struct {
+	// Host is the host index.
+	Host int
+	// Up is the host's new state.
+	Up bool
+	// AtSec is the schedule's virtual time for the transition.
+	AtSec float64
+}
+
+// FaultInjected is emitted when a scheduled fault lands on a dispatched
+// evaluation: a kill (host-down or preemption, at the kill instant) or an
+// injected build/boot failure (at the evaluation's end).
+//
+// Ordering guarantee: HostStateChanged, FaultInjected, and RetryScheduled
+// are emitted at dispatch/resolve boundaries — between per-observation
+// event groups (CacheEvent/EvalDone/NewBest/Progress), never inside one —
+// in schedule order for host events and dispatch order for the rest. The
+// sequence is as deterministic as the observation stream itself.
+type FaultInjected struct {
+	// Kind is the schedule event kind that landed.
+	Kind fault.Kind
+	// Iter is the iteration the evaluation carried.
+	Iter int
+	// Attempt is the attempt that failed, 1-based.
+	Attempt int
+	// Worker and Host locate the evaluation.
+	Worker int
+	Host   int
+	// AtSec is the virtual time the fault took effect.
+	AtSec float64
+}
+
+// RetryScheduled is emitted immediately after a FaultInjected whose
+// iteration still has attempt budget: the observation is lost for now and
+// queued for re-dispatch.
+type RetryScheduled struct {
+	// Iter is the iteration to be re-dispatched.
+	Iter int
+	// Attempt is the upcoming attempt number, 1-based.
+	Attempt int
+	// NotBeforeSec is the backoff deadline the re-dispatch waits for.
+	NotBeforeSec float64
+}
+
+func (EvalDone) isEvent()         {}
+func (NewBest) isEvent()          {}
+func (CacheEvent) isEvent()       {}
+func (RoundBarrier) isEvent()     {}
+func (Progress) isEvent()         {}
+func (SessionDone) isEvent()      {}
+func (HostStateChanged) isEvent() {}
+func (FaultInjected) isEvent()    {}
+func (RetryScheduled) isEvent()   {}
 
 // AddObserver registers a synchronous event observer. Observers are
 // invoked on the session's stepping goroutine in registration order;

@@ -59,63 +59,132 @@ func (s *Session) stepRound() bool {
 	return true
 }
 
-// fillRound proposes, plans, and evaluates one dispatch round, leaving the
-// results buffered for stepRound to drain. It reports false when the
-// budget is exhausted or the strategy produced nothing.
+// roundSlot is one dispatch slot of a round: a fresh proposal or the
+// re-dispatch of a fault-lost iteration.
+type roundSlot struct {
+	iter    int
+	attempt int
+	cfg     *configspace.Config
+}
+
+// fillRound proposes, plans, and evaluates one dispatch round, leaving
+// the results buffered for stepRound to drain. It reports false when the
+// budget is exhausted or the strategy produced nothing. Under a fault
+// schedule a round gracefully degrades with the live worker set — it
+// dispatches at most one evaluation per live worker, re-dispatches lost
+// iterations ahead of fresh proposals, and loops (stalling over dead air)
+// when every dispatch of a round was lost or nothing is dispatchable yet.
 func (s *Session) fillRound() bool {
 	e, o := s.eng, &s.opts
 	w := len(s.workers)
-	if o.Iterations > 0 && s.next >= o.Iterations {
-		return false
-	}
-	if o.TimeBudgetSec > 0 && s.wall.Now() >= o.TimeBudgetSec {
-		return false
-	}
-	// One round: up to W configurations, one per worker. A round's
-	// iterations are consecutive, so they map to distinct workers mod W
-	// even when the iteration budget — or a native BatchSearcher returning
-	// fewer proposals than asked — shortens the round.
-	n := w
-	if o.Iterations > 0 && o.Iterations-s.next < n {
-		n = o.Iterations - s.next
-	}
-	cfgs := make([]*configspace.Config, 0, n)
-	if o.WarmStart && s.next == 0 {
-		cfgs = append(cfgs, e.Model.Space.Default())
-	}
-	if want := n - len(cfgs); want > 0 {
-		cfgs = append(cfgs, s.batcher.ProposeBatch(want)...)
-	}
-	n = len(cfgs)
-	if n == 0 {
-		// The strategy produced nothing at all; treat the session as
-		// exhausted rather than spinning.
-		return false
-	}
+	for {
+		now := s.wall.Now()
+		s.advanceFaults(now)
+		if o.TimeBudgetSec > 0 && now >= o.TimeBudgetSec {
+			return false
+		}
+		live := s.liveWorkers(now)
+		if len(live) == 0 {
+			// The whole fleet is down: idle everyone forward to the next
+			// host revival, or give up when nothing ever comes back.
+			at, ok := s.nextRevival(now)
+			if !ok {
+				return false
+			}
+			for i := 0; i < w; i++ {
+				s.wall.Stall(i, at)
+			}
+			continue
+		}
+		// One round: up to one evaluation per live worker, ready retries
+		// (ascending iteration) ahead of fresh proposals. A fresh round's
+		// iterations are consecutive, so with the full fleet live they map
+		// to distinct workers mod W exactly as the static placement always
+		// did.
+		slots := make([]roundSlot, 0, len(live))
+		for _, r := range s.takeReadyRetries(now, len(live)) {
+			slots = append(slots, roundSlot{iter: r.iter, attempt: r.attempt, cfg: r.cfg})
+			s.report.Retries++
+		}
+		if fresh := len(live) - len(slots); fresh > 0 && !s.exhausted {
+			n := fresh
+			if o.Iterations > 0 && o.Iterations-s.next < n {
+				n = o.Iterations - s.next
+			}
+			if n > 0 {
+				cfgs := make([]*configspace.Config, 0, n)
+				if o.WarmStart && s.next == 0 {
+					cfgs = append(cfgs, e.Model.Space.Default())
+				}
+				if want := n - len(cfgs); want > 0 {
+					cfgs = append(cfgs, s.batcher.ProposeBatch(want)...)
+				}
+				if len(cfgs) == 0 {
+					// The strategy produced nothing at all; never re-ask.
+					s.exhausted = true
+				}
+				for _, cfg := range cfgs {
+					slots = append(slots, roundSlot{iter: s.next, cfg: cfg})
+					s.next++
+				}
+			}
+		}
+		if len(slots) == 0 {
+			if at, ok := s.earliestRetry(); ok {
+				// Only backoff deadlines remain: idle the live fleet
+				// forward to the earliest one.
+				for _, i := range live {
+					s.wall.Stall(i, at)
+				}
+				continue
+			}
+			return false
+		}
 
-	// Plan the round's builds in iteration order before dispatching:
-	// shared-store lookups and in-flight registrations happen on the
-	// coordinator only, so two workers needing the same image this round
-	// dedupe onto one build deterministically.
-	evals := make([]*batchEval, n)
-	for k := 0; k < n; k++ {
-		st := s.workers[(s.next+k)%w]
-		evals[k] = &batchEval{iter: s.next + k, cfg: cfgs[k], st: st, plan: s.planBuild(cfgs[k], st)}
-	}
-	e.runBatch(evals)
+		// Plan the round's builds in dispatch order before dispatching:
+		// shared-store lookups and in-flight registrations happen on the
+		// coordinator only, so two workers needing the same image this
+		// round dedupe onto one build deterministically. Placement draws
+		// from the live workers only (retry-elsewhere when the original
+		// host is down falls out of that for free).
+		avail := make([]bool, w)
+		for _, i := range live {
+			avail[i] = true
+		}
+		evals := make([]*batchEval, 0, len(slots))
+		for _, sl := range slots {
+			wi := s.placeSlot(avail, sl.iter, sl.cfg, true)
+			if wi < 0 {
+				break
+			}
+			avail[wi] = false
+			st := s.workers[wi]
+			plan := s.planBuild(sl.cfg, st)
+			plan.inject = s.injectFor(sl.iter, sl.attempt+1)
+			evals = append(evals, &batchEval{iter: sl.iter, cfg: sl.cfg, st: st, plan: plan,
+				attempt: sl.attempt, preImageKey: st.imageKey, preHaveImage: st.haveImage,
+				preBuilds: st.builds, preStall: s.wall.WorkerStallSec(wi)})
+		}
+		e.runBatch(evals)
+		kept := s.resolveFaults(evals)
 
-	// The barrier: every worker waits for the round's slowest evaluation
-	// before the next round starts. Stalling the clocks to the round
-	// maximum charges that wait to the wall-clock as idle time, so the
-	// next round's start times are causally consistent and the barrier's
-	// cost shows up in ElapsedSec/IdleSec.
-	roundMax := s.wall.Now()
-	for i := 0; i < w; i++ {
-		s.wall.Stall(i, roundMax)
+		// The barrier: every worker waits for the round's slowest
+		// evaluation before the next round starts (killed evaluations
+		// were already rolled back to their kill instant, so they no
+		// longer push the maximum). Stalling the clocks to the round
+		// maximum charges that wait to the wall-clock as idle time, so
+		// the next round's start times are causally consistent and the
+		// barrier's cost shows up in ElapsedSec/IdleSec.
+		roundMax := s.wall.Now()
+		for i := 0; i < w; i++ {
+			s.wall.Stall(i, roundMax)
+		}
+		s.round++
+		s.buf = kept
+		s.emit(RoundBarrier{Round: s.round, Size: len(evals), WallSec: roundMax})
+		if len(kept) == 0 {
+			continue // the whole round was lost to faults; go again
+		}
+		return true
 	}
-	s.round++
-	s.buf = evals
-	s.next += n
-	s.emit(RoundBarrier{Round: s.round, Size: n, WallSec: roundMax})
-	return true
 }

@@ -68,6 +68,10 @@ type evalPlan struct {
 	action buildAction
 	key    uint64       // the configuration's CompileKey
 	ticket *buildTicket // registration (buildFull) or await target
+	// inject is a scheduled fault injection for this dispatch (StageOK =
+	// none): the evaluation crashes at that stage with injectedReason,
+	// unless the model's organic outcome fails at an earlier stage.
+	inject simos.Stage
 }
 
 // sessionCache is the per-Run artifact-cache state: the content-addressed
@@ -139,6 +143,12 @@ func (e *Engine) evaluate(iter int, cfg *configspace.Config, st *evalState, plan
 		ticket:       plan.ticket,
 	}
 	stage, reason := e.Model.CrashOutcome(cfg)
+	if plan.inject != simos.StageOK && (stage == simos.StageOK || plan.inject < stage) {
+		// A scheduled transient failure for this (iteration, attempt):
+		// the earlier failing stage wins, so an organic build crash
+		// preempts an injected boot failure, never the reverse.
+		stage, reason = plan.inject, injectedReason
+	}
 	if !e.stageBuild(&res, st, plan, stage, reason) {
 		return res
 	}
@@ -282,6 +292,12 @@ func (s *Session) commitArtifact(report *Report, res *Result) {
 	if c == nil || c.store == nil || res.Config == nil {
 		return
 	}
+	if res.Crashed && res.Stage == faultStageName && res.buildEndSec == 0 { //wfvet:ignore floateq 0 is killEval's build-never-finished sentinel, never a computed time
+		// A fault kill interrupted the build (or fetch) and exhausted the
+		// iteration's retries: nothing was produced, and killEval already
+		// unwound the worker digests and any in-flight registration.
+		return
+	}
 	if res.CacheHit {
 		report.CacheHits++
 		report.BuildsSaved++
@@ -312,6 +328,20 @@ type batchEval struct {
 	st   *evalState
 	plan evalPlan
 	res  Result
+
+	// attempt is how many times this iteration already failed to a fault
+	// (0 for a first dispatch); resolveFaults reads it to decide between
+	// retry and giving up.
+	attempt int
+	// Pre-dispatch worker state, captured by the scheduler immediately
+	// before runBatch so killEval can unwind an interrupted build. Only
+	// meaningful until resolveFaults settles the batch — pending
+	// (post-resolve) evaluations never need it, so none of this
+	// serializes.
+	preImageKey  uint64
+	preHaveImage bool
+	preBuilds    int
+	preStall     float64
 }
 
 // runBatch executes a dispatch batch concurrently in two waves: first

@@ -111,6 +111,12 @@ type Session struct {
 	busy       int          // dispatched-but-unobserved evaluations
 	exhausted  bool         // the strategy stopped producing
 	frontier   float64      // virtual time of the latest observation
+
+	// Fault runtime state (fault.go): lost observations awaiting
+	// re-dispatch (ascending iteration order) and the schedule-timeline
+	// cursor of already-applied host events.
+	retries  []*retryItem
+	faultCur int
 }
 
 // NewSession validates the options and assembles a session in its initial
@@ -272,29 +278,59 @@ func (s *Session) markDone() {
 }
 
 // stepSequential is one iteration of the single-evaluator loop: budget
-// check, propose, evaluate, measure, record.
+// check, propose (or re-dispatch a fault-lost iteration), evaluate,
+// measure, record. The loop repeats — without recording — when a
+// dispatch is lost to a scheduled fault, so a step still means exactly
+// one recorded observation.
 func (s *Session) stepSequential() bool {
 	e, o := s.eng, &s.opts
-	if o.Iterations > 0 && s.next >= o.Iterations {
-		return false
+	for {
+		now := e.Clock.Now()
+		s.advanceFaults(now)
+		if o.TimeBudgetSec > 0 && now >= o.TimeBudgetSec {
+			return false
+		}
+		var iter, attempt int
+		var cfg *configspace.Config
+		if ready := s.takeReadyRetries(now, 1); len(ready) > 0 {
+			r := ready[0]
+			iter, attempt, cfg = r.iter, r.attempt, r.cfg
+			s.report.Retries++
+		} else if o.Iterations <= 0 || s.next < o.Iterations {
+			iter = s.next
+			if o.WarmStart && s.next == 0 {
+				cfg = e.Model.Space.Default()
+			} else {
+				cfg = e.Searcher.Propose()
+			}
+			s.next++
+		} else if at, ok := s.earliestRetry(); ok {
+			// Fresh proposals are spent, but lost iterations are still
+			// waiting out their backoff: idle forward to the deadline.
+			if at > now {
+				e.Clock.Advance(at - now)
+			}
+			continue
+		} else {
+			return false
+		}
+		st := s.workers[0]
+		plan := s.planBuild(cfg, st)
+		plan.inject = s.injectFor(iter, attempt+1)
+		ev := &batchEval{iter: iter, cfg: cfg, st: st, plan: plan, attempt: attempt,
+			preImageKey: st.imageKey, preHaveImage: st.haveImage, preBuilds: st.builds}
+		ev.res = e.evaluate(iter, cfg, st, plan)
+		kept := s.resolveFaults([]*batchEval{ev})
+		if len(kept) == 0 {
+			continue // lost to a fault; its retry is queued
+		}
+		res := kept[0].res
+		if !res.Crashed {
+			res.Metric = e.Metric.Measure(e.Model, e.App, cfg, st.noise)
+		}
+		s.record(res)
+		return true
 	}
-	if o.TimeBudgetSec > 0 && e.Clock.Now() >= o.TimeBudgetSec {
-		return false
-	}
-	var cfg *configspace.Config
-	if o.WarmStart && s.next == 0 {
-		cfg = e.Model.Space.Default()
-	} else {
-		cfg = e.Searcher.Propose()
-	}
-	st := s.workers[0]
-	res := e.evaluate(s.next, cfg, st, s.planBuild(cfg, st))
-	if !res.Crashed {
-		res.Metric = e.Metric.Measure(e.Model, e.App, cfg, st.noise)
-	}
-	s.record(res)
-	s.next++
-	return true
 }
 
 // record appends one result to the report, maintains best/crash
@@ -364,6 +400,17 @@ func (s *Session) finalize() {
 	rep.Builds = 0
 	for _, st := range s.workers {
 		rep.Builds += st.builds
+	}
+	if s.faultsActive() {
+		rep.HostDowntimeSec = 0
+		for h := 0; h < s.opts.effHosts(); h++ {
+			rep.HostDowntimeSec += s.opts.Faults.Downtime(h, s.base, rep.ElapsedSec)
+		}
+		if s.done.Load() {
+			// Retries still queued when the session ends are observations
+			// the budget (or a permanent outage) swallowed.
+			rep.LostObservations = len(s.retries)
+		}
 	}
 }
 

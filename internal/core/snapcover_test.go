@@ -28,6 +28,8 @@ func TestSessionSnapshotCoverage(t *testing.T) {
 			"exhausted": "Exhausted",
 			"frontier":  "Frontier",
 			"cache":     "Cache",
+			"retries":   "Retries",
+			"faultCur":  "FaultCursor",
 			// The per-worker clock and stall positions serialize the wall
 			// clock; workers carry the rest of the evaluator state.
 			"wall":    "Workers",

@@ -71,6 +71,14 @@ type evalSnap struct {
 	Ticket           *ticketSnap `json:"ticket,omitempty"`
 }
 
+// retrySnap is one queued re-dispatch of a fault-lost iteration.
+type retrySnap struct {
+	Iter         int               `json:"iter"`
+	ConfigKV     map[string]string `json:"config_kv"`
+	Attempt      int               `json:"attempt"`
+	NotBeforeSec float64           `json:"not_before_sec"`
+}
+
 // sessionSnapshot is the serialized session.
 type sessionSnapshot struct {
 	Version      int     `json:"version"`
@@ -87,6 +95,13 @@ type sessionSnapshot struct {
 	Round     int     `json:"round,omitempty"`
 	Exhausted bool    `json:"exhausted,omitempty"`
 	Frontier  float64 `json:"frontier,omitempty"`
+
+	// Fault runtime state: the queued re-dispatches of fault-lost
+	// iterations and the schedule-timeline cursor. Pending evaluations
+	// need nothing extra — a buffered or in-flight evaluation is already
+	// fault-resolved (resolveFaults runs before anything is buffered).
+	Retries     []retrySnap `json:"retries,omitempty"`
+	FaultCursor int         `json:"fault_cursor,omitempty"`
 
 	Report  *Report      `json:"report"`
 	Workers []workerSnap `json:"workers"`
@@ -152,6 +167,12 @@ func (s *Session) Snapshot() ([]byte, error) {
 		Frontier:      s.frontier,
 		Report:        s.report,
 		SearcherState: searcherState,
+		FaultCursor:   s.faultCur,
+	}
+	for _, r := range s.retries {
+		snap.Retries = append(snap.Retries, retrySnap{
+			Iter: r.iter, ConfigKV: r.cfg.KV(), Attempt: r.attempt, NotBeforeSec: r.notBefore,
+		})
 	}
 	snap.Workers = make([]workerSnap, len(s.workers))
 	for i, st := range s.workers {
@@ -352,6 +373,16 @@ func (e *Engine) RestoreSession(data []byte) (*Session, error) {
 	s.folded = snap.FoldedSec
 	s.round = snap.Round
 	s.exhausted, s.frontier = snap.Exhausted, snap.Frontier
+	s.faultCur = snap.FaultCursor
+	for _, rs := range snap.Retries {
+		cfg, err := space.FromKV(rs.ConfigKV)
+		if err != nil {
+			return nil, fmt.Errorf("core: queued retry of iteration %d: %w", rs.Iter, err)
+		}
+		s.retries = append(s.retries, &retryItem{
+			iter: rs.Iter, cfg: cfg, attempt: rs.Attempt, notBefore: rs.NotBeforeSec,
+		})
+	}
 	for i := range snap.Buffer {
 		ev, err := s.restoreEval(&snap.Buffer[i])
 		if err != nil {

@@ -220,8 +220,9 @@ func Fleet(scale Scale) (*Result, error) {
 	}
 	var xs, wall []float64
 	baseWall, computeAt1Host := 0.0, 0.0
+	var widest *core.Report
 	for _, h := range ladder {
-		rep, err := run(core.Options{Hosts: h})
+		rep, err := run(core.Options{Hosts: h, Dispatch: scale.Dispatch})
 		if err != nil {
 			return nil, err
 		}
@@ -235,6 +236,7 @@ func Fleet(scale Scale) (*Result, error) {
 		}
 		xs = append(xs, float64(h))
 		wall = append(wall, rep.ElapsedSec)
+		widest = rep
 	}
 	noCache, err := run(core.Options{DisableCache: true})
 	if err != nil {
@@ -253,6 +255,26 @@ func Fleet(scale Scale) (*Result, error) {
 			fmtF(noCache.ComputeSec-computeAt1Host, 0),
 		}},
 	})
+
+	// Where the widest fleet's work actually landed, host by host: who
+	// built, who fetched locally, who paid cross-host transfers.
+	hb := Table{
+		Title:   fmt.Sprintf("Per-host breakdown at %d hosts", widest.Hosts),
+		Columns: []string{"host", "evals", "builds", "cache hits", "remote", "build skips", "crashes", "compute s"},
+	}
+	for _, hs := range widest.HostBreakdown() {
+		hb.Rows = append(hb.Rows, []string{
+			fmt.Sprintf("%d", hs.Host),
+			fmt.Sprintf("%d", hs.Evals),
+			fmt.Sprintf("%d", hs.Builds),
+			fmt.Sprintf("%d", hs.CacheHits),
+			fmt.Sprintf("%d", hs.RemoteHits),
+			fmt.Sprintf("%d", hs.BuildSkips),
+			fmt.Sprintf("%d", hs.Crashes),
+			fmtF(hs.ComputeSec, 0),
+		})
+	}
+	res.Tables = append(res.Tables, hb)
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"splitting %d workers across more hosts adds %.0fs of cross-host transfers to the wall-clock (every round ships one image to every other host)",
 		w, spread))

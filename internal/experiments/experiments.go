@@ -64,6 +64,13 @@ type Scale struct {
 	ServeJobs       int
 	ServeTenants    int
 	ServeIterations int
+	// FaultSchedule optionally replaces the elasticity experiment's
+	// built-in outage ladder with one custom rung (fault DSL; the
+	// wfbench -faults value).
+	FaultSchedule string
+	// Dispatch optionally overrides the fleet experiment's placement
+	// policy ("static" or "locality"; the wfbench -dispatch value).
+	Dispatch string
 	// Linux sizes the simulated Linux profile.
 	Linux simos.LinuxOptions
 }
@@ -224,7 +231,8 @@ func IDs() []string {
 	return []string{
 		"fig1", "table1", "fig2", "fig5", "fig6", "table2", "fig7", "fig8",
 		"table3", "fig9", "fig10", "fig11", "table4", "scaling", "straggler",
-		"cachehit", "fleet", "searcherscale", "searcherscale-window", "serve",
+		"cachehit", "fleet", "elasticity", "locality", "searcherscale",
+		"searcherscale-window", "serve",
 	}
 }
 
@@ -265,6 +273,10 @@ func Run(id string, scale Scale) (*Result, error) {
 		return Cachehit(scale)
 	case "fleet":
 		return Fleet(scale)
+	case "elasticity":
+		return Elasticity(scale)
+	case "locality":
+		return Locality(scale)
 	case "searcherscale":
 		return Searcherscale(scale)
 	case "searcherscale-window":

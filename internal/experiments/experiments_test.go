@@ -459,6 +459,68 @@ func TestFleetTransferCostInWallClock(t *testing.T) {
 	}
 }
 
+// TestElasticityNoLostWork pins the robustness acceptance bar: every
+// outage rung keeps the complete observation history (retry-elsewhere
+// loses nothing), the outage is paid in wall-clock — monotone
+// nondecreasing in downtime — and the whole ladder is reproducible.
+func TestElasticityNoLostWork(t *testing.T) {
+	scale := tinyScale()
+	res, err := Elasticity(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) < 3 {
+		t.Fatalf("expected an outage ladder, got %d rungs\n%s", len(tab.Rows), res.Render())
+	}
+	prevDown, prevWall := -1.0, 0.0
+	for row := range tab.Rows {
+		if lost := cellF(t, tab, row, "lost"); lost != 0 {
+			t.Fatalf("rung %d lost %.0f observations\n%s", row, lost, res.Render())
+		}
+		if obs := cellF(t, tab, row, "observed"); obs != float64(scale.Iterations) {
+			t.Fatalf("rung %d observed %.0f of %d\n%s", row, obs, scale.Iterations, res.Render())
+		}
+		down := cellF(t, tab, row, "downtime s")
+		wall := cellF(t, tab, row, "wall s")
+		if down <= prevDown {
+			t.Fatalf("downtime ladder not increasing at rung %d\n%s", row, res.Render())
+		}
+		if wall < prevWall {
+			t.Fatalf("wall-clock fell from %.0fs to %.0fs as downtime grew\n%s", prevWall, wall, res.Render())
+		}
+		prevDown, prevWall = down, wall
+	}
+	if r := cellF(t, tab, len(tab.Rows)-1, "retries"); r <= 0 {
+		t.Fatalf("deepest outage triggered no retries\n%s", res.Render())
+	}
+	// Determinism: the ladder is a pure function of the scale.
+	again, err := Elasticity(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() != again.Render() {
+		t.Fatal("elasticity ladder diverged between identical runs")
+	}
+}
+
+// TestLocalityRecovery pins the dispatch acceptance bar: locality-aware
+// placement recovers at least 70% of the static baseline's cross-host
+// transfer time on the recurring-image workload.
+func TestLocalityRecovery(t *testing.T) {
+	res, err := Locality(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[1]
+	if static := cellF(t, tab, 0, "static transfer s"); static <= 0 {
+		t.Fatalf("static baseline paid no cross-host transfers — the workload is not exercising placement\n%s", res.Render())
+	}
+	if rec := cellF(t, tab, 0, "recovered %"); rec < 70 {
+		t.Fatalf("locality recovered %.0f%% of the transfer bill, want ≥ 70%%\n%s", rec, res.Render())
+	}
+}
+
 func TestSearcherscaleIncrementalWins(t *testing.T) {
 	scale := tinyScale()
 	scale.SurrogateObs = 192

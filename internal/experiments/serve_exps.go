@@ -16,8 +16,10 @@ import (
 // tenant submitting an identical workload in parallel. It measures what a
 // serve-many-users deployment cares about:
 //
-//   - concurrency: the peak number of jobs simultaneously in flight
-//     (the experiment fails under min(ServeJobs, 100));
+//   - concurrency: the peak number of jobs simultaneously resident —
+//     admission runs under Daemon.Hold so the count is exact, not a
+//     load-dependent sample (the experiment fails under
+//     min(ServeJobs, 100));
 //   - fairness: the max/min spread of per-tenant service, sampled while
 //     the daemon is saturated (fails above 2×);
 //   - aggregate throughput: observations served per real second across
@@ -56,6 +58,12 @@ func Serve(scale Scale) (*Result, error) {
 	}
 	defer d.Kill()
 
+	// Admit under Hold so the concurrency measurement is exact: with
+	// dispatch paused, no job can race to completion while the later
+	// submits are still in flight, and the post-submit status shows the
+	// true peak of resident sessions rather than a load-dependent sample.
+	d.Hold()
+
 	// Every tenant submits the same workload from its own goroutine — the
 	// parallel-clients shape, and what makes the cross-tenant report
 	// comparison meaningful.
@@ -93,6 +101,7 @@ func Serve(scale Scale) (*Result, error) {
 	submitted := time.Since(start)
 	st := d.Status()
 	peakActive := st.Queued + st.Running
+	d.Release()
 
 	// Sample the daemon while it drains: served-total for the throughput
 	// curve, per-tenant service for the fairness spread. Spread only

@@ -13,8 +13,9 @@ import (
 )
 
 // WireEvent is one serialized session event. Type discriminates: "cache",
-// "eval", "best", "round", "progress", "done". Fields are a flattened
-// union — consumers switch on Type and read the fields it implies.
+// "eval", "best", "round", "progress", "done", "fault", "retry", "host".
+// Fields are a flattened union — consumers switch on Type and read the
+// fields it implies.
 type WireEvent struct {
 	// Seq is the event's position in the job's stream, starting at 0.
 	Seq int `json:"seq"`
@@ -49,6 +50,15 @@ type WireEvent struct {
 	// has one.
 	BestMetric float64 `json:"best_metric,omitempty"`
 	BestConfig string  `json:"best_config,omitempty"`
+
+	// Kind, Attempt, Worker, Host, Up, and AtSec describe fault, retry,
+	// and host events (Iteration carries the affected iteration).
+	Kind    string  `json:"kind,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	Worker  int     `json:"worker,omitempty"`
+	Host    int     `json:"host,omitempty"`
+	Up      bool    `json:"up,omitempty"`
+	AtSec   float64 `json:"at_sec,omitempty"`
 }
 
 // wireEvent flattens a typed session event; ok is false for event kinds
@@ -101,6 +111,30 @@ func wireEvent(ev core.Event) (WireEvent, bool) {
 			w.BestConfig = e.Best.ConfigString
 		}
 		return w, true
+	case core.FaultInjected:
+		return WireEvent{
+			Type:      "fault",
+			Kind:      string(e.Kind),
+			Iteration: e.Iter,
+			Attempt:   e.Attempt,
+			Worker:    e.Worker,
+			Host:      e.Host,
+			AtSec:     e.AtSec,
+		}, true
+	case core.RetryScheduled:
+		return WireEvent{
+			Type:      "retry",
+			Iteration: e.Iter,
+			Attempt:   e.Attempt,
+			AtSec:     e.NotBeforeSec,
+		}, true
+	case core.HostStateChanged:
+		return WireEvent{
+			Type:  "host",
+			Host:  e.Host,
+			Up:    e.Up,
+			AtSec: e.AtSec,
+		}, true
 	case core.SessionDone:
 		w := WireEvent{
 			Type:       "done",

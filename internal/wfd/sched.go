@@ -213,12 +213,17 @@ func (d *Daemon) indexBuild(res core.Result) {
 }
 
 // nextLocked blocks until a queued job is available (returning it marked
-// running) or the daemon closes (returning nil). Fair share: the queued
+// running) or the daemon closes (returning nil); while the daemon is held
+// it claims nothing. Fair share: the queued
 // job whose tenant has the least service, tie-broken by admission order.
 func (d *Daemon) nextLocked() *job {
 	for {
 		if d.closed {
 			return nil
+		}
+		if d.held {
+			d.cond.Wait()
+			continue
 		}
 		var pick *job
 		for _, id := range d.order {

@@ -156,6 +156,41 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestHoldRelease: a held daemon admits jobs but serves nothing — the
+// whole batch sits queued with zero observations served — and Release
+// drains it normally. This is the primitive the serve experiment leans on
+// for an exact (not load-sampled) concurrency measurement.
+func TestHoldRelease(t *testing.T) {
+	d, err := New(Config{Steppers: 4, Quantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Kill()
+	d.Hold()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, err := d.Submit(quickSpec("a", uint64(i+1), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Held: everything resident and queued, nothing served. The sleep
+	// gives a buggy stepper a chance to claim work it must not.
+	time.Sleep(20 * time.Millisecond)
+	st := d.Status()
+	if st.Queued != 6 || st.Running != 0 || st.Done != 0 || st.ServedTotal != 0 {
+		t.Fatalf("held daemon served work: %+v", st)
+	}
+	d.Release()
+	waitAll(t, d, ids...)
+	if st := d.Status(); st.Done != 6 {
+		t.Fatalf("after release: %d done, want 6", st.Done)
+	}
+	// Releasing an unheld daemon is a no-op.
+	d.Release()
+}
+
 func TestCancel(t *testing.T) {
 	d, err := New(Config{Steppers: 1, Quantum: 2})
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/core"
 	"wayfinder/internal/deeptune"
+	"wayfinder/internal/fault"
 	"wayfinder/internal/search"
 	"wayfinder/internal/simos"
 )
@@ -61,6 +62,14 @@ type JobSpec struct {
 	// window of recent observations (min 8; 0 = unbounded); bayesian and
 	// deeptune only, exactly as the library option.
 	SurrogateWindow int `json:"surrogate_window,omitempty"`
+	// FaultSchedule is a fault-injection schedule in the fault DSL
+	// (e.g. "down:1@300,up:1@900,retry:3/20/2"); empty means no faults.
+	// The schedule is part of the spec — not live state — so a resumed
+	// job replays the same deterministic churn.
+	FaultSchedule string `json:"fault_schedule,omitempty"`
+	// Dispatch selects the placement policy: static (default) or
+	// locality.
+	Dispatch string `json:"dispatch,omitempty"`
 	// Favor maps a parameter class (compile/boot/runtime) to a sampling
 	// weight; Fixed pins parameters to constant values.
 	Favor map[string]float64 `json:"favor,omitempty"`
@@ -103,8 +112,13 @@ func (sp JobSpec) withDefaults() JobSpec {
 	return sp
 }
 
-// options maps the spec onto session options.
-func (sp JobSpec) options() core.Options {
+// options maps the spec onto session options. It fails only on an
+// unparseable fault schedule — everything else defers to Options.Validate.
+func (sp JobSpec) options() (core.Options, error) {
+	sched, err := fault.Parse(sp.FaultSchedule)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("%w: fault_schedule: %v", ErrBadSpec, err)
+	}
 	return core.Options{
 		Iterations:      sp.Iterations,
 		TimeBudgetSec:   sp.TimeBudgetSec,
@@ -115,7 +129,9 @@ func (sp JobSpec) options() core.Options {
 		Hosts:           sp.Hosts,
 		DisableCache:    sp.DisableCache,
 		SurrogateWindow: sp.SurrogateWindow,
-	}
+		Faults:          sched,
+		Dispatch:        sp.Dispatch,
+	}, nil
 }
 
 // Validate rejects specs the daemon cannot admit or reconstruct. It
@@ -153,7 +169,10 @@ func (sp JobSpec) Validate() error {
 			return fmt.Errorf("%w: %v", ErrBadSpec, err)
 		}
 	}
-	opts := sp.options()
+	opts, err := sp.options()
+	if err != nil {
+		return err
+	}
 	if err := opts.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
@@ -261,10 +280,14 @@ func (sp JobSpec) buildSession(observer func(core.Event)) (*wayfinder.Session, e
 	if err != nil {
 		return nil, err
 	}
+	opts, err := sp.options()
+	if err != nil {
+		return nil, err
+	}
 	return wayfinder.New(model, app,
 		wayfinder.WithMetric(metric),
 		wayfinder.WithSearcher(searcher),
-		wayfinder.WithOptions(sp.options()),
+		wayfinder.WithOptions(opts),
 		wayfinder.WithObserver(observer),
 	)
 }

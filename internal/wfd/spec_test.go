@@ -88,6 +88,62 @@ func TestSpecVariants(t *testing.T) {
 	}
 }
 
+// TestSpecFaultSchedule: a faulted job admits, runs under churn, reports
+// retries, and streams the fault/retry/host wire events; malformed or
+// unsatisfiable fault specs are admission errors.
+func TestSpecFaultSchedule(t *testing.T) {
+	d, err := New(Config{Steppers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Kill()
+	id, err := d.Submit(JobSpec{
+		Tenant: "f", Searcher: "random", Seed: 5, Iterations: 24,
+		Workers: 4, Hosts: 2, Dispatch: "locality",
+		FaultSchedule: "down:1@100,up:1@400,buildfail:3#1,retry:3/15/2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitAll(t, d, id)
+	rep, err := d.ReportJSON(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rep), `"retries":`) {
+		t.Errorf("faulted report carries no retries: %.200s", rep)
+	}
+	backlog, _, cancel, err := d.Attach(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	seen := map[string]bool{}
+	for _, ev := range backlog {
+		seen[ev.Type] = true
+	}
+	for _, want := range []string{"fault", "retry", "host"} {
+		if !seen[want] {
+			t.Errorf("event stream missing %q events: saw %v", want, seen)
+		}
+	}
+
+	for _, sp := range []JobSpec{
+		// Unparseable DSL.
+		{Searcher: "random", Iterations: 5, FaultSchedule: "meteor:1@2"},
+		// Downs a host the fleet does not have.
+		{Searcher: "random", Iterations: 5, Workers: 2, Hosts: 2, FaultSchedule: "down:7@10"},
+		// Locality placement with the cache disabled.
+		{Searcher: "random", Iterations: 5, Workers: 2, Dispatch: "locality", DisableCache: true},
+		// Unknown dispatch policy.
+		{Searcher: "random", Iterations: 5, Dispatch: "gravity"},
+	} {
+		if _, err := d.Submit(sp); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Submit(%+v): got %v, want ErrBadSpec", sp, err)
+		}
+	}
+}
+
 // TestSpecSurrogateWindowRuns: a windowed learned-searcher job admits and
 // completes — the daemon path of the session-level window option.
 func TestSpecSurrogateWindowRuns(t *testing.T) {

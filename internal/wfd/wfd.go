@@ -162,6 +162,7 @@ type Daemon struct {
 	tenants map[string]*tenant
 	nextSeq int
 	closed  bool
+	held    bool // dispatch paused by Hold; steppers wait for Release
 
 	servedTotal int   // observations served across all jobs
 	quanta      int64 // scheduling slices executed
@@ -239,6 +240,27 @@ func (d *Daemon) Shutdown() {
 	for _, j := range active {
 		d.journalJob(j)
 	}
+}
+
+// Hold pauses dispatch: steppers stop claiming queued jobs until Release.
+// A job already inside a Step finishes its quantum and requeues; admission,
+// status, attach, and cancellation all proceed while held. Holding lets a
+// caller admit a whole batch atomically with respect to scheduling — an
+// operator draining a box before maintenance, or a load study that wants
+// the full job set resident before the first quantum is served.
+func (d *Daemon) Hold() {
+	d.mu.Lock()
+	d.held = true
+	d.mu.Unlock()
+}
+
+// Release resumes dispatch after Hold. Releasing an unheld daemon is a
+// no-op.
+func (d *Daemon) Release() {
+	d.mu.Lock()
+	d.held = false
+	d.cond.Broadcast()
+	d.mu.Unlock()
 }
 
 // Kill stops the stepper pool without journaling — the in-process stand-in

@@ -36,6 +36,15 @@ type (
 	Progress = core.Progress
 	// SessionDone is emitted once, when the session exhausts its budget.
 	SessionDone = core.SessionDone
+	// HostStateChanged is emitted when the fault schedule takes a host
+	// down or brings it back.
+	HostStateChanged = core.HostStateChanged
+	// FaultInjected is emitted when a scheduled fault lands on a
+	// dispatched evaluation.
+	FaultInjected = core.FaultInjected
+	// RetryScheduled is emitted when a fault-lost iteration is queued for
+	// re-dispatch.
+	RetryScheduled = core.RetryScheduled
 )
 
 // Checkpointable is the optional searcher extension session snapshots
@@ -155,6 +164,24 @@ func WithCacheCapacity(n int) Option {
 // DeepTune, or Bayesian).
 func WithSurrogateWindow(n int) Option {
 	return func(c *sessionConfig) { c.opts.SurrogateWindow = n; c.topologySet = true }
+}
+
+// WithFaultSchedule replays a deterministic schedule of virtual-time
+// fleet faults against the session: host churn (down/up), worker
+// preemption, and per-iteration transient build/boot failures, with
+// bounded-attempt retry under the schedule's policy. The report stays a
+// pure function of (seed, workers, staleness, hosts, schedule); a nil or
+// empty schedule is exactly the fault-free session.
+func WithFaultSchedule(s *FaultSchedule) Option {
+	return func(c *sessionConfig) { c.opts.Faults = s; c.topologySet = true }
+}
+
+// WithDispatchPolicy selects the placement policy mapping dispatch slots
+// to workers: DispatchStatic (the default) or DispatchLocality, which
+// prefers workers already holding the evaluation's image and recovers
+// cross-host transfer time on cache-heavy fleets.
+func WithDispatchPolicy(name string) Option {
+	return func(c *sessionConfig) { c.opts.Dispatch = name; c.topologySet = true }
 }
 
 // WithObserver registers a synchronous event observer, invoked on the

@@ -74,6 +74,63 @@ func TestSessionMatchesSpecialize(t *testing.T) {
 	}
 }
 
+// TestSessionFaultOptions pins the public fault wiring: the DSL parses,
+// WithFaultSchedule/WithDispatchPolicy drive a deterministic faulted
+// session end to end, and Resume rejects both (a schedule is session
+// topology — it rides in the snapshot, not the resume call).
+func TestSessionFaultOptions(t *testing.T) {
+	sched, err := ParseFaultSchedule("down:1@100,up:1@600,buildfail:3#1,retry:3/15/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Report {
+		m := testModel()
+		session, err := New(m, AppNginx(),
+			WithSearcher(NewRandomSearcher(m.Space, 5)),
+			WithOptions(SessionOptions{Iterations: 24, Seed: 5, Workers: 8, Hosts: 2}),
+			WithFaultSchedule(sched),
+			WithDispatchPolicy(DispatchLocality),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := session.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if reportJSON(t, a) != reportJSON(t, b) {
+		t.Fatal("faulted public session diverged between identical runs")
+	}
+	if len(a.History) != 24 || a.LostObservations != 0 {
+		t.Fatalf("history %d, lost %d — churn cost coverage", len(a.History), a.LostObservations)
+	}
+	if a.Retries == 0 {
+		t.Fatal("injected failure produced no retries")
+	}
+
+	m := testModel()
+	session, err := New(m, AppNginx(),
+		WithSearcher(NewRandomSearcher(m.Space, 5)),
+		WithOptions(SessionOptions{Iterations: 24, Seed: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.Step(4)
+	snap, err := session.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := testModel()
+	if _, err := Resume(m2, AppNginx(), snap,
+		WithSearcher(NewRandomSearcher(m2.Space, 5)),
+		WithFaultSchedule(sched)); err == nil {
+		t.Fatal("Resume accepted WithFaultSchedule; schedules must ride in the snapshot")
+	}
+}
+
 // TestSessionEventsChannel: the channel view delivers the full typed
 // stream and closes at completion.
 func TestSessionEventsChannel(t *testing.T) {

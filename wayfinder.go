@@ -105,6 +105,7 @@ import (
 	"wayfinder/internal/core"
 	"wayfinder/internal/cozart"
 	"wayfinder/internal/deeptune"
+	"wayfinder/internal/fault"
 	"wayfinder/internal/search"
 	"wayfinder/internal/simos"
 	"wayfinder/internal/vm"
@@ -157,7 +158,42 @@ type (
 	ScoreMetric = core.ScoreMetric
 	// ParamImpact is a learned parameter-importance estimate.
 	ParamImpact = core.ParamImpact
+	// HostStats is one host's per-host report breakdown
+	// (Report.HostBreakdown).
+	HostStats = core.HostStats
 )
+
+// Re-exported fault-injection types (internal/fault): a deterministic,
+// serializable schedule of virtual-time fleet faults a session replays
+// exactly — same schedule, same seed, same topology → byte-identical
+// report.
+type (
+	// FaultSchedule is a deterministic schedule of virtual-time fleet
+	// faults plus the retry policy governing lost observations.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = fault.Event
+	// RetryPolicy bounds re-dispatch attempts and paces their backoff.
+	RetryPolicy = fault.RetryPolicy
+)
+
+// Dispatch policy names for SessionOptions.Dispatch / WithDispatchPolicy.
+const (
+	// DispatchStatic is the historical static placement (iteration i on
+	// worker i mod W in rounds; first idle worker asynchronously).
+	DispatchStatic = core.DispatchStatic
+	// DispatchLocality prefers placing an evaluation on a worker that
+	// already holds its image — its own disk, then its host's store
+	// partition — falling back to the static choice.
+	DispatchLocality = core.DispatchLocality
+)
+
+// ParseFaultSchedule parses the compact fault-schedule DSL shared by the
+// CLIs and the daemon spec: comma-separated "down:HOST@SEC",
+// "up:HOST@SEC", "preempt:WORKER@SEC", "buildfail:ITER#ATTEMPT",
+// "bootfail:ITER#ATTEMPT", and "retry:MAX/BACKOFF/MULT" items. An empty
+// string parses to nil (no faults).
+func ParseFaultSchedule(src string) (*FaultSchedule, error) { return fault.Parse(src) }
 
 // Searcher decides which configuration to evaluate next (§3.1's pluggable
 // search-algorithm API).
