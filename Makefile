@@ -12,7 +12,7 @@ STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: all build test race fmt vet vet-wf bench bench-cache bench-search \
-	smoke smoke-wfd smoke-window smoke-faults tools lint cover ci
+	smoke smoke-wfd smoke-window smoke-faults smoke-transfer tools lint cover ci
 
 all: build
 
@@ -133,6 +133,20 @@ smoke-wfd:
 smoke-window:
 	$(GO) run ./cmd/wfbench -exp searcherscale-window -obs 600 -gp-window 64
 
+# smoke-transfer is the tuning-memory gauntlet under the race detector:
+# the empty-corpus golden pin (cold start ≡ today, byte-for-byte), the
+# frozen-corpus byte-reproducibility and warm snapshot/resume tests, the
+# corpus store's own deposit/query determinism suite, then the
+# transferscale experiment end to end — it reports whether the median
+# observations-to-target falls strictly as the corpus grows, and the
+# committed BENCH_PR10.json is the same run captured as JSON. The test
+# legs carry the race coverage (the experiment's sessions are
+# sequential; racing them only multiplies its wall-clock several-fold).
+smoke-transfer:
+	$(GO) test -race -count=1 -run 'TestCorpusEmptyGolden|TestCorpusFrozenDeterminism|TestCorpusWarmSnapshotResume' ./internal/core
+	$(GO) test -race -count=1 ./internal/corpus
+	$(GO) run ./cmd/wfbench -exp transferscale
+
 # smoke-faults is the fault-injection gauntlet under the race detector:
 # the churn byte-identity and mid-fault snapshot/resume tests, then the
 # elasticity and locality experiments end to end (complete histories
@@ -142,4 +156,4 @@ smoke-faults:
 	$(GO) run -race ./cmd/wfbench -exp elasticity
 	$(GO) run -race ./cmd/wfbench -exp locality
 
-ci: fmt vet vet-wf build race bench bench-cache bench-search smoke smoke-wfd smoke-window smoke-faults
+ci: fmt vet vet-wf build race bench bench-cache bench-search smoke smoke-wfd smoke-window smoke-faults smoke-transfer

@@ -19,11 +19,12 @@
 //	wfbench -exp searcherscale -obs 512
 //	wfbench -exp searcherscale-window -gp-window 512  # flat-cost sliding-window study
 //	wfbench -exp serve                # wfd daemon load: many tenants, many sessions
+//	wfbench -exp transferscale        # tuning memory: obs-to-target vs corpus size
 //
 // Experiment IDs: fig1, table1, fig2, fig5, fig6, table2, fig7, fig8,
 // table3, fig9, fig10, fig11, table4, scaling, straggler, cachehit,
 // fleet, elasticity, locality, searcherscale, searcherscale-window,
-// serve.
+// serve, transferscale.
 package main
 
 import (

@@ -1,0 +1,117 @@
+// Corpus subcommands: inspect and compact a transfer-corpus directory
+// on disk (the same files a -corpus daemon or WithCorpus session uses;
+// the store is content-addressed, so concurrent readers are safe).
+//
+//	wfctl corpus ls -dir ./corpus
+//	wfctl corpus show -dir ./corpus <digest>
+//	wfctl corpus gc -dir ./corpus -keep 64
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"wayfinder/internal/corpus"
+)
+
+func cmdCorpus(args []string) {
+	if len(args) < 1 {
+		corpusUsage()
+	}
+	switch args[0] {
+	case "ls":
+		cmdCorpusLs(args[1:])
+	case "show":
+		cmdCorpusShow(args[1:])
+	case "gc":
+		cmdCorpusGC(args[1:])
+	default:
+		corpusUsage()
+	}
+}
+
+func corpusUsage() {
+	fmt.Fprintln(os.Stderr, `usage: wfctl corpus <ls|show|gc> -dir <corpus-dir> ...
+  ls   -dir D             list entries (digest, app, observations, seeds)
+  show -dir D <digest>    print one entry's canonical JSON (prefix match)
+  gc   -dir D -keep N     compact to the N most-observed entries`)
+	os.Exit(2)
+}
+
+func openCorpusDir(dir string) *corpus.Store {
+	if dir == "" {
+		fatal(fmt.Errorf("corpus: -dir is required"))
+	}
+	st, err := corpus.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	return st
+}
+
+func cmdCorpusLs(args []string) {
+	fs := newFlagSet("corpus ls")
+	dir := fs.String("dir", "", "corpus directory")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		corpusUsage()
+	}
+	st := openCorpusDir(*dir)
+	fmt.Printf("corpus %s: %d entries, hash %.12s\n", *dir, st.Len(), st.Hash())
+	for _, d := range st.Digests() {
+		e, _ := st.Get(d)
+		dtm := ""
+		if len(e.DTM) > 0 {
+			dtm = " dtm"
+		}
+		fmt.Printf("  %.12s  %-8s obs=%-5d seeds=%d%s\n", d, e.App, e.Observations, len(e.Seeds), dtm)
+	}
+}
+
+func cmdCorpusShow(args []string) {
+	fs := newFlagSet("corpus show")
+	dir := fs.String("dir", "", "corpus directory")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		corpusUsage()
+	}
+	st := openCorpusDir(*dir)
+	prefix := fs.Arg(0)
+	var matches []string
+	for _, d := range st.Digests() {
+		if strings.HasPrefix(d, prefix) {
+			matches = append(matches, d)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		fatal(fmt.Errorf("corpus: no entry matches %q", prefix))
+	case 1:
+	default:
+		fatal(fmt.Errorf("corpus: %q is ambiguous (%d matches)", prefix, len(matches)))
+	}
+	e, _ := st.Get(matches[0])
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func cmdCorpusGC(args []string) {
+	fs := newFlagSet("corpus gc")
+	dir := fs.String("dir", "", "corpus directory")
+	keep := fs.Int("keep", 0, "entries to keep (most-observed first)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 || *keep <= 0 {
+		corpusUsage()
+	}
+	st := openCorpusDir(*dir)
+	removed, err := st.GC(*keep)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("removed %d entries; %d remain, hash %.12s\n", len(removed), st.Len(), st.Hash())
+}

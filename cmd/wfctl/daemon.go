@@ -36,6 +36,8 @@ func cmdSubmit(args []string) {
 	gpWindow := fs.Int("gp-window", 0, "bound the learned surrogate to a sliding window of recent observations (min 8; 0 = unbounded; bayesian/deeptune only)")
 	faults := fs.String("faults", "", "deterministic fault schedule in the fault DSL (part of the spec; a resumed job replays the same churn)")
 	dispatch := fs.String("dispatch", "", "placement policy: static (default) or locality")
+	useCorpus := fs.Bool("corpus", false, "deposit the job's outcome into the daemon's shared transfer corpus")
+	warmStartK := fs.Int("warm-start-k", 0, "warm-start from the K nearest corpus neighbors (needs -corpus)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -56,6 +58,8 @@ func cmdSubmit(args []string) {
 	spec.SurrogateWindow = *gpWindow
 	spec.FaultSchedule = *faults
 	spec.Dispatch = *dispatch
+	spec.Corpus = *useCorpus
+	spec.WarmStartK = *warmStartK
 
 	id, err := wfd.NewClient(*addr).Submit(context.Background(), spec)
 	if err != nil {
@@ -108,6 +112,9 @@ func cmdStatus(args []string) {
 		st.Jobs, st.Queued, st.Running, st.Done, st.Canceled, st.Failed)
 	fmt.Printf("served %d observations in %d quanta; recovered %d (resumed %d); builds %d unique, %d duplicated\n",
 		st.ServedTotal, st.Quanta, st.Recovered, st.Resumed, st.UniqueBuilds, st.DupBuilds)
+	if st.CorpusHash != "" || st.CorpusEntries > 0 {
+		fmt.Printf("corpus: %d entries, hash %.12s\n", st.CorpusEntries, st.CorpusHash)
+	}
 	for _, t := range st.Tenants {
 		fmt.Printf("  tenant %-12s active=%d committed=%d served=%d service=%d compute=%.0fs\n",
 			t.Name, t.Active, t.Committed, t.Served, t.Service, t.ComputeSec)
@@ -151,6 +158,13 @@ func cmdAttach(args []string) {
 				state = "up"
 			}
 			fmt.Printf("#%-6d host  %d %s t=%.1fs\n", ev.Seq, ev.Host, state, ev.AtSec)
+		case "corpus":
+			switch ev.Kind {
+			case "warmstart":
+				fmt.Printf("#%-6d corpus warmstart: %d seeds, dtm=%v, hash=%.12s\n", ev.Seq, ev.Seeds, ev.DTM, ev.Hash)
+			case "deposit":
+				fmt.Printf("#%-6d corpus deposit: %.12s (corpus hash %.12s)\n", ev.Seq, ev.Digest, ev.Hash)
+			}
 		case "done":
 			fmt.Printf("#%-6d done: %d observed, best=%g @ %s\n", ev.Seq, ev.Observed, ev.BestMetric, ev.BestConfig)
 		}

@@ -70,6 +70,8 @@ func main() {
 		cmdReport(os.Args[2:])
 	case "cancel":
 		cmdCancel(os.Args[2:])
+	case "corpus":
+		cmdCorpus(os.Args[2:])
 	default:
 		usage()
 	}
@@ -79,7 +81,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: wfctl <command> [flags] ...
   local:  create job.yaml | start [flags] job.yaml
   daemon: submit -d addr [flags] job.yaml | jobs | status [id] |
-          attach id | report [-wait] id | cancel id   (all take -d addr)`)
+          attach id | report [-wait] id | cancel id   (all take -d addr)
+  corpus: corpus ls|show|gc -dir <corpus-dir> ...`)
 	os.Exit(2)
 }
 

@@ -36,6 +36,7 @@ func main() {
 	fs := flag.NewFlagSet("wfd", flag.ExitOnError)
 	listen := fs.String("listen", "wfd.sock", "listen address: host:port (TCP) or a unix-socket path")
 	state := fs.String("state", "", "journal directory (empty = in-memory only, no crash recovery)")
+	corpusDir := fs.String("corpus", "", "shared transfer-corpus directory (empty = corpus jobs rejected)")
 	quantum := fs.Int("quantum", 8, "observations per scheduling quantum")
 	journalEvery := fs.Int("journal-every", 64, "snapshot an active job every N observations")
 	steppers := fs.Int("steppers", runtime.GOMAXPROCS(0), "stepping goroutine pool size")
@@ -57,6 +58,7 @@ func main() {
 
 	d, err := wfd.New(wfd.Config{
 		StateDir:        *state,
+		CorpusDir:       *corpusDir,
 		Quantum:         *quantum,
 		JournalEvery:    *journalEvery,
 		Steppers:        *steppers,

@@ -49,6 +49,20 @@ func TestFaultPackageNotWallClockAllowed(t *testing.T) {
 	}
 }
 
+// TestCorpusPackageNotWallClockAllowed pins the tuning-memory contract:
+// internal/corpus must stay OUT of the wall-clock allowlist. Corpus
+// entries are content-addressed and index queries are pure functions —
+// a timestamp anywhere in the store would change digests across runs
+// and break frozen-corpus reproducibility.
+func TestCorpusPackageNotWallClockAllowed(t *testing.T) {
+	const module = "wayfinder"
+	for _, pkg := range walltimeAllowlist(module) {
+		if pkg == module+"/internal/corpus" {
+			t.Fatalf("%s is on the wall-clock allowlist; corpus entries must stay content-addressed and time-free", pkg)
+		}
+	}
+}
+
 func TestExitCodeClean(t *testing.T) {
 	code, stdout, stderr := runIn(t, fixtureRoot(t), "./internal/rng")
 	if code != 0 {

@@ -1,8 +1,10 @@
-// Transfer learning (the §4.2 scenario): pre-train a DeepTune model on
-// Redis, then reuse it to warm-start the specialization of Nginx, and
-// compare against a cold-started model. Both applications are
-// network-intensive, so the pre-trained model already knows which
-// parameters matter and which regions crash.
+// Transfer learning through tuning memory (the §4.2 scenario): run a
+// DeepTune session on Redis and deposit its outcome into a transfer
+// corpus, then warm-start the specialization of Nginx from that corpus
+// and compare against a cold start. Both applications are
+// network-intensive, so the deposited entry — seed configurations plus
+// the trained model's weights — already knows which parameters matter
+// and which regions crash.
 //
 // Run with: go run ./examples/transfer-learning
 package main
@@ -18,48 +20,58 @@ import (
 func main() {
 	const iterations = 150
 
-	// Phase 1: train on Redis.
-	fmt.Println("pre-training on redis...")
-	redis := wayfinder.AppRedis()
-	pretrainModel := wayfinder.NewLinuxModel()
-	pretrainModel.Space.Favor(wayfinder.CompileTime, 0)
-	cfg := wayfinder.DefaultDeepTuneConfig()
-	cfg.Seed = 11
-	source := wayfinder.NewDeepTuneSearcher(pretrainModel.Space, redis.Maximize, cfg)
-	pretrain, err := wayfinder.New(pretrainModel, redis,
-		wayfinder.WithSearcher(source),
-		wayfinder.WithBudget(iterations, 0),
-		wayfinder.WithSeed(11),
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := pretrain.Run(context.Background()); err != nil {
-		log.Fatal(err)
-	}
-	snapshot, err := source.Selector().Model().Snapshot(map[string]string{"app": "redis"})
+	// The corpus is the session-to-session memory. An empty dir opens a
+	// memory-only store; pass a directory to persist entries across
+	// processes (wayfinder.WithCorpus("path") does both steps at once).
+	corpus, err := wayfinder.OpenCorpus("")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Phase 2: specialize Nginx cold vs warm.
+	// Phase 1: tune Redis with the corpus attached. On completion the
+	// session deposits its outcome — app fingerprint, parameter
+	// importances, best seed configurations, DeepTune weights.
+	fmt.Println("tuning redis (depositing into the corpus)...")
+	redis := wayfinder.AppRedis()
+	sourceModel := wayfinder.NewLinuxModel()
+	sourceModel.Space.Favor(wayfinder.CompileTime, 0)
+	source, err := wayfinder.New(sourceModel, redis,
+		wayfinder.WithBudget(iterations, 0),
+		wayfinder.WithSeed(11),
+		wayfinder.WithCorpusStore(corpus),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := source.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus now holds %d entries (hash %.12s)\n", corpus.Len(), corpus.Hash())
+
+	// Phase 2: specialize Nginx cold vs warm. The warm run asks the
+	// corpus for its nearest neighbors through the importance-similarity
+	// index: up to 4 seed configurations evaluated before the searcher's
+	// own proposals, plus a weight restore from the closest entry.
 	nginx := wayfinder.AppNginx()
 	run := func(warm bool) *wayfinder.Report {
 		model := wayfinder.NewLinuxModel()
 		model.Space.Favor(wayfinder.CompileTime, 0)
-		c := wayfinder.DefaultDeepTuneConfig()
-		c.Seed = 12
-		s := wayfinder.NewDeepTuneSearcher(model.Space, nginx.Maximize, c)
-		if warm {
-			if err := s.Selector().Model().Restore(snapshot); err != nil {
-				log.Fatal(err)
-			}
-		}
-		session, err := wayfinder.New(model, nginx,
-			wayfinder.WithSearcher(s),
+		opts := []wayfinder.Option{
 			wayfinder.WithBudget(iterations, 0),
 			wayfinder.WithSeed(12),
-		)
+		}
+		if warm {
+			opts = append(opts,
+				wayfinder.WithCorpusStore(corpus),
+				wayfinder.WithWarmStartFromCorpus(4),
+				wayfinder.WithObserver(func(ev wayfinder.Event) {
+					if ce, ok := ev.(wayfinder.CorpusEvent); ok && ce.Kind == "warmstart" {
+						fmt.Printf("warm start: %d seed configs, weights=%v\n", ce.Seeds, ce.DTM)
+					}
+				}),
+			)
+		}
+		session, err := wayfinder.New(model, nginx, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,13 +88,15 @@ func main() {
 	for _, entry := range []struct {
 		name string
 		rep  *wayfinder.Report
-	}{{"cold start", cold}, {"transfer from redis", warm}} {
+	}{{"cold start", cold}, {"transfer from corpus", warm}} {
 		early := entry.rep.CrashRateSeries(25)
 		quarter := len(early) / 4
 		fmt.Printf("%-22s %12.0f %11.1f%% %11.1f%%\n",
 			entry.name, entry.rep.Best.Metric,
 			100*entry.rep.CrashRate(), 100*early[quarter])
 	}
-	fmt.Println("\nthe transferred model starts with Redis's crash-avoidance and")
-	fmt.Println("parameter knowledge, so early iterations crash less and exploit sooner.")
+	fmt.Printf("\ncorpus after the warm run: %d entries — the nginx outcome was\n", corpus.Len())
+	fmt.Println("deposited too, ready to warm-start the next session. The corpus-seeded")
+	fmt.Println("run starts from redis's crash-avoidance and parameter knowledge, so")
+	fmt.Println("early iterations crash less and exploit sooner.")
 }

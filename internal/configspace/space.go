@@ -1,6 +1,8 @@
 package configspace
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"sort"
@@ -335,6 +337,24 @@ func (s *Space) SetDefaultsFrom(c *Config) error {
 		p.Default = c.values[i]
 	}
 	return nil
+}
+
+// Fingerprint returns a stable content digest of the space's structure:
+// its name plus every parameter's name, type, class, domain, default and
+// fixedness, in definition order. Two Space values with the same
+// fingerprint define the same configuration space, so cross-session
+// consumers (the transfer corpus) can match entries to a space without
+// holding a pointer to it. Sampling weights set via Favor are deliberately
+// excluded: they steer generation, not the space itself.
+func (s *Space) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "space %s\n", s.Name)
+	for _, p := range s.params {
+		fmt.Fprintf(h, "param %s %s %s min=%d max=%d fixed=%v default=%s values=%q\n",
+			p.Name, p.Type, p.Class, p.Min, p.Max, p.Fixed,
+			p.FormatValue(p.Default), p.Values)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SortedNames returns the parameter names in lexical order, for stable

@@ -157,6 +157,11 @@ func (s *Session) dispatchAsync() bool {
 			if o.WarmStart && s.next == 0 {
 				cfgs = append(cfgs, e.Model.Space.Default())
 			}
+			// Corpus warm-start seeds dispatch ahead of the searcher's own
+			// proposals, exactly like the WarmStart default.
+			for len(s.seeds) > 0 && len(cfgs) < n {
+				cfgs, s.seeds = append(cfgs, s.seeds[0]), s.seeds[1:]
+			}
 			if want := n - len(cfgs); want > 0 {
 				cfgs = append(cfgs, s.batcher.ProposeBatch(want)...)
 			}

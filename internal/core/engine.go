@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wayfinder/internal/configspace"
+	"wayfinder/internal/corpus"
 	"wayfinder/internal/fault"
 	"wayfinder/internal/rng"
 	"wayfinder/internal/search"
@@ -99,6 +100,20 @@ type Options struct {
 	// (bayesian, deeptune); minimum 8 — smaller windows leave the
 	// surrogate nothing to learn from.
 	SurrogateWindow int
+	// Corpus is the transfer corpus the session draws warm starts from
+	// and deposits its outcome into on completion (nil = no tuning
+	// memory, the historical behavior). Never serialized: snapshots
+	// capture the resolved warm-start seeds instead, so a resumed session
+	// replays the exact query answer rather than re-asking a corpus that
+	// may have grown since.
+	Corpus *corpus.Store `json:"-"`
+	// WarmStartK asks the corpus for up to K seed configurations to
+	// evaluate before the searcher's own proposals (plus a DTM weight
+	// restore when both the corpus entry and the searcher are DeepTune).
+	// 0 disables warm starting — the session still deposits on
+	// completion. Requires Corpus. An empty corpus resolves to zero seeds
+	// and leaves the session byte-identical to one with no corpus at all.
+	WarmStartK int
 }
 
 // Validate rejects option combinations that would otherwise run a
@@ -140,6 +155,9 @@ func (o *Options) Validate() error {
 	if o.SurrogateWindow != 0 && o.SurrogateWindow < 8 {
 		return fmt.Errorf("core: surrogate window %d is too small for a surrogate to learn from (minimum 8; 0 disables)",
 			o.SurrogateWindow)
+	}
+	if o.WarmStartK < 0 {
+		return fmt.Errorf("core: negative warm-start count %d", o.WarmStartK)
 	}
 	switch o.Dispatch {
 	case "", DispatchStatic:
@@ -348,6 +366,16 @@ type Report struct {
 	// dispatch avoided versus static placement (accumulated at placement
 	// time; 0 under static dispatch).
 	TransferSavedSec float64 `json:"transfer_saved_sec,omitempty"`
+	// CorpusHash is the content hash of the transfer corpus the session
+	// warm-started from — part of the determinism contract: a session is
+	// byte-reproducible per (seed, workers, staleness, hosts, schedule,
+	// corpus hash). Absent when the session resolved nothing from a
+	// corpus (no corpus, empty corpus, or WarmStartK 0), keeping those
+	// reports byte-identical to historical ones.
+	CorpusHash string `json:"corpus_hash,omitempty"`
+	// CorpusSeeds is the number of corpus seed configurations the session
+	// evaluated before its searcher's own proposals. Absent when 0.
+	CorpusSeeds int `json:"corpus_seeds,omitempty"`
 }
 
 // HostStats is one host's slice of a report — the per-host build/fetch

@@ -82,6 +82,25 @@ type SessionDone struct {
 	Report *Report
 }
 
+// CorpusEvent is emitted when a session touches its transfer corpus:
+// Kind "warmstart" on the first step of a session that resolved seeds or
+// weights from the corpus (emitted lazily so observers attached after
+// construction still see it), Kind "deposit" when a completed session
+// stores its outcome (immediately before SessionDone).
+type CorpusEvent struct {
+	// Kind is "warmstart" or "deposit".
+	Kind string
+	// Hash is the corpus content hash: at query time for a warm start,
+	// after the deposit for a deposit.
+	Hash string
+	// Seeds is the number of seed configurations injected (warm start).
+	Seeds int
+	// DTM reports whether DeepTune weights transferred (warm start).
+	DTM bool
+	// Digest is the deposited entry's content digest (deposit).
+	Digest string
+}
+
 // HostStateChanged is emitted when the fault schedule takes a host down
 // or brings it back up, at the moment the scheduler's decision time
 // passes the event (schedule-timeline order).
@@ -135,6 +154,7 @@ func (CacheEvent) isEvent()       {}
 func (RoundBarrier) isEvent()     {}
 func (Progress) isEvent()         {}
 func (SessionDone) isEvent()      {}
+func (CorpusEvent) isEvent()      {}
 func (HostStateChanged) isEvent() {}
 func (FaultInjected) isEvent()    {}
 func (RetryScheduled) isEvent()   {}

@@ -117,6 +117,15 @@ type Session struct {
 	// cursor of already-applied host events.
 	retries  []*retryItem
 	faultCur int
+
+	// Corpus warm-start state (corpus.go): seed configurations resolved
+	// at construction (or restored from a snapshot), consumed ahead of
+	// searcher proposals; the encoded DeepTune snapshot applied to the
+	// searcher, kept so a restore re-applies it before checkpoint replay;
+	// and whether the lazy warm-start event fired.
+	seeds           []*configspace.Config
+	warmDTM         []byte
+	corpusAnnounced bool
 }
 
 // NewSession validates the options and assembles a session in its initial
@@ -128,7 +137,11 @@ func (e *Engine) NewSession(opts Options) (*Session, error) {
 	if err := e.applySurrogateWindow(opts); err != nil {
 		return nil, err
 	}
-	return e.newSession(opts, modeFor(opts)), nil
+	s := e.newSession(opts, modeFor(opts))
+	if err := s.resolveCorpus(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // applySurrogateWindow pushes Options.SurrogateWindow onto the engine's
@@ -256,6 +269,7 @@ func (s *Session) stepOnce() bool {
 	if s.done.Load() {
 		return false
 	}
+	s.announceCorpus()
 	switch s.mode {
 	case modeRound:
 		return s.stepRound()
@@ -274,6 +288,7 @@ func (s *Session) markDone() {
 	}
 	s.done.Store(true)
 	s.finalize()
+	s.depositCorpus()
 	s.emit(SessionDone{Report: s.report})
 }
 
@@ -300,6 +315,8 @@ func (s *Session) stepSequential() bool {
 			iter = s.next
 			if o.WarmStart && s.next == 0 {
 				cfg = e.Model.Space.Default()
+			} else if len(s.seeds) > 0 {
+				cfg, s.seeds = s.seeds[0], s.seeds[1:]
 			} else {
 				cfg = e.Searcher.Propose()
 			}

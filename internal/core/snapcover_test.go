@@ -41,13 +41,20 @@ func TestSessionSnapshotCoverage(t *testing.T) {
 			"batcher":  "AdapterPending",
 			// Recomputed on restore by summing Report.History decision costs.
 			"decisionNS": "Report",
+			// Corpus warm-start state: the unconsumed seed queue and the
+			// applied DTM weights travel explicitly, so a restored session
+			// replays the original query answer instead of re-asking a
+			// corpus that may have grown since.
+			"seeds":   "CorpusSeedKVs",
+			"warmDTM": "WarmDTM",
 		},
 		Excluded: map[string]string{
-			"eng":        "construction-time: the restore engine is built with the same constructor arguments",
-			"obsMu":      "sync primitive",
-			"observers":  "event callbacks cannot serialize; consumers re-register after restore",
-			"staleBound": "derived from Options in newSession",
-			"busy":       "recomputed on restore by counting non-nil Inflight entries",
+			"eng":             "construction-time: the restore engine is built with the same constructor arguments",
+			"obsMu":           "sync primitive",
+			"observers":       "event callbacks cannot serialize; consumers re-register after restore",
+			"staleBound":      "derived from Options in newSession",
+			"busy":            "recomputed on restore by counting non-nil Inflight entries",
+			"corpusAnnounced": "event bookkeeping: a restored warm session harmlessly re-announces its warm start to its (re-registered) observers",
 		},
 		Synthesized: map[string]string{
 			"Version":      "snapshot format tag",

@@ -21,6 +21,8 @@ import (
 
 	"wayfinder/internal/artifact"
 	"wayfinder/internal/configspace"
+	"wayfinder/internal/nn"
+	"wayfinder/internal/search"
 )
 
 // snapshotVersion guards the serialization format.
@@ -115,6 +117,14 @@ type sessionSnapshot struct {
 	SearcherState  json.RawMessage `json:"searcher_state"`
 	AdapterPending map[uint64]int  `json:"adapter_pending,omitempty"`
 	MetricState    json.RawMessage `json:"metric_state,omitempty"`
+
+	// CorpusSeedKVs are the resolved-but-unconsumed warm-start seed
+	// configurations; WarmDTM the encoded corpus nn.Snapshot the live
+	// session applied to its DeepTune searcher. A restored session
+	// replays the original query answer from these instead of re-asking
+	// a corpus that may have grown since (Options.Corpus is json:"-").
+	CorpusSeedKVs []map[string]string `json:"corpus_seed_kvs,omitempty"`
+	WarmDTM       json.RawMessage     `json:"warm_dtm,omitempty"`
 }
 
 // pendingCheckpointer is the batch-adapter state interface (implemented by
@@ -174,6 +184,10 @@ func (s *Session) Snapshot() ([]byte, error) {
 			Iter: r.iter, ConfigKV: r.cfg.KV(), Attempt: r.attempt, NotBeforeSec: r.notBefore,
 		})
 	}
+	for _, cfg := range s.seeds {
+		snap.CorpusSeedKVs = append(snap.CorpusSeedKVs, cfg.KV())
+	}
+	snap.WarmDTM = json.RawMessage(s.warmDTM)
 	snap.Workers = make([]workerSnap, len(s.workers))
 	for i, st := range s.workers {
 		ws := workerSnap{
@@ -405,6 +419,33 @@ func (e *Engine) RestoreSession(data []byte) (*Session, error) {
 			s.inflight[i] = ev
 			s.busy++
 		}
+	}
+
+	// Corpus warm-start state: the remaining seed queue, and the warm
+	// DeepTune weights re-applied to the fresh searcher BEFORE its
+	// checkpoint replays — DeepTune restore replays the observation
+	// history through a fresh selector, and that replay must evolve from
+	// the same warm starting point the live session's training did.
+	for _, kv := range snap.CorpusSeedKVs {
+		cfg, err := space.FromKV(kv)
+		if err != nil {
+			return nil, fmt.Errorf("core: corpus seed config: %w", err)
+		}
+		s.seeds = append(s.seeds, cfg)
+	}
+	if len(snap.WarmDTM) > 0 {
+		dt, ok := e.Searcher.(*search.DeepTune)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot carries corpus DTM weights but searcher %q is not deeptune", snap.SearcherName)
+		}
+		nnSnap, err := nn.DecodeSnapshot(snap.WarmDTM)
+		if err != nil {
+			return nil, fmt.Errorf("core: corpus DTM snapshot: %w", err)
+		}
+		if err := dt.Selector().Model().Restore(nnSnap); err != nil {
+			return nil, fmt.Errorf("core: corpus DTM restore: %w", err)
+		}
+		s.warmDTM = append([]byte(nil), snap.WarmDTM...)
 	}
 
 	// Searcher, adapter, and metric state.

@@ -1,0 +1,450 @@
+// Package corpus implements Wayfinder's tuning memory: a persistent,
+// content-addressed store of completed session outcomes that later
+// sessions query to warm-start their search (§4.2's cross-similarity
+// insight made durable). Each entry records what a finished session
+// learned — the application name, the configuration-space fingerprint,
+// the permutation-importance profile of its observation history, its
+// best-K configurations as canonical KV maps, and optionally the DeepTune
+// model weights — keyed by the SHA-256 digest of its canonical JSON
+// encoding, the same digest discipline internal/artifact applies to
+// build products.
+//
+// Determinism is the design constraint, as everywhere in Wayfinder:
+//
+//   - Entries are canonical JSON (encoding/json sorts map keys; struct
+//     fields serialize in declaration order), so the same outcome always
+//     produces the same digest and deposits are idempotent.
+//   - The similarity index is a pure function of (corpus contents, query
+//     app/space, k): neighbors rank by forest.Similarity over importance
+//     vectors with stable tie-breaking on (observations, digest), never
+//     on insertion order or clock time.
+//   - The store hash covers the sorted entry-digest set, so any two
+//     corpora with the same contents hash identically regardless of
+//     deposit order — which is what lets a warm-started session remain a
+//     pure function of (seed, workers, staleness, hosts, schedule,
+//     corpus hash).
+//
+// Unlike artifact.Store (lock-free, engine-serialized), a corpus.Store is
+// safe for concurrent use: the wfd daemon shares one store across many
+// concurrently-stepped sessions, and deposits are commutative set inserts
+// so interleaving cannot perturb contents.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"wayfinder/internal/forest"
+)
+
+// SeedConfig is one transferable configuration: a canonical KV assignment
+// (configspace.Config.KV encoding — only non-default parameters appear)
+// plus the metric it achieved in the depositing session, kept for
+// human inspection and ranking.
+type SeedConfig struct {
+	// ConfigKV is the canonical non-default KV rendering of the config.
+	ConfigKV map[string]string `json:"config_kv"`
+	// Metric is the raw metric the config scored at deposit time.
+	Metric float64 `json:"metric"`
+}
+
+// Entry is one completed session's transferable outcome.
+type Entry struct {
+	// App names the tuned application (simos.App.Name).
+	App string `json:"app"`
+	// Space is the configspace.Space fingerprint the entry was tuned
+	// over. Warm-start queries only ever match entries with the querying
+	// session's exact space fingerprint.
+	Space string `json:"space"`
+	// Metric names the metric that produced the scores.
+	Metric string `json:"metric,omitempty"`
+	// Maximize records the metric direction.
+	Maximize bool `json:"maximize"`
+	// Seed is the depositing session's seed, for provenance.
+	Seed uint64 `json:"seed"`
+	// Observations is how many observations the depositing session made —
+	// the "how much did this session learn" weight used by ranking and
+	// eviction.
+	Observations int `json:"observations"`
+	// Importance is the unit-L2 permutation-importance vector fitted over
+	// the session's observation history (forest.Importance): the entry's
+	// coordinates in the cross-application similarity space of Fig 5.
+	Importance []float64 `json:"importance"`
+	// Seeds are the session's best configurations, best-first.
+	Seeds []SeedConfig `json:"seeds"`
+	// DTM is an optional encoded nn.Snapshot of the session's DeepTune
+	// model, for weight-level transfer.
+	DTM json.RawMessage `json:"dtm,omitempty"`
+}
+
+// digest returns the entry's content address: SHA-256 over its canonical
+// JSON encoding.
+func (e *Entry) digest() (string, []byte, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return "", nil, fmt.Errorf("corpus: encode entry: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), data, nil
+}
+
+// WarmStart is the answer to a warm-start query: what a new session
+// should try first.
+type WarmStart struct {
+	// Hash is the corpus hash at query time — the value sessions fold
+	// into their reports so a warm-started report names the memory it
+	// drew from.
+	Hash string
+	// Seeds are up to k seed configurations, best neighbor first,
+	// deduplicated by canonical KV.
+	Seeds []map[string]string
+	// DTM is the encoded nn.Snapshot of the nearest neighbor that has
+	// one (nil if none do).
+	DTM json.RawMessage
+	// From lists the digests of the entries that contributed, nearest
+	// first.
+	From []string
+}
+
+// Store is a corpus of entries, optionally backed by a directory of
+// one-file-per-entry canonical JSON. A Store with no directory is
+// memory-only (tests, single-process experiments).
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	entries map[string]*Entry // digest → entry
+}
+
+// Open loads a corpus from dir, creating it if needed. Every *.json file
+// must be a valid entry whose digest matches its filename — a corrupt or
+// tampered file is a loud error, not a silent skip. An empty dir opens a
+// memory-only store.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, entries: map[string]*Entry{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("corpus: %s: %w", filepath.Base(name), err)
+		}
+		d, _, err := e.digest()
+		if err != nil {
+			return nil, err
+		}
+		want := strings.TrimSuffix(filepath.Base(name), ".json")
+		if d != want {
+			return nil, fmt.Errorf("corpus: %s: content digest %s does not match filename", filepath.Base(name), d)
+		}
+		s.entries[d] = &e
+	}
+	return s, nil
+}
+
+// Dir returns the backing directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+// Deposit stores the entry, writing it to the backing directory when one
+// is configured (atomically: temp file + rename). Depositing an entry the
+// corpus already holds is an idempotent no-op — content addressing makes
+// re-deposits free. Returns the entry's digest.
+func (s *Store) Deposit(e *Entry) (string, error) {
+	d, data, err := e.digest()
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[d]; dup {
+		return d, nil
+	}
+	if s.dir != "" {
+		if err := writeFileAtomic(filepath.Join(s.dir, d+".json"), data); err != nil {
+			return "", fmt.Errorf("corpus: %w", err)
+		}
+	}
+	cp := *e
+	s.entries[d] = &cp
+	return d, nil
+}
+
+// Len returns the number of entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Digests returns every entry digest in lexical order.
+func (s *Store) Digests() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.digestsLocked()
+}
+
+func (s *Store) digestsLocked() []string {
+	out := make([]string, 0, len(s.entries))
+	for d := range s.entries { //wfvet:ignore maprange sorted immediately below
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the entry with the given digest.
+func (s *Store) Get(digest string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[digest]
+	return e, ok
+}
+
+// Hash returns the corpus content hash: SHA-256 over the sorted entry
+// digests. Deposit order never matters; an empty corpus hashes to "" so
+// cold-start code paths can treat "no corpus" and "empty corpus"
+// identically.
+func (s *Store) Hash() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return ""
+	}
+	h := sha256.New()
+	for _, d := range s.digestsLocked() {
+		fmt.Fprintln(h, d)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// neighbor pairs an entry with its rank key during a query.
+type neighbor struct {
+	digest string
+	entry  *Entry
+	sim    float64
+}
+
+// rank returns the store's entries for the given space fingerprint in
+// warm-start order. When the corpus already holds an entry for the same
+// app, the highest-observation such entry (ties: lowest digest) anchors
+// the query vector and candidates rank by descending forest.Similarity
+// to it — the Fig 5 cross-similarity lookup. With no same-app anchor the
+// ranking degrades to (observations desc, digest asc): the most
+// experienced entries first, still fully deterministic, which is what
+// lets a first-ever nginx session borrow from redis. Pure function of
+// (corpus contents, app, space).
+func (s *Store) rank(app, space string) []neighbor {
+	var cands []neighbor
+	for _, d := range s.digestsLocked() {
+		e := s.entries[d]
+		if e.Space != space {
+			continue
+		}
+		cands = append(cands, neighbor{digest: d, entry: e})
+	}
+	var anchor *Entry
+	for i := range cands {
+		e := cands[i].entry
+		if e.App != app {
+			continue
+		}
+		if anchor == nil || e.Observations > anchor.Observations {
+			anchor = e // digests are pre-sorted, so ties keep the lowest
+		}
+	}
+	if anchor != nil {
+		for i := range cands {
+			cands[i].sim = forest.Similarity(anchor.Importance, cands[i].entry.Importance)
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			//wfvet:ignore floateq sort tie-break: both sims come from the same pure function over identical stored vectors, so exact equality is the determinism-correct discriminator
+			if cands[i].sim != cands[j].sim {
+				return cands[i].sim > cands[j].sim
+			}
+			if cands[i].entry.Observations != cands[j].entry.Observations {
+				return cands[i].entry.Observations > cands[j].entry.Observations
+			}
+			return cands[i].digest < cands[j].digest
+		})
+	} else {
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].entry.Observations != cands[j].entry.Observations {
+				return cands[i].entry.Observations > cands[j].entry.Observations
+			}
+			return cands[i].digest < cands[j].digest
+		})
+	}
+	return cands
+}
+
+// Query returns the digests of the k nearest entries for (app, space),
+// nearest first — the similarity index surfaced for inspection (wfctl
+// corpus show) and tests. k <= 0 returns all matches.
+func (s *Store) Query(app, space string, k int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ranked := s.rank(app, space)
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	out := make([]string, len(ranked))
+	for i, n := range ranked {
+		out[i] = n.digest
+	}
+	return out
+}
+
+// WarmStart answers a warm-start query: up to k seed configurations
+// drawn from the ranked neighbors (each neighbor's best configs first,
+// deduplicated by canonical KV), the nearest available DTM snapshot, and
+// the corpus hash the answer was computed against. Returns nil when the
+// corpus holds nothing for the space — the caller's cold-start path.
+func (s *Store) WarmStart(app, space string, k int) *WarmStart {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ranked := s.rank(app, space)
+	if len(ranked) == 0 || k <= 0 {
+		return nil
+	}
+	ws := &WarmStart{}
+	seen := map[string]bool{}
+	for _, n := range ranked {
+		used := false
+		for _, sc := range n.entry.Seeds {
+			if len(ws.Seeds) >= k {
+				break
+			}
+			key := kvKey(sc.ConfigKV)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kv := make(map[string]string, len(sc.ConfigKV))
+			for name, v := range sc.ConfigKV { //wfvet:ignore maprange plain copy into a map
+				kv[name] = v
+			}
+			ws.Seeds = append(ws.Seeds, kv)
+			used = true
+		}
+		if ws.DTM == nil && len(n.entry.DTM) > 0 {
+			ws.DTM = append(json.RawMessage(nil), n.entry.DTM...)
+			used = true
+		}
+		if used {
+			ws.From = append(ws.From, n.digest)
+		}
+		if len(ws.Seeds) >= k && ws.DTM != nil {
+			break
+		}
+	}
+	if len(ws.Seeds) == 0 && ws.DTM == nil {
+		return nil
+	}
+	// Hash inline: mu is already held.
+	h := sha256.New()
+	for _, d := range s.digestsLocked() {
+		fmt.Fprintln(h, d)
+	}
+	ws.Hash = hex.EncodeToString(h.Sum(nil))
+	return ws
+}
+
+// kvKey renders a KV map canonically (sorted keys) for deduplication.
+func kvKey(kv map[string]string) string {
+	names := make([]string, 0, len(kv))
+	for name := range kv { //wfvet:ignore maprange sorted immediately below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(kv[name])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GC compacts the corpus down to at most max entries, keeping the most
+// valuable ones by (observations desc, digest asc) — sessions that
+// learned from more observations carry more transferable signal. Removed
+// entries are deleted from the backing directory. Returns the digests
+// removed, in lexical order. max <= 0 keeps everything.
+func (s *Store) GC(max int) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if max <= 0 || len(s.entries) <= max {
+		return nil, nil
+	}
+	type keyed struct {
+		digest string
+		obs    int
+	}
+	all := make([]keyed, 0, len(s.entries))
+	for _, d := range s.digestsLocked() {
+		all = append(all, keyed{digest: d, obs: s.entries[d].Observations})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].obs != all[j].obs {
+			return all[i].obs > all[j].obs
+		}
+		return all[i].digest < all[j].digest
+	})
+	var removed []string
+	for _, kd := range all[max:] {
+		if s.dir != "" {
+			if err := os.Remove(filepath.Join(s.dir, kd.digest+".json")); err != nil && !os.IsNotExist(err) {
+				return removed, fmt.Errorf("corpus: gc: %w", err)
+			}
+		}
+		delete(s.entries, kd.digest)
+		removed = append(removed, kd.digest)
+	}
+	sort.Strings(removed)
+	return removed, nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, so
+// readers never observe a partial entry.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".corpus-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// entry builds a synthetic corpus entry; imp is the importance profile,
+// obs the observation weight.
+func entry(app string, imp []float64, obs int, seeds ...string) *Entry {
+	e := &Entry{
+		App:          app,
+		Space:        "space-a",
+		Metric:       "perf",
+		Maximize:     true,
+		Observations: obs,
+		Importance:   imp,
+	}
+	for i, s := range seeds {
+		e.Seeds = append(e.Seeds, SeedConfig{
+			ConfigKV: map[string]string{"knob": s},
+			Metric:   float64(100 - i),
+		})
+	}
+	return e
+}
+
+// TestDepositRoundTrip: deposits persist as canonical JSON addressed by
+// their content digest, re-deposits are idempotent, and Open reloads the
+// exact same corpus (same hash, same entries).
+func TestDepositRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := st.Deposit(entry("nginx", []float64{1, 0}, 40, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := st.Deposit(entry("nginx", []float64{1, 0}, 40, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("identical entries got digests %s and %s", d1, d2)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("idempotent re-deposit grew the corpus to %d entries", st.Len())
+	}
+	if _, err := st.Deposit(entry("redis", []float64{0, 1}, 30, "b")); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Hash() != st.Hash() || re.Len() != st.Len() {
+		t.Fatalf("reloaded corpus differs: hash %s vs %s, len %d vs %d",
+			re.Hash(), st.Hash(), re.Len(), st.Len())
+	}
+	got, ok := re.Get(d1)
+	if !ok || got.App != "nginx" || got.Seeds[0].ConfigKV["knob"] != "a" {
+		t.Fatalf("reloaded entry %s is wrong: %+v (ok=%v)", d1, got, ok)
+	}
+}
+
+// TestOpenRejectsTamper: an entry file whose content no longer matches
+// its digest filename is a loud error, not a silent skip.
+func TestOpenRejectsTamper(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	d, err := st.Deposit(entry("nginx", []float64{1}, 10, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, d+".json")
+	if err := os.WriteFile(path, []byte(`{"app":"evil","space":"space-a","maximize":true,"seed":0,"observations":10,"importance":[1],"seeds":null}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a tampered entry file")
+	}
+}
+
+// TestQueryDeterminism: the ranked answer is a pure function of corpus
+// contents — identical across repeated queries and across stores built by
+// depositing the same entries in different orders.
+func TestQueryDeterminism(t *testing.T) {
+	entries := []*Entry{
+		entry("nginx", []float64{1, 0, 0}, 50, "n1", "n2"),
+		entry("redis", []float64{0.9, 0.1, 0}, 40, "r1"),
+		entry("sqlite", []float64{0, 0, 1}, 60, "s1"),
+		entry("npb", []float64{0.7, 0.3, 0}, 40, "p1"),
+	}
+	a, _ := Open("")
+	for _, e := range entries {
+		if _, err := a.Deposit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, _ := Open("")
+	for i := len(entries) - 1; i >= 0; i-- {
+		if _, err := b.Deposit(entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("deposit order changed the corpus hash: %s vs %s", a.Hash(), b.Hash())
+	}
+	qa := a.Query("nginx", "space-a", 0)
+	qb := b.Query("nginx", "space-a", 0)
+	if !reflect.DeepEqual(qa, qb) {
+		t.Fatalf("deposit order changed the query answer:\n%v\n%v", qa, qb)
+	}
+	if !reflect.DeepEqual(qa, a.Query("nginx", "space-a", 0)) {
+		t.Fatal("repeated query returned a different answer")
+	}
+	// With a same-app anchor, the nearest-by-importance neighbor (redis)
+	// must outrank the farther ones; the anchor itself ranks first.
+	if len(qa) != 4 {
+		t.Fatalf("query returned %d entries, want 4", len(qa))
+	}
+	first, _ := a.Get(qa[0])
+	second, _ := a.Get(qa[1])
+	last, _ := a.Get(qa[3])
+	if first.App != "nginx" || second.App != "redis" || last.App != "sqlite" {
+		t.Fatalf("ranking wrong: got %s, %s, …, %s; want nginx, redis, …, sqlite",
+			first.App, second.App, last.App)
+	}
+}
+
+// TestQueryFiltersSpace: entries from a different space fingerprint never
+// surface, whatever their app or similarity.
+func TestQueryFiltersSpace(t *testing.T) {
+	st, _ := Open("")
+	e := entry("nginx", []float64{1, 0}, 50, "a")
+	e.Space = "space-b"
+	if _, err := st.Deposit(e); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Query("nginx", "space-a", 0); len(got) != 0 {
+		t.Fatalf("query crossed space fingerprints: %v", got)
+	}
+	if ws := st.WarmStart("nginx", "space-a", 4); ws != nil {
+		t.Fatalf("warm start crossed space fingerprints: %+v", ws)
+	}
+}
+
+// TestWarmStart: seeds arrive best-neighbor-first, deduplicated by
+// canonical KV, truncated to k; the DTM comes from the nearest neighbor
+// holding one; empty corpora and k=0 answer nil.
+func TestWarmStart(t *testing.T) {
+	st, _ := Open("")
+	if ws := st.WarmStart("nginx", "space-a", 4); ws != nil {
+		t.Fatalf("empty corpus answered a warm start: %+v", ws)
+	}
+	near := entry("nginx", []float64{1, 0, 0}, 50, "n1", "dup")
+	mid := entry("redis", []float64{0.9, 0.1, 0}, 40, "dup", "r2")
+	mid.DTM = []byte(`{"tensors":{"w":[1,2]}}`)
+	far := entry("sqlite", []float64{0, 0, 1}, 60, "s1")
+	far.DTM = []byte(`{"tensors":{"w":[9,9]}}`)
+	for _, e := range []*Entry{near, mid, far} {
+		if _, err := st.Deposit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ws := st.WarmStart("nginx", "space-a", 0); ws != nil {
+		t.Fatalf("k=0 answered a warm start: %+v", ws)
+	}
+	ws := st.WarmStart("nginx", "space-a", 3)
+	if ws == nil {
+		t.Fatal("warm start answered nil on a populated corpus")
+	}
+	if ws.Hash != st.Hash() {
+		t.Fatalf("warm start hash %s, corpus hash %s", ws.Hash, st.Hash())
+	}
+	want := []string{"n1", "dup", "r2"}
+	if len(ws.Seeds) != len(want) {
+		t.Fatalf("got %d seeds, want %d: %v", len(ws.Seeds), len(want), ws.Seeds)
+	}
+	for i, w := range want {
+		if ws.Seeds[i]["knob"] != w {
+			t.Fatalf("seed %d = %v, want knob=%s", i, ws.Seeds[i], w)
+		}
+	}
+	// The DTM must come from redis (nearest holder), not sqlite.
+	if string(ws.DTM) != `{"tensors":{"w":[1,2]}}` {
+		t.Fatalf("DTM came from the wrong neighbor: %s", ws.DTM)
+	}
+}
+
+// TestGC: compaction keeps the most-observed entries with stable
+// tie-breaking, removes the rest from disk, and survives a reload.
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	for i, e := range []*Entry{
+		entry("a", []float64{1, 0}, 10, "x"),
+		entry("b", []float64{0, 1}, 30, "y"),
+		entry("c", []float64{1, 1}, 20, "z"),
+	} {
+		if _, err := st.Deposit(e); err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+	}
+	if removed, err := st.GC(5); err != nil || removed != nil {
+		t.Fatalf("GC above len removed %v (err %v)", removed, err)
+	}
+	removed, err := st.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || st.Len() != 2 {
+		t.Fatalf("GC(2) removed %v, left %d entries", removed, st.Len())
+	}
+	for _, d := range st.Digests() {
+		e, _ := st.Get(d)
+		if e.Observations == 10 {
+			t.Fatal("GC kept the least-observed entry")
+		}
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Hash() != st.Hash() {
+		t.Fatalf("post-GC reload differs: %s vs %s", re.Hash(), st.Hash())
+	}
+}
+
+// TestEmptyHash: an empty corpus hashes to "", so cold-start code can
+// treat "no corpus" and "empty corpus" identically.
+func TestEmptyHash(t *testing.T) {
+	st, _ := Open("")
+	if h := st.Hash(); h != "" {
+		t.Fatalf("empty corpus hash %q, want \"\"", h)
+	}
+}

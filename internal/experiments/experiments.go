@@ -232,7 +232,7 @@ func IDs() []string {
 		"fig1", "table1", "fig2", "fig5", "fig6", "table2", "fig7", "fig8",
 		"table3", "fig9", "fig10", "fig11", "table4", "scaling", "straggler",
 		"cachehit", "fleet", "elasticity", "locality", "searcherscale",
-		"searcherscale-window", "serve",
+		"searcherscale-window", "serve", "transferscale",
 	}
 }
 
@@ -283,6 +283,8 @@ func Run(id string, scale Scale) (*Result, error) {
 		return SearcherscaleWindow(scale)
 	case "serve":
 		return Serve(scale)
+	case "transferscale":
+		return Transferscale(scale)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))

@@ -590,6 +590,43 @@ func TestServeDaemonLoad(t *testing.T) {
 	}
 }
 
+// TestTransferscaleMonotone pins the tuning-memory acceptance bar: the
+// median observations-to-target falls strictly as the transfer corpus
+// grows, across at least three corpus sizes. Runs at QuickScale — the
+// ladder's separation is calibrated against those budgets.
+func TestTransferscaleMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-session experiment")
+	}
+	res, err := Transferscale(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	med := series["obs-to-target-median"].Y
+	if len(med) < 3 {
+		t.Fatalf("corpus-size ladder has %d rungs, want ≥3", len(med))
+	}
+	for i := 1; i < len(med); i++ {
+		if med[i] >= med[i-1] {
+			t.Fatalf("median obs-to-target not strictly decreasing: %v\n%s", med, res.Render())
+		}
+	}
+	// Warm runs actually consume the transferred seeds.
+	tab := res.Tables[0]
+	for row := 1; row < len(tab.Rows); row++ {
+		if s := cellF(t, tab, row, "mean corpus seeds"); s <= 0 {
+			t.Fatalf("warm row %d used no corpus seeds\n%s", row, res.Render())
+		}
+	}
+	if got := res.Notes[len(res.Notes)-1]; !strings.Contains(got, "strictly decreasing across the ladder: true") {
+		t.Fatalf("monotonicity note: %s", got)
+	}
+}
+
 func TestSearcherscaleWindowFlatCost(t *testing.T) {
 	// The experiment verifies bit-identity of both batched paths
 	// internally (it errors on any divergence); the test pins the

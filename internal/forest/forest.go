@@ -290,8 +290,15 @@ func (f *Forest) Importance(seed uint64) []float64 {
 // Similarity computes the cross-similarity score between two normalized
 // importance vectors the way Figure 5 does: the importance scores are
 // treated as vectors and compared by Euclidean distance, mapped to (0,1]
-// so identical profiles score 1.
+// so identical profiles score 1. Vectors of different lengths come from
+// different configuration spaces and are incomparable: they score 0, the
+// one value the mapping can never produce for comparable vectors
+// (stats.Euclidean ranges over its first argument only, so without the
+// guard a mismatch would silently truncate).
 func Similarity(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
 	d := stats.Euclidean(a, b)
 	return 1 / (1 + d)
 }

@@ -1,0 +1,50 @@
+package forest
+
+import (
+	"testing"
+
+	"wayfinder/internal/rng"
+)
+
+// TestSimilarityProperties: across random vector pairs, Similarity is
+// symmetric, lands in (0,1], and scores 1 exactly for self-similarity —
+// the contract the corpus similarity index leans on.
+func TestSimilarityProperties(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + r.Intn(16)
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for i := range a {
+			a[i] = r.Normal(0, 2)
+			b[i] = r.Normal(0, 2)
+		}
+		ab, ba := Similarity(a, b), Similarity(b, a)
+		if ab != ba {
+			t.Fatalf("trial %d: asymmetric: Similarity(a,b)=%v Similarity(b,a)=%v", trial, ab, ba)
+		}
+		if !(ab > 0 && ab <= 1) {
+			t.Fatalf("trial %d: Similarity(a,b)=%v outside (0,1]", trial, ab)
+		}
+		if self := Similarity(a, a); self != 1 {
+			t.Fatalf("trial %d: self-similarity %v, want exactly 1", trial, self)
+		}
+	}
+}
+
+// TestSimilarityMismatchedLengths: vectors from different spaces are
+// incomparable and score 0 — in either argument order — rather than
+// silently truncating through stats.Euclidean.
+func TestSimilarityMismatchedLengths(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{1, 0}
+	if got := Similarity(a, b); got != 0 {
+		t.Fatalf("Similarity(len 3, len 2) = %v, want 0", got)
+	}
+	if got := Similarity(b, a); got != 0 {
+		t.Fatalf("Similarity(len 2, len 3) = %v, want 0", got)
+	}
+	if got := Similarity(nil, nil); got != 1 {
+		t.Fatalf("Similarity(nil, nil) = %v, want 1 (equal empty vectors)", got)
+	}
+}

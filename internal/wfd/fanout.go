@@ -13,9 +13,9 @@ import (
 )
 
 // WireEvent is one serialized session event. Type discriminates: "cache",
-// "eval", "best", "round", "progress", "done", "fault", "retry", "host".
-// Fields are a flattened union — consumers switch on Type and read the
-// fields it implies.
+// "eval", "best", "round", "progress", "done", "fault", "retry", "host",
+// "corpus". Fields are a flattened union — consumers switch on Type and
+// read the fields it implies.
 type WireEvent struct {
 	// Seq is the event's position in the job's stream, starting at 0.
 	Seq int `json:"seq"`
@@ -59,6 +59,15 @@ type WireEvent struct {
 	Host    int     `json:"host,omitempty"`
 	Up      bool    `json:"up,omitempty"`
 	AtSec   float64 `json:"at_sec,omitempty"`
+
+	// Hash, Seeds, DTM, and Digest describe a corpus event (Kind is
+	// "warmstart" or "deposit"): the corpus hash the session saw, the
+	// seed configs injected, whether model weights transferred, and the
+	// deposited entry's digest.
+	Hash   string `json:"hash,omitempty"`
+	Seeds  int    `json:"seeds,omitempty"`
+	DTM    bool   `json:"dtm,omitempty"`
+	Digest string `json:"digest,omitempty"`
 }
 
 // wireEvent flattens a typed session event; ok is false for event kinds
@@ -134,6 +143,15 @@ func wireEvent(ev core.Event) (WireEvent, bool) {
 			Host:  e.Host,
 			Up:    e.Up,
 			AtSec: e.AtSec,
+		}, true
+	case core.CorpusEvent:
+		return WireEvent{
+			Type:   "corpus",
+			Kind:   e.Kind,
+			Hash:   e.Hash,
+			Seeds:  e.Seeds,
+			DTM:    e.DTM,
+			Digest: e.Digest,
 		}, true
 	case core.SessionDone:
 		w := WireEvent{

@@ -243,7 +243,7 @@ func (d *Daemon) recoverDone(dir string, j *job) bool {
 func (d *Daemon) recoverInFlight(dir string, j *job) {
 	observer := d.observer(j)
 	if snap, err := os.ReadFile(filepath.Join(dir, "snap.json")); err == nil {
-		sess, err := j.spec.resumeSession(snap, observer)
+		sess, err := j.spec.resumeSession(snap, observer, d.jobCorpus(j.spec))
 		if err == nil {
 			j.sess = sess
 			d.resumed++
@@ -253,7 +253,7 @@ func (d *Daemon) recoverInFlight(dir string, j *job) {
 		}
 	}
 	if j.sess == nil {
-		sess, err := j.spec.buildSession(observer)
+		sess, err := j.spec.buildSession(observer, d.jobCorpus(j.spec))
 		if err != nil {
 			j.state = stateFailed
 			j.err = fmt.Sprintf("recovery: %v", err)

@@ -96,6 +96,9 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 	if err := spec.Validate(); err != nil {
 		return "", err
 	}
+	if spec.Corpus && d.corpus == nil {
+		return "", fmt.Errorf("%w: job asks for the shared corpus but the daemon has none configured (start wfd with -corpus)", ErrBadSpec)
+	}
 
 	d.mu.Lock()
 	if d.closed {
@@ -131,7 +134,7 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 		done:        make(chan struct{}),
 		journalable: spec.Searcher != "unicorn",
 	}
-	sess, err := spec.buildSession(d.observer(j))
+	sess, err := spec.buildSession(d.observer(j), d.jobCorpus(spec))
 	if err != nil {
 		d.mu.Lock()
 		t.active--
@@ -147,6 +150,14 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 			t.committed -= spec.Iterations
 			d.mu.Unlock()
 			return "", err
+		}
+		if spec.WarmStartK > 0 {
+			// Journal warm-started jobs immediately: the admission snapshot
+			// carries the resolved warm start (seed queue, weights), so a
+			// crash before the first periodic snapshot still resumes from
+			// the original query answer instead of re-asking a corpus other
+			// jobs have since grown.
+			d.journalJob(j)
 		}
 	}
 
@@ -543,6 +554,11 @@ type DaemonStatus struct {
 	UniqueBuilds int `json:"unique_builds"`
 	DupBuilds    int `json:"dup_builds"`
 
+	// CorpusEntries/CorpusHash summarize the shared transfer corpus
+	// (absent when the daemon has none configured).
+	CorpusEntries int    `json:"corpus_entries,omitempty"`
+	CorpusHash    string `json:"corpus_hash,omitempty"`
+
 	UptimeSec float64 `json:"uptime_sec"`
 }
 
@@ -593,5 +609,10 @@ func (d *Daemon) Status() DaemonStatus {
 	st.UniqueBuilds = d.store.Len(0)
 	st.DupBuilds = d.dupBuilds
 	d.storeMu.Unlock()
+
+	if d.corpus != nil {
+		st.CorpusEntries = d.corpus.Len()
+		st.CorpusHash = d.corpus.Hash()
+	}
 	return st
 }

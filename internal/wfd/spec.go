@@ -15,6 +15,7 @@ import (
 	"wayfinder/internal/apps"
 	"wayfinder/internal/configspace"
 	"wayfinder/internal/core"
+	"wayfinder/internal/corpus"
 	"wayfinder/internal/deeptune"
 	"wayfinder/internal/fault"
 	"wayfinder/internal/search"
@@ -74,6 +75,18 @@ type JobSpec struct {
 	// weight; Fixed pins parameters to constant values.
 	Favor map[string]float64 `json:"favor,omitempty"`
 	Fixed map[string]string  `json:"fixed,omitempty"`
+	// Corpus opts the job into the daemon's shared transfer corpus: its
+	// completed outcome is deposited there, accumulating tuning memory
+	// across jobs and tenants. Requires a daemon configured with a corpus
+	// directory.
+	Corpus bool `json:"corpus,omitempty"`
+	// WarmStartK warm-starts the session from its K nearest corpus
+	// neighbors: their best configs dispatch as the first proposals, and
+	// a deeptune searcher restores the nearest neighbor's model weights.
+	// Requires Corpus and a checkpointable searcher — a crashed unicorn
+	// job would restart from scratch and re-query a corpus that has since
+	// grown, breaking deterministic resume.
+	WarmStartK int `json:"warm_start_k,omitempty"`
 }
 
 // SpecFromJob lifts a parsed YAML job file into a JobSpec (the wfctl
@@ -131,6 +144,7 @@ func (sp JobSpec) options() (core.Options, error) {
 		SurrogateWindow: sp.SurrogateWindow,
 		Faults:          sched,
 		Dispatch:        sp.Dispatch,
+		WarmStartK:      sp.WarmStartK,
 	}, nil
 }
 
@@ -163,6 +177,12 @@ func (sp JobSpec) Validate() error {
 	if sp.SurrogateWindow != 0 && sp.Searcher != "bayesian" && sp.Searcher != "deeptune" {
 		return fmt.Errorf("%w: surrogate_window only applies to the learned searchers (bayesian, deeptune; got %q)",
 			ErrBadSpec, sp.Searcher)
+	}
+	if sp.WarmStartK != 0 && !sp.Corpus {
+		return fmt.Errorf("%w: warm_start_k requires corpus", ErrBadSpec)
+	}
+	if sp.WarmStartK > 0 && sp.Searcher == "unicorn" {
+		return fmt.Errorf("%w: warm_start_k needs a checkpointable searcher (unicorn restarts from scratch after a crash and would re-query a grown corpus)", ErrBadSpec)
 	}
 	for _, class := range slices.Sorted(maps.Keys(sp.Favor)) {
 		if _, err := configspace.ParseClass(class); err != nil {
@@ -273,8 +293,10 @@ func (sp JobSpec) assemble() (*simos.Model, *simos.App, core.Metric, search.Sear
 	return model, app, metric, searcher, nil
 }
 
-// buildSession constructs the spec's session from scratch.
-func (sp JobSpec) buildSession(observer func(core.Event)) (*wayfinder.Session, error) {
+// buildSession constructs the spec's session from scratch. A corpus-opted
+// spec gets the daemon's shared store: the session queries it for warm
+// starts at construction and deposits into it at completion.
+func (sp JobSpec) buildSession(observer func(core.Event), st *corpus.Store) (*wayfinder.Session, error) {
 	sp = sp.withDefaults()
 	model, app, metric, searcher, err := sp.assemble()
 	if err != nil {
@@ -284,27 +306,38 @@ func (sp JobSpec) buildSession(observer func(core.Event)) (*wayfinder.Session, e
 	if err != nil {
 		return nil, err
 	}
-	return wayfinder.New(model, app,
+	wfOpts := []wayfinder.Option{
 		wayfinder.WithMetric(metric),
 		wayfinder.WithSearcher(searcher),
 		wayfinder.WithOptions(opts),
 		wayfinder.WithObserver(observer),
-	)
+	}
+	if st != nil {
+		wfOpts = append(wfOpts, wayfinder.WithCorpusStore(st))
+	}
+	return wayfinder.New(model, app, wfOpts...)
 }
 
 // resumeSession reconstructs the spec's session from a journal snapshot,
-// continuing byte-identically to an uninterrupted run.
-func (sp JobSpec) resumeSession(snapshot []byte, observer func(core.Event)) (*wayfinder.Session, error) {
+// continuing byte-identically to an uninterrupted run. The corpus store
+// reattaches for deposit only: the snapshot carries the original warm
+// start (seed queue and weights) verbatim, so the resumed session never
+// re-queries a corpus that may have grown since admission.
+func (sp JobSpec) resumeSession(snapshot []byte, observer func(core.Event), st *corpus.Store) (*wayfinder.Session, error) {
 	sp = sp.withDefaults()
 	model, app, metric, searcher, err := sp.assemble()
 	if err != nil {
 		return nil, err
 	}
-	return wayfinder.Resume(model, app, snapshot,
+	wfOpts := []wayfinder.Option{
 		wayfinder.WithMetric(metric),
 		wayfinder.WithSearcher(searcher),
 		wayfinder.WithObserver(observer),
-	)
+	}
+	if st != nil {
+		wfOpts = append(wfOpts, wayfinder.WithCorpusStore(st))
+	}
+	return wayfinder.Resume(model, app, snapshot, wfOpts...)
 }
 
 // CanonicalReportJSON marshals a report in the canonical form the daemon's

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"wayfinder/internal/artifact"
+	"wayfinder/internal/corpus"
 )
 
 // Sentinel errors, wrapped with detail; the HTTP layer maps them to
@@ -79,6 +80,13 @@ type Config struct {
 	// daemon runs in-memory only, with no crash-restart guarantee (used by
 	// the serve experiment and tests).
 	StateDir string
+	// CorpusDir is the shared transfer-corpus directory. Empty disables
+	// the corpus: jobs asking for it are rejected at admission. When set,
+	// one corpus store is shared by every tenant's corpus-opted jobs —
+	// completed sessions deposit their outcomes and warm-started sessions
+	// draw seeds from their nearest neighbors, so the daemon accumulates
+	// tuning memory across jobs, tenants, and restarts.
+	CorpusDir string
 	// Quantum is the number of observations one scheduling slice advances
 	// a job by (default 8). Smaller quanta interleave tenants more finely
 	// at more scheduling overhead; the final reports are invariant either
@@ -175,6 +183,11 @@ type Daemon struct {
 	store     *artifact.Store
 	dupBuilds int // builds of an image some session already built
 
+	// corpus is the shared transfer corpus (nil without Config.CorpusDir).
+	// corpus.Store locks internally, so steppers deposit concurrently
+	// without daemon-level serialization.
+	corpus *corpus.Store
+
 	wg        sync.WaitGroup
 	startedAt time.Time
 
@@ -198,6 +211,15 @@ func New(cfg Config) (*Daemon, error) {
 		startedAt: time.Now(),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	if cfg.CorpusDir != "" {
+		// Opened before recovery: resumed corpus-opted jobs reattach for
+		// deposit, so memory keeps accumulating across daemon restarts.
+		st, err := corpus.Open(cfg.CorpusDir)
+		if err != nil {
+			return nil, fmt.Errorf("wfd: corpus: %w", err)
+		}
+		d.corpus = st
+	}
 	if cfg.StateDir != "" {
 		if err := d.recover(); err != nil {
 			return nil, err
@@ -219,6 +241,15 @@ func (d *Daemon) tenantLocked(name string) *tenant {
 		d.tenants[name] = t
 	}
 	return t
+}
+
+// jobCorpus resolves the corpus store a job's session should see: the
+// daemon's shared store for corpus-opted specs, nil otherwise.
+func (d *Daemon) jobCorpus(sp JobSpec) *corpus.Store {
+	if !sp.Corpus {
+		return nil
+	}
+	return d.corpus
 }
 
 // Shutdown stops the daemon gracefully: steppers drain at their current

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"wayfinder/internal/core"
+	"wayfinder/internal/corpus"
 	"wayfinder/internal/deeptune"
 	"wayfinder/internal/search"
 	"wayfinder/internal/vm"
@@ -36,6 +37,9 @@ type (
 	Progress = core.Progress
 	// SessionDone is emitted once, when the session exhausts its budget.
 	SessionDone = core.SessionDone
+	// CorpusEvent is emitted when a session warm-starts from or deposits
+	// into its transfer corpus.
+	CorpusEvent = core.CorpusEvent
 	// HostStateChanged is emitted when the fault schedule takes a host
 	// down or brings it back.
 	HostStateChanged = core.HostStateChanged
@@ -58,6 +62,16 @@ type Checkpointable = search.Checkpointable
 // quantum; Sub gives the delta).
 type Usage = core.Usage
 
+// CorpusStore is a shared tuning-memory corpus: a persistent,
+// content-addressed store of completed session outcomes that sessions
+// warm-start from and deposit into. One store may back many sessions
+// concurrently (the wfd daemon shares one across tenants).
+type CorpusStore = corpus.Store
+
+// OpenCorpus opens (creating if needed) a corpus directory. An empty dir
+// opens a memory-only corpus.
+func OpenCorpus(dir string) (*CorpusStore, error) { return corpus.Open(dir) }
+
 // sessionConfig accumulates functional options before engine assembly.
 type sessionConfig struct {
 	opts      core.Options
@@ -65,6 +79,8 @@ type sessionConfig struct {
 	metric    Metric
 	clock     *Clock
 	observers []func(Event)
+	corpus    *CorpusStore
+	corpusErr error
 
 	budgetSet   bool
 	topologySet bool
@@ -184,6 +200,36 @@ func WithDispatchPolicy(name string) Option {
 	return func(c *sessionConfig) { c.opts.Dispatch = name; c.topologySet = true }
 }
 
+// WithCorpus attaches a persistent transfer corpus by directory: the
+// session deposits its outcome there on completion, and — combined with
+// WithWarmStartFromCorpus — draws its first proposals from it. An empty
+// or absent corpus leaves the session byte-identical to one without the
+// option. On Resume, the option re-attaches the corpus for the completion
+// deposit only; warm-start resolution happened at original construction
+// and travels in the snapshot. Open errors surface from New/Resume.
+func WithCorpus(dir string) Option {
+	return func(c *sessionConfig) {
+		st, err := corpus.Open(dir)
+		c.corpus, c.corpusErr = st, err
+	}
+}
+
+// WithCorpusStore is WithCorpus for an already-open (possibly shared)
+// store — the form a daemon multiplexing many sessions over one corpus
+// uses.
+func WithCorpusStore(st *CorpusStore) Option {
+	return func(c *sessionConfig) { c.corpus, c.corpusErr = st, nil }
+}
+
+// WithWarmStartFromCorpus asks the corpus for up to k seed
+// configurations, evaluated ahead of the searcher's own proposals, plus a
+// DeepTune weight restore when the nearest neighbor deposited one.
+// Requires WithCorpus/WithCorpusStore. Construction-only: a resumed
+// session inherits its warm start from the snapshot.
+func WithWarmStartFromCorpus(k int) Option {
+	return func(c *sessionConfig) { c.opts.WarmStartK = k; c.topologySet = true }
+}
+
 // WithObserver registers a synchronous event observer, invoked on the
 // session's stepping goroutine in deterministic observation order. Multiple
 // observers run in registration order.
@@ -248,6 +294,7 @@ func New(model *Model, app *App, opts ...Option) (*Session, error) {
 		dc.Seed = cfg.opts.Seed
 		cfg.searcher = search.NewDeepTune(model.Space, cfg.metric.Maximize(), dc)
 	}
+	cfg.opts.Corpus = cfg.corpus
 	eng := core.NewEngine(model, app, cfg.metric, cfg.searcher, cfg.clock, cfg.opts.Seed)
 	cs, err := eng.NewSession(cfg.opts)
 	if err != nil {
@@ -289,6 +336,11 @@ func Resume(model *Model, app *App, snapshot []byte, opts ...Option) (*Session, 
 	if err != nil {
 		return nil, err
 	}
+	if cfg.corpus != nil {
+		// Deposit-only reattach: warm-start resolution happened at the
+		// original construction and travels in the snapshot.
+		cs.AttachCorpus(cfg.corpus)
+	}
 	if cfg.budgetSet {
 		// Budget extension is legitimate on resume (continue a finished
 		// session longer); everything else in the options is topology.
@@ -307,6 +359,9 @@ func buildConfig(model *Model, app *App, opts []Option) (*sessionConfig, error) 
 	cfg := &sessionConfig{}
 	for _, o := range opts {
 		o(cfg)
+	}
+	if cfg.corpusErr != nil {
+		return nil, fmt.Errorf("wayfinder: opening corpus: %w", cfg.corpusErr)
 	}
 	if cfg.metric == nil {
 		cfg.metric = &core.PerfMetric{App: app}
